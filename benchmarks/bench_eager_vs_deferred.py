@@ -1,0 +1,60 @@
+"""Eager vs deferred maintenance (paper Section 3).
+
+The paper's architecture supports both timings; deferred maintenance
+benefits from the Section 5 log folding (a tuple modified k times in a
+batch yields one effective diff row).  This bench quantifies the gap on
+the running-example workload with re-update-heavy batches.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import random
+
+from repro.bench import format_table
+from repro.core.eager import EagerIvmEngine
+from repro.workloads import DevicesConfig, build_aggregate_view, build_devices_database
+
+CONFIG = DevicesConfig(n_parts=400, n_devices=400, diff_size=50)
+TOUCHES = 200      # raw modifications per batch
+HOT_PARTS = 50     # drawn from this many parts -> ~4 touches per part
+
+
+def _run(eager: bool) -> int:
+    rng = random.Random(99)
+    db = build_devices_database(CONFIG)
+    engine = EagerIvmEngine(db)
+    engine.define_view("Vp", build_aggregate_view(db, CONFIG))
+
+    def touch():
+        pid = f"P{rng.randrange(HOT_PARTS)}"
+        row = db.table("parts").get_uncounted((pid,))
+        engine.update("parts", (pid,), {"price": row[1] + 1})
+
+    if eager:
+        for _ in range(TOUCHES):
+            touch()
+    else:
+        with engine.transaction():
+            for _ in range(TOUCHES):
+                touch()
+    return engine.total_cost()
+
+
+@lru_cache(maxsize=1)
+def measurements():
+    return {"eager": _run(True), "deferred": _run(False)}
+
+
+def test_eager_vs_deferred(benchmark):
+    results = measurements()
+    rows = [(mode, cost) for mode, cost in results.items()]
+    rows.append(("folding benefit", f"{results['eager'] / results['deferred']:.2f}x"))
+    print()
+    print("== Eager vs deferred maintenance (200 hot-key updates) ==")
+    print(format_table(("mode", "accesses"), rows))
+    # Deferred folding collapses ~4 touches per part into one diff row.
+    assert results["deferred"] < results["eager"]
+    assert results["eager"] / results["deferred"] > 2.0
+    benchmark.pedantic(lambda: _run(False), rounds=1, iterations=1)

@@ -1,0 +1,87 @@
+"""Figure 12a: varying the base-table diff size d ∈ {100..500}.
+
+Paper's finding: the ID-based speedup over tuple-based IVM stays within
+4–5 across the whole range (with a slight downward trend caused by
+PostgreSQL page-buffer warming, which an in-memory engine has no
+analogue of — our series is flat).  SDBT-fixed tracks idIVM closely;
+SDBT-streams is substantially slower.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from conftest import BASE_CONFIG, SYSTEMS, run_devices_point, timing_subject
+
+from repro.bench import format_sweep
+from repro.workloads import DevicesConfig
+
+DIFF_SIZES = (100, 200, 300, 400, 500)
+
+
+@lru_cache(maxsize=1)
+def sweep():
+    points = []
+    for d in DIFF_SIZES:
+        config = DevicesConfig(**{**BASE_CONFIG, "diff_size": d})
+        point = run_devices_point(config)
+        point.parameter = d
+        points.append(point)
+    return points
+
+
+def _print_table():
+    print()
+    print(
+        format_sweep(
+            "Figure 12a — varying diff size d (accesses)",
+            "d",
+            sweep(),
+            systems=("idIVM", "tuple", "SDBT-fixed", "SDBT-streams"),
+            phases=("cache_update", "view_diff", "view_update", "map_update"),
+        )
+    )
+
+
+def _assert_shape():
+    points = sweep()
+    for point in points:
+        ratio = point.speedup()
+        assert 2.0 <= ratio <= 12.0, f"d={point.parameter}: speedup {ratio:.2f}"
+        # SDBT-fixed is at least as cheap as idIVM (no cache writes);
+        # SDBT-streams pays map maintenance on top.
+        assert (
+            point.results["SDBT-fixed"].total_cost
+            <= point.results["idIVM"].total_cost
+        )
+        assert (
+            point.results["SDBT-streams"].total_cost
+            > point.results["idIVM"].total_cost
+        )
+    # Costs grow roughly linearly with d for every system.
+    first, last = points[0], points[-1]
+    for label in ("idIVM", "tuple"):
+        growth = last.results[label].total_cost / first.results[label].total_cost
+        assert 3.0 <= growth <= 7.0, f"{label} growth {growth:.2f} not ~5x"
+
+
+def test_fig12a_id_based(benchmark, timing_config):
+    _print_table()
+    _assert_shape()
+    setup, target = timing_subject(timing_config, SYSTEMS["idIVM"])
+    benchmark.pedantic(target, setup=setup, rounds=3)
+
+
+def test_fig12a_tuple_based(benchmark, timing_config):
+    setup, target = timing_subject(timing_config, SYSTEMS["tuple"])
+    benchmark.pedantic(target, setup=setup, rounds=3)
+
+
+def test_fig12a_sdbt_fixed(benchmark, timing_config):
+    setup, target = timing_subject(timing_config, SYSTEMS["SDBT-fixed"])
+    benchmark.pedantic(target, setup=setup, rounds=3)
+
+
+def test_fig12a_sdbt_streams(benchmark, timing_config):
+    setup, target = timing_subject(timing_config, SYSTEMS["SDBT-streams"])
+    benchmark.pedantic(target, setup=setup, rounds=3)

@@ -1,0 +1,78 @@
+"""Figure 12b: varying the number of joins j ∈ {2..6}.
+
+The view is extended with j−2 vertically-decomposed 1-to-1 joins on
+(did, pid) and the selection is disabled (the paper's construction).
+Paper's finding: ID-based cost is *flat* in j while tuple-based cost
+grows with every extra join, so the speedup rises monotonically
+(1.2 → 3.3) — "arbitrarily high as the complexity of the query
+increases".
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from conftest import BASE_CONFIG, SYSTEMS, run_devices_point, timing_subject
+
+from repro.bench import format_sweep
+from repro.workloads import DevicesConfig
+
+JOIN_COUNTS = (2, 3, 4, 5, 6)
+
+
+@lru_cache(maxsize=1)
+def sweep():
+    points = []
+    for j in JOIN_COUNTS:
+        config = DevicesConfig(
+            **{**BASE_CONFIG, "joins": j, "with_selection": False}
+        )
+        point = run_devices_point(config, systems=("idIVM", "tuple"))
+        point.parameter = j
+        points.append(point)
+    return points
+
+
+def _print_table():
+    print()
+    print(
+        format_sweep(
+            "Figure 12b — varying number of joins j (accesses)",
+            "j",
+            sweep(),
+            systems=("idIVM", "tuple"),
+            phases=("cache_update", "view_diff", "view_update"),
+        )
+    )
+
+
+def _assert_shape():
+    points = sweep()
+    id_costs = [p.results["idIVM"].total_cost for p in points]
+    tuple_costs = [p.results["tuple"].total_cost for p in points]
+    speedups = [p.speedup() for p in points]
+    # ID-based is unaffected by extra joins (within 10%).
+    assert max(id_costs) <= 1.10 * min(id_costs), id_costs
+    # Tuple-based grows with every join.
+    assert all(b > a for a, b in zip(tuple_costs, tuple_costs[1:])), tuple_costs
+    # Hence the speedup increases monotonically and spans a wide range.
+    assert all(b > a for a, b in zip(speedups, speedups[1:])), speedups
+    assert speedups[-1] / speedups[0] >= 2.0, speedups
+
+
+def test_fig12b_id_based(benchmark, timing_config):
+    _print_table()
+    _assert_shape()
+    config = DevicesConfig(
+        n_parts=300, n_devices=300, diff_size=60, joins=4, with_selection=False
+    )
+    setup, target = timing_subject(config, SYSTEMS["idIVM"])
+    benchmark.pedantic(target, setup=setup, rounds=3)
+
+
+def test_fig12b_tuple_based(benchmark, timing_config):
+    config = DevicesConfig(
+        n_parts=300, n_devices=300, diff_size=60, joins=4, with_selection=False
+    )
+    setup, target = timing_subject(config, SYSTEMS["tuple"])
+    benchmark.pedantic(target, setup=setup, rounds=3)

@@ -1,0 +1,67 @@
+"""Figure 12c: varying the selectivity s ∈ {6, 12, 25, 50, 100}%.
+
+Higher selectivity lets more devices tuples into the intermediate cache,
+raising the ID-based approach's cache-update cost.  Paper's finding: the
+speedup falls from 15.9x at 6% to 1.2x at 100%, but never drops below 1
+— "ID-based IVM is at least on par with tuple-based IVM".
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from conftest import BASE_CONFIG, SYSTEMS, run_devices_point, timing_subject
+
+from repro.bench import format_sweep
+from repro.workloads import DevicesConfig
+
+SELECTIVITIES = (0.06, 0.12, 0.25, 0.50, 1.00)
+
+
+@lru_cache(maxsize=1)
+def sweep():
+    points = []
+    for s in SELECTIVITIES:
+        config = DevicesConfig(**{**BASE_CONFIG, "selectivity": s})
+        point = run_devices_point(config, systems=("idIVM", "tuple"))
+        point.parameter = int(s * 100)
+        points.append(point)
+    return points
+
+
+def _print_table():
+    print()
+    print(
+        format_sweep(
+            "Figure 12c — varying selectivity s%% (accesses)",
+            "s%",
+            sweep(),
+            systems=("idIVM", "tuple"),
+            phases=("cache_update", "view_diff", "view_update"),
+        )
+    )
+
+
+def _assert_shape():
+    points = sweep()
+    speedups = [p.speedup() for p in points]
+    # Monotone decline with rising selectivity...
+    assert all(b < a for a, b in zip(speedups, speedups[1:])), speedups
+    # ...never below parity, and with a wide high end at low selectivity.
+    assert speedups[-1] >= 1.0, speedups
+    assert speedups[0] >= 3 * speedups[-1], speedups
+    # The ID-based cache-update cost is what grows with s.
+    cache_costs = [p.results["idIVM"].phase("cache_update") for p in points]
+    assert all(b > a for a, b in zip(cache_costs, cache_costs[1:])), cache_costs
+
+
+def test_fig12c_id_based(benchmark, timing_config):
+    _print_table()
+    _assert_shape()
+    setup, target = timing_subject(timing_config, SYSTEMS["idIVM"])
+    benchmark.pedantic(target, setup=setup, rounds=3)
+
+
+def test_fig12c_tuple_based(benchmark, timing_config):
+    setup, target = timing_subject(timing_config, SYSTEMS["tuple"])
+    benchmark.pedantic(target, setup=setup, rounds=3)

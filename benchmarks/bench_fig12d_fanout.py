@@ -1,0 +1,65 @@
+"""Figure 12d: varying the fanout f ∈ {5..25} of (parts, devices_parts).
+
+Paper's finding: ID-based IVM beats tuple-based by a steady 4–5x across
+the whole fanout range (both costs scale with f, so the ratio is flat,
+with a mild decline as the shared view-update component grows).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from conftest import BASE_CONFIG, SYSTEMS, run_devices_point, timing_subject
+
+from repro.bench import format_sweep
+from repro.workloads import DevicesConfig
+
+FANOUTS = (5, 10, 15, 20, 25)
+
+
+@lru_cache(maxsize=1)
+def sweep():
+    points = []
+    for f in FANOUTS:
+        config = DevicesConfig(**{**BASE_CONFIG, "fanout": f})
+        point = run_devices_point(config, systems=("idIVM", "tuple"))
+        point.parameter = f
+        points.append(point)
+    return points
+
+
+def _print_table():
+    print()
+    print(
+        format_sweep(
+            "Figure 12d — varying fanout f (accesses)",
+            "f",
+            sweep(),
+            systems=("idIVM", "tuple"),
+            phases=("cache_update", "view_diff", "view_update"),
+        )
+    )
+
+
+def _assert_shape():
+    points = sweep()
+    speedups = [p.speedup() for p in points]
+    # The band is steady: every point within 2.5-8x, max/min ratio small.
+    assert all(2.5 <= s <= 8.0 for s in speedups), speedups
+    assert max(speedups) / min(speedups) <= 1.8, speedups
+    # Both systems' absolute costs grow with the fanout.
+    for label in ("idIVM", "tuple"):
+        costs = [p.results[label].total_cost for p in points]
+        assert all(b > a for a, b in zip(costs, costs[1:])), (label, costs)
+
+
+def test_fig12d_id_based(benchmark, timing_config):
+    _print_table()
+    _assert_shape()
+    setup, target = timing_subject(timing_config, SYSTEMS["idIVM"])
+    benchmark.pedantic(target, setup=setup, rounds=3)
+
+
+def test_fig12d_tuple_based(benchmark, timing_config):
+    setup, target = timing_subject(timing_config, SYSTEMS["tuple"])
+    benchmark.pedantic(target, setup=setup, rounds=3)

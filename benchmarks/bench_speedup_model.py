@@ -1,0 +1,96 @@
+"""Section 6 equations 1–2: predicted vs measured speedups.
+
+Sweeps the fanout (which drives both a and p) on the SPJ view and the
+aggregate view, and checks the analytical speedup formulas against the
+observed access-count ratios.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from conftest import SYSTEMS
+
+from repro.bench import format_table, run_system
+from repro.costmodel import agg_update_speedup, spj_update_speedup
+from repro.workloads import (
+    DevicesConfig,
+    apply_price_updates,
+    build_aggregate_view,
+    build_devices_database,
+    build_flat_view,
+)
+
+FANOUTS = (5, 10, 20)
+D = 100
+
+
+def _run(config, build_view):
+    out = {}
+    for label in ("idIVM", "tuple"):
+        out[label] = run_system(
+            label,
+            db_factory=lambda: build_devices_database(config),
+            make_engine=SYSTEMS[label],
+            build_view=lambda db: build_view(db, config),
+            log_modifications=lambda engine, db: apply_price_updates(
+                engine, db, config
+            ),
+        )
+    return out
+
+
+@lru_cache(maxsize=1)
+def spj_points():
+    rows = []
+    for f in FANOUTS:
+        config = DevicesConfig(
+            n_parts=600, n_devices=600, diff_size=D, fanout=f
+        )
+        results = _run(config, build_flat_view)
+        p = results["idIVM"].writes / D
+        a = results["tuple"].phase("view_diff") / D
+        predicted = spj_update_speedup(a, p)
+        observed = results["tuple"].total_cost / results["idIVM"].total_cost
+        rows.append((f, round(a, 2), round(p, 2), predicted, observed))
+    return rows
+
+
+@lru_cache(maxsize=1)
+def agg_points():
+    rows = []
+    for f in FANOUTS:
+        config = DevicesConfig(
+            n_parts=600, n_devices=600, diff_size=D, fanout=f
+        )
+        results = _run(config, build_aggregate_view)
+        id_result = results["idIVM"]
+        p = (id_result.phase("cache_update") - D) / D
+        pg = id_result.phase("view_update") / 2 / D
+        g = pg / p if p else 1.0
+        a = results["tuple"].phase("view_diff") / D
+        predicted = agg_update_speedup(a, p, g)
+        observed = results["tuple"].total_cost / id_result.total_cost
+        rows.append((f, round(a, 2), round(p, 2), predicted, observed))
+    return rows
+
+
+def test_speedup_model_spj(benchmark):
+    rows = spj_points()
+    print()
+    print("== Equation 1 (SPJ): predicted vs measured speedup ==")
+    print(format_table(("f", "a", "p", "predicted", "measured"), rows))
+    for f, a, p, predicted, observed in rows:
+        assert abs(predicted - observed) / observed < 0.05, (f, predicted, observed)
+    benchmark.pedantic(spj_points, rounds=1, iterations=1)
+
+
+def test_speedup_model_agg(benchmark):
+    rows = agg_points()
+    print()
+    print("== Equation 2 (aggregate): predicted vs measured speedup ==")
+    print(format_table(("f", "a", "p", "predicted", "measured"), rows))
+    for f, a, p, predicted, observed in rows:
+        assert abs(predicted - observed) / observed < 0.05, (f, predicted, observed)
+        assert observed >= 1.0  # Section 6.2: tuple-based can never win here
+    benchmark.pedantic(agg_points, rounds=1, iterations=1)

@@ -1,0 +1,84 @@
+"""Table 2: the access-count cost model for SPJ views.
+
+For update diffs on non-conditional attributes the paper predicts:
+
+* ID-based:     |Du| view index lookups + |Du|·p view tuple accesses
+  (zero diff-computation accesses — the i-diff passes straight through);
+* tuple-based:  |Du|·a diff computation + |Du|·p lookups + |Du|·p accesses.
+
+This bench runs the flat view V of the running example and checks the
+measured phase counts against those closed forms exactly.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from conftest import SYSTEMS
+
+from repro.bench import format_table, run_system
+from repro.workloads import (
+    DevicesConfig,
+    apply_price_updates,
+    build_devices_database,
+    build_flat_view,
+)
+
+CONFIG = DevicesConfig(n_parts=800, n_devices=800, diff_size=100)
+
+
+@lru_cache(maxsize=1)
+def measurements():
+    out = {}
+    for label in ("idIVM", "tuple"):
+        out[label] = run_system(
+            label,
+            db_factory=lambda: build_devices_database(CONFIG),
+            make_engine=SYSTEMS[label],
+            build_view=lambda db: build_flat_view(db, CONFIG),
+            log_modifications=lambda engine, db: apply_price_updates(
+                engine, db, CONFIG
+            ),
+        )
+    return out
+
+
+def _view_rows_touched() -> int:
+    """|DuV| = the number of view rows the diff actually touches."""
+    return measurements()["idIVM"].writes
+
+
+def test_table2_costs(benchmark):
+    results = measurements()
+    d = CONFIG.diff_size
+    touched = _view_rows_touched()
+    id_result = results["idIVM"]
+    tuple_result = results["tuple"]
+
+    rows = [
+        ("ID-based", "diff computation", 0, id_result.phase("view_diff")),
+        ("ID-based", "view index lookups", d, id_result.lookups),
+        ("ID-based", "view tuple accesses", touched, id_result.writes),
+        ("tuple", "view modification", 2 * touched,
+         tuple_result.phase("view_update")),
+    ]
+    print()
+    print("== Table 2 — SPJ view costs: model vs measured ==")
+    print(format_table(("system", "component", "model", "measured"), rows))
+
+    # ID-based: zero diff computation; exactly |Du| lookups + p·|Du| writes.
+    assert id_result.phase("view_diff") == 0
+    assert id_result.lookups == d
+    assert id_result.total_cost == d + touched
+    # tuple-based: view modification is |DuV| lookups + |DuV| accesses;
+    # diff computation costs a > 1 accesses per base diff tuple.
+    assert tuple_result.phase("view_update") == 2 * touched
+    a = tuple_result.phase("view_diff") / d
+    assert a > 1.0, a
+    # The observed speedup matches Equation 1 within a small tolerance.
+    p = touched / d
+    predicted = (a + 2 * p) / (1 + p)
+    observed = tuple_result.total_cost / id_result.total_cost
+    assert abs(predicted - observed) / observed < 0.05, (predicted, observed)
+
+    benchmark.pedantic(measurements, rounds=1, iterations=1)

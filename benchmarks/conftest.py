@@ -1,0 +1,83 @@
+"""Shared machinery for the paper-reproduction benchmarks.
+
+Each ``bench_*`` module regenerates one of the paper's tables/figures:
+it computes the full access-count sweep once (cached per session),
+prints the paper-style table, asserts the qualitative findings hold, and
+measures wall time with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import pytest
+
+from repro.baselines import SdbtEngine, TupleIvmEngine
+from repro.bench import SweepPoint, SystemResult, run_system
+from repro.core import IdIvmEngine
+from repro.workloads import (
+    DevicesConfig,
+    apply_price_updates,
+    build_aggregate_view,
+    build_devices_database,
+)
+
+#: Figure 12 experiments: scaled-down defaults preserving the paper's
+#: ratios (parts : devices : devices_parts = 1 : 1 : 10, d=200, s=20%,
+#: f=10, j=2 — Figure 11b).
+BASE_CONFIG = dict(n_parts=1_000, n_devices=1_000, diff_size=200)
+
+SYSTEMS: dict[str, Callable] = {
+    "idIVM": IdIvmEngine,
+    "tuple": TupleIvmEngine,
+    "SDBT-fixed": lambda db: SdbtEngine(db, streamed_tables=["parts"]),
+    "SDBT-streams": SdbtEngine,
+}
+
+
+def run_devices_point(
+    config: DevicesConfig,
+    systems: Sequence[str] = ("idIVM", "tuple", "SDBT-fixed", "SDBT-streams"),
+) -> SweepPoint:
+    """One Figure 12 measurement: the aggregate view V' under d price
+    updates, for every requested system."""
+    results: dict[str, SystemResult] = {}
+    for label in systems:
+        results[label] = run_system(
+            label,
+            db_factory=lambda: build_devices_database(config),
+            make_engine=SYSTEMS[label],
+            build_view=lambda db: build_aggregate_view(db, config),
+            log_modifications=lambda engine, db: apply_price_updates(
+                engine, db, config
+            ),
+        )
+        assert results[label].correct, f"{label} produced a wrong view"
+    return SweepPoint(parameter=None, results=results)
+
+
+def timing_subject(config: DevicesConfig, engine_factory: Callable):
+    """Setup/target pair for benchmark.pedantic: a fresh engine + logged
+    batch per round, timing only the maintenance call."""
+
+    def setup():
+        db = build_devices_database(config)
+        engine = engine_factory(db)
+        engine.define_view("V", build_aggregate_view(db, config))
+        apply_price_updates(engine, db, config)
+        return (engine,), {}
+
+    def target(engine):
+        engine.maintain()
+
+    return setup, target
+
+
+#: Smaller configuration for the wall-clock measurements so that
+#: pytest-benchmark's repeated rounds stay quick.
+TIMING_CONFIG = DevicesConfig(n_parts=300, n_devices=300, diff_size=60)
+
+
+@pytest.fixture(scope="session")
+def timing_config() -> DevicesConfig:
+    return TIMING_CONFIG

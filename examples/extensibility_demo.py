@@ -1,0 +1,93 @@
+"""Extensibility demo: the semijoin operator, end to end.
+
+The paper's modularity claim (Section 4) is that supporting a new
+relational operator only takes an ID-inference rule plus a propagation
+rule module.  This repository added the semijoin ⋉ that way after the
+core was complete (docs/EXTENDING.md documents the recipe); this script
+shows the result: a semijoin view defined, explained, and incrementally
+maintained like any built-in operator.
+
+Run with:  python examples/extensibility_demo.py
+"""
+
+from repro import query
+from repro.algebra import SemiJoin, evaluate_plan, explain_plan, rename, scan
+from repro.core import IdIvmEngine
+from repro.expr import col
+from repro.storage import Database
+
+
+def build_database() -> Database:
+    db = Database()
+    db.create_table("products", ("sku", "name", "price"), ("sku",))
+    db.create_table("orders", ("oid", "o_sku", "qty"), ("oid",))
+    db.table("products").load(
+        [
+            ("A1", "amplifier", 120),
+            ("B2", "breadboard", 8),
+            ("C3", "capacitor kit", 15),
+            ("D4", "dev board", 45),
+        ]
+    )
+    db.table("orders").load([(1, "A1", 1), (2, "C3", 3), (3, "C3", 1)])
+    return db
+
+
+def main() -> None:
+    db = build_database()
+    engine = IdIvmEngine(db)
+
+    # Products with at least one order — a semijoin view.
+    plan = SemiJoin(
+        scan(db, "products"),
+        rename(scan(db, "orders"), {"oid": "o_oid"}),
+        col("sku").eq(col("o_sku")),
+    )
+    view = engine.define_view("selling_products", plan)
+
+    print("The annotated plan (⋉ carries ID(L), like the antisemijoin):")
+    print(explain_plan(view.plan))
+    print()
+    print("Initial view:")
+    print(query(db, "SELECT * FROM products").pretty())
+    print()
+    print("selling_products:")
+    print(_table(view))
+    print()
+
+    print(">>> a first order arrives for the dev board ...")
+    engine.log.insert("orders", (4, "D4", 2))
+    report = engine.maintain()["selling_products"]
+    print(_table(view))
+    print(f"(maintained with {report.total_cost} accesses)")
+    print()
+
+    print(">>> the capacitor kit's orders are cancelled ...")
+    engine.log.delete("orders", (2,))
+    engine.log.delete("orders", (3,))
+    engine.maintain()
+    print(_table(view))
+    print()
+
+    print(">>> and the amplifier gets a price cut (pure pass-through) ...")
+    engine.log.update("products", ("A1",), {"price": 99})
+    report = engine.maintain()["selling_products"]
+    print(_table(view))
+    print(
+        f"(maintained with {report.total_cost} accesses — "
+        f"no base table was consulted)"
+    )
+
+    expected = evaluate_plan(view.plan, db).as_set()
+    assert view.table.as_set() == expected
+    print("\nView verified against full recomputation.")
+
+
+def _table(view) -> str:
+    from repro.algebra import Relation
+
+    return Relation(view.table.schema.columns, view.table.rows_uncounted()).pretty()
+
+
+if __name__ == "__main__":
+    main()

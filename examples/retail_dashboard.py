@@ -1,0 +1,152 @@
+"""Retail dashboard: a richer IVM scenario exercising the full QSPJADU
+operator set — avg/count aggregates, union all, antisemijoin — under a
+mixed insert/update/delete order stream.
+
+Views maintained:
+
+* ``category_stats``  — per-category revenue, order count and average
+  price (sum/count/avg with operator caches, Table 12);
+* ``alerts``          — union of big orders and premium-product orders
+  (union all with the branch attribute);
+* ``idle_products``   — products with no orders at all (antisemijoin).
+
+Run with:  python examples/retail_dashboard.py
+"""
+
+import random
+
+from repro.algebra import (
+    AntiJoin,
+    UnionAll,
+    equi_join,
+    group_by,
+    project_columns,
+    rename,
+    scan,
+    where,
+)
+from repro.algebra.evaluate import evaluate_plan
+from repro.core import IdIvmEngine
+from repro.expr import col, lit
+from repro.storage import Database
+
+SEED = 11
+
+
+def build_database() -> Database:
+    rng = random.Random(SEED)
+    db = Database()
+    db.create_table("products", ("sku", "category", "price"), ("sku",))
+    db.create_table("orders", ("oid", "sku", "qty"), ("oid",))
+    categories = ("audio", "video", "home", "wearables")
+    db.table("products").load(
+        (f"S{i}", categories[i % len(categories)], rng.randint(5, 200))
+        for i in range(120)
+    )
+    db.table("orders").load(
+        (i, f"S{rng.randrange(100)}", rng.randint(1, 5)) for i in range(400)
+    )
+    db.add_foreign_key("orders", ("sku",), "products")
+    return db
+
+
+def category_stats(db: Database):
+    products = rename(scan(db, "products"), {"sku": "p_sku"})
+    joined = equi_join(scan(db, "orders"), products, [("sku", "p_sku")])
+    priced = project_columns(
+        joined, ("oid", "sku", "qty", "category", "price")
+    )
+    from repro.algebra import Project
+
+    with_revenue = Project(
+        priced,
+        [
+            ("oid", col("oid")),
+            ("sku", col("sku")),
+            ("category", col("category")),
+            ("price", col("price")),
+            ("revenue", col("price") * col("qty")),
+        ],
+    )
+    return group_by(
+        with_revenue,
+        ("category",),
+        [
+            ("sum", col("revenue"), "revenue"),
+            ("count", None, "n_orders"),
+            ("avg", col("price"), "avg_price"),
+        ],
+    )
+
+
+def alerts(db: Database):
+    products = rename(scan(db, "products"), {"sku": "p_sku"})
+    joined = project_columns(
+        equi_join(scan(db, "orders"), products, [("sku", "p_sku")]),
+        ("oid", "sku", "qty", "price"),
+    )
+    big_orders = where(joined, col("qty").ge(lit(4)))
+    premium = where(joined, col("price").ge(lit(150)))
+    return UnionAll(big_orders, premium)
+
+
+def idle_products(db: Database):
+    orders = rename(scan(db, "orders"), {"sku": "o_sku", "oid": "o_oid", "qty": "o_qty"})
+    return AntiJoin(scan(db, "products"), orders, col("sku").eq(col("o_sku")))
+
+
+def main() -> None:
+    db = build_database()
+    engine = IdIvmEngine(db)
+    views = {
+        "category_stats": engine.define_view("category_stats", category_stats(db)),
+        "alerts": engine.define_view("alerts", alerts(db)),
+        "idle_products": engine.define_view("idle_products", idle_products(db)),
+    }
+    print("Initial category stats:")
+    for row in sorted(views["category_stats"].table.as_set()):
+        category, revenue, n, avg_price = row
+        print(f"  {category:10s} revenue={revenue:6d} orders={n:3d} avg={avg_price:7.2f}")
+    print(f"idle products: {len(views['idle_products'].table)}")
+    print()
+
+    rng = random.Random(SEED + 1)
+    next_oid = 400
+    for day in range(1, 4):
+        # A day of trading: new orders, price changes, cancellations.
+        for _ in range(30):
+            engine.log.insert(
+                "orders", (next_oid, f"S{rng.randrange(120)}", rng.randint(1, 5))
+            )
+            next_oid += 1
+        for _ in range(10):
+            sku = f"S{rng.randrange(120)}"
+            row = db.table("products").get_uncounted((sku,))
+            engine.log.update(
+                "products", (sku,), {"price": max(5, row[2] + rng.randint(-20, 20))}
+            )
+        live_orders = [r[0] for r in db.table("orders").rows_uncounted()]
+        for oid in rng.sample(live_orders, 5):
+            engine.log.delete("orders", (oid,))
+
+        reports = engine.maintain()
+        total = sum(r.total_cost for r in reports.values())
+        print(f"day {day}: maintained 3 views with {total} accesses")
+
+    print()
+    print("Final category stats:")
+    for row in sorted(views["category_stats"].table.as_set()):
+        category, revenue, n, avg_price = row
+        print(f"  {category:10s} revenue={revenue:6d} orders={n:3d} avg={avg_price:7.2f}")
+    print(f"alerts: {len(views['alerts'].table)} rows")
+    print(f"idle products: {len(views['idle_products'].table)}")
+
+    # Verify everything against recomputation.
+    for name, view in views.items():
+        expected = evaluate_plan(view.plan, db).as_set()
+        assert view.table.as_set() == expected, f"{name} diverged!"
+    print("\nAll views verified against full recomputation.")
+
+
+if __name__ == "__main__":
+    main()

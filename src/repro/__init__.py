@@ -1,0 +1,48 @@
+"""idIVM — ID-based Incremental View Maintenance.
+
+Reproduction of "Utilizing IDs to Accelerate Incremental View Maintenance"
+(Katsis, Ong, Papakonstantinou, Zhao — SIGMOD 2015).
+
+Typical usage::
+
+    from repro import Database, IdIvmEngine, sql_to_plan
+
+    db = Database()
+    db.create_table("parts", ("pid", "price"), key=("pid",))
+    ...
+    engine = IdIvmEngine(db)
+    view = engine.define_view("V", sql_to_plan(db, "SELECT ..."))
+    engine.log.update("parts", ("P1",), {"price": 11})
+    engine.maintain()
+
+Subpackage map:
+
+* :mod:`repro.storage` — instrumented storage substrate.
+* :mod:`repro.algebra` — QSPJADU view-definition plans.
+* :mod:`repro.sql` — SQL subset front-end.
+* :mod:`repro.core` — the ID-based IVM engine (the paper's contribution).
+* :mod:`repro.baselines` — tuple-based IVM, recomputation, SDBT.
+* :mod:`repro.costmodel` — the Section 6 analytical speedup model.
+* :mod:`repro.workloads` — devices and BSMA-like benchmark workloads.
+* :mod:`repro.bench` — benchmark harness and reporting.
+"""
+
+from .baselines import RecomputeEngine, SdbtEngine, TupleIvmEngine
+from .core import EagerIvmEngine, IdIvmEngine
+from .query import query
+from .sql import sql_to_plan
+from .storage import Database
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "EagerIvmEngine",
+    "IdIvmEngine",
+    "RecomputeEngine",
+    "SdbtEngine",
+    "TupleIvmEngine",
+    "query",
+    "sql_to_plan",
+    "__version__",
+]

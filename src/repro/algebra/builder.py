@@ -1,0 +1,100 @@
+"""Convenience constructors for algebra plans.
+
+These helpers take care of the renaming discipline the raw nodes require
+(joins demand disjoint column names) and provide the SQL-flavoured
+operations — natural join, difference — as compositions of the core
+QSPJADU operators.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import PlanError
+from ..expr import Expr, all_of, col
+from ..storage import Database
+from .plan import AggSpec, AntiJoin, GroupBy, Join, PlanNode, Project, Scan, Select
+
+
+def scan(db: Database, table: str, alias: str | None = None) -> PlanNode:
+    """Scan of a base table; *alias* prefixes columns as ``alias_column``.
+
+    Aliasing is needed for self-joins (each alias gets its own scan
+    operator; paper Section 4, footnote 5).
+    """
+    node: PlanNode = Scan(db.table(table).schema, alias=alias)
+    if alias is not None and alias != table:
+        items = [(f"{alias}_{c}", col(c)) for c in node.columns]
+        node = Project(node, items)
+    return node
+
+
+def rename(node: PlanNode, mapping: dict[str, str]) -> Project:
+    """Project that renames columns per *mapping*, passing others through."""
+    items = [(mapping.get(c, c), col(c)) for c in node.columns]
+    return Project(node, items)
+
+
+def project_columns(node: PlanNode, columns: Sequence[str]) -> Project:
+    """Plain projection onto *columns* (bare passthrough)."""
+    return Project(node, [(c, col(c)) for c in columns])
+
+
+def natural_join(left: PlanNode, right: PlanNode) -> PlanNode:
+    """Join on all shared column names, keeping a single copy of each.
+
+    Implemented as rename-join-project over the core operators, exactly how
+    a planner would lower SQL's NATURAL JOIN.
+    """
+    shared = [c for c in left.columns if c in set(right.columns)]
+    if not shared:
+        raise PlanError(
+            f"natural join has no shared columns between {left.columns} "
+            f"and {right.columns}"
+        )
+    mapping = {c: f"__rhs_{c}" for c in shared}
+    renamed_right = rename(right, mapping)
+    condition = all_of(*[col(c).eq(col(mapping[c])) for c in shared])
+    joined = Join(left, renamed_right, condition)
+    keep = list(left.columns) + [c for c in right.columns if c not in set(shared)]
+    return project_columns(joined, keep)
+
+
+def equi_join(
+    left: PlanNode, right: PlanNode, on: Sequence[tuple[str, str]]
+) -> Join:
+    """Join on explicit (left_column, right_column) equality pairs."""
+    condition = all_of(*[col(a).eq(col(b)) for a, b in on])
+    return Join(left, right, condition)
+
+
+def difference(left: PlanNode, right: PlanNode) -> AntiJoin:
+    """Bag-set difference ``left EXCEPT right`` via antisemijoin.
+
+    Both inputs must have identical column tuples (the paper: difference is
+    a special case of antisemijoin, footnote 1).
+    """
+    if left.columns != right.columns:
+        raise PlanError(
+            f"difference requires identical schemas: {left.columns} vs {right.columns}"
+        )
+    mapping = {c: f"__rhs_{c}" for c in right.columns}
+    renamed = rename(right, mapping)
+    condition = all_of(*[col(c).eq(col(mapping[c])) for c in left.columns])
+    return AntiJoin(left, renamed, condition)
+
+
+def where(node: PlanNode, predicate: Expr) -> Select:
+    return Select(node, predicate)
+
+
+def group_by(
+    node: PlanNode,
+    keys: Sequence[str],
+    aggs: Sequence[tuple[str, Expr | None, str]] | Sequence[AggSpec],
+) -> GroupBy:
+    """Grouping; *aggs* items are AggSpec or (func, arg, name) triples."""
+    specs = [
+        a if isinstance(a, AggSpec) else AggSpec(a[0], a[1], a[2]) for a in aggs
+    ]
+    return GroupBy(node, tuple(keys), tuple(specs))

@@ -1,0 +1,362 @@
+"""Index-driven ("diff-driven loop") evaluation of plan fragments.
+
+When an i-diff propagation rule joins a diff with a subview
+(``Input_post ⋉Ī ∆``), a real DBMS runs a diff-driven loop plan: for every
+diff tuple, probe base-table indexes and read only the matching rows
+(paper Section 6 / Appendix A — this is what the cost parameter *a*
+measures).  :func:`fetch` implements exactly that: it pushes a set of key
+*bindings* down the plan, turning scans into index lookups, and only falls
+back to counted full scans when no binding can be pushed.
+
+A node that has a materialized cache (or is the view itself) is read from
+its cache table instead of being recomputed — that is how intermediate
+caches cut base-table accesses (paper Section 4).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from ..errors import PlanError
+from ..expr import equi_join_pairs, evaluate as eval_expr, matches
+from ..expr.ast import Col
+from ..storage import Database, Table
+from .evaluate import aggregate_rows, project_rows
+from .plan import (
+    AntiJoin,
+    GroupBy,
+    Join,
+    PlanNode,
+    Project,
+    Scan,
+    SemiJoin,
+    Select,
+    UnionAll,
+)
+from .relation import Relation
+
+
+class Bindings:
+    """A set of distinct value tuples for a tuple of attributes."""
+
+    __slots__ = ("attrs", "values")
+
+    def __init__(self, attrs: Sequence[str], values: Sequence[tuple]):
+        self.attrs = tuple(attrs)
+        # Deduplicate while preserving order (deterministic costs).
+        seen: set[tuple] = set()
+        vals: list[tuple] = []
+        for v in values:
+            v = tuple(v)
+            if v not in seen:
+                seen.add(v)
+                vals.append(v)
+        self.values = vals
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def is_empty(self) -> bool:
+        return not self.values
+
+    def project(self, attrs: Sequence[str]) -> "Bindings":
+        """Bindings narrowed to a subset of the attributes."""
+        idx = [self.attrs.index(a) for a in attrs]
+        return Bindings(attrs, [tuple(v[i] for i in idx) for v in self.values])
+
+    def value_set(self) -> frozenset[tuple]:
+        return frozenset(self.values)
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return f"Bindings({self.attrs}, {len(self.values)} values)"
+
+
+CacheMap = Mapping[int, Table]
+
+
+def fetch(
+    node: PlanNode,
+    db: Database,
+    bindings: Optional[Bindings] = None,
+    caches: Optional[CacheMap] = None,
+) -> Relation:
+    """Rows of the subview at *node* matching *bindings* (all rows if None).
+
+    Reads from *caches* (node_id -> materialized table) when available,
+    otherwise recomputes through indexes on the base tables of *db*.
+    """
+    if bindings is not None:
+        unknown = set(bindings.attrs) - set(node.columns)
+        if unknown:
+            raise PlanError(
+                f"bindings reference columns {sorted(unknown)} not produced "
+                f"by {node.label()}"
+            )
+        if bindings.is_empty():
+            return Relation(node.columns, [])
+    cached = caches.get(node.node_id) if caches else None
+    if cached is not None:
+        return _fetch_from_table(cached, node.columns, bindings)
+    if isinstance(node, Scan):
+        return _fetch_from_table(db.table(node.table), node.columns, bindings)
+    if isinstance(node, Select):
+        child = fetch(node.child, db, bindings, caches)
+        pos = child.positions
+        return Relation(
+            node.columns, [r for r in child.rows if matches(node.predicate, pos, r)]
+        )
+    if isinstance(node, Project):
+        return _fetch_project(node, db, bindings, caches)
+    if isinstance(node, Join):
+        return _fetch_join(node, db, bindings, caches)
+    if isinstance(node, AntiJoin):
+        return _fetch_semi_like(node, db, bindings, caches, negated=True)
+    if isinstance(node, SemiJoin):
+        return _fetch_semi_like(node, db, bindings, caches, negated=False)
+    if isinstance(node, UnionAll):
+        return _fetch_union(node, db, bindings, caches)
+    if isinstance(node, GroupBy):
+        return _fetch_groupby(node, db, bindings, caches)
+    raise PlanError(f"cannot fetch from plan node {node!r}")
+
+
+def _fetch_from_table(
+    table: Table, columns: tuple[str, ...], bindings: Optional[Bindings]
+) -> Relation:
+    """Counted reads from a stored table (base table, cache, or view)."""
+    reorder = tuple(columns) != table.schema.columns
+    if bindings is None:
+        rows = list(table.scan())
+    else:
+        rows = []
+        for value in bindings.values:
+            rows.extend(table.lookup(bindings.attrs, value))
+    if reorder:
+        idx = table.schema.positions(columns)
+        rows = [tuple(r[i] for i in idx) for r in rows]
+    return Relation(columns, rows)
+
+
+def _filter_by_bindings(rel: Relation, bindings: Bindings) -> Relation:
+    idx = [rel.position(a) for a in bindings.attrs]
+    allowed = bindings.value_set()
+    return Relation(
+        rel.columns, [r for r in rel.rows if tuple(r[i] for i in idx) in allowed]
+    )
+
+
+def _fetch_project(
+    node: Project, db: Database, bindings: Optional[Bindings], caches: Optional[CacheMap]
+) -> Relation:
+    exprs = [e for _, e in node.items]
+    if bindings is None:
+        child = fetch(node.child, db, None, caches)
+    else:
+        # Push bindings down only when every bound attribute is a bare
+        # column passthrough; otherwise fetch-all and filter (counted).
+        passthrough: dict[str, str] = {
+            name: expr.name for name, expr in node.items if isinstance(expr, Col)
+        }
+        if all(a in passthrough for a in bindings.attrs):
+            child_attrs = tuple(passthrough[a] for a in bindings.attrs)
+            child = fetch(node.child, db, Bindings(child_attrs, bindings.values), caches)
+        else:
+            child = fetch(node.child, db, None, caches)
+            return _filter_by_bindings(project_rows(node, child), bindings)
+    return project_rows(node, child)
+
+
+def _fetch_join(
+    node: Join, db: Database, bindings: Optional[Bindings], caches: Optional[CacheMap]
+) -> Relation:
+    if bindings is None:
+        left = fetch(node.left, db, None, caches)
+        return _probe_and_combine(left, node, db, caches, final_bindings=None)
+    left_cols = set(node.left.columns)
+    right_cols = set(node.right.columns)
+    attrs_left = tuple(a for a in bindings.attrs if a in left_cols)
+    attrs_right = tuple(a for a in bindings.attrs if a in right_cols)
+    unknown = set(bindings.attrs) - left_cols - right_cols
+    if unknown:
+        raise PlanError(f"bindings on unknown join columns {sorted(unknown)}")
+    if attrs_left:
+        left = fetch(node.left, db, bindings.project(attrs_left), caches)
+        final = bindings if attrs_right else None
+        return _probe_and_combine(left, node, db, caches, final_bindings=final)
+    # Bindings touch only the right side: drive from the right.
+    right = fetch(node.right, db, bindings.project(attrs_right), caches)
+    return _probe_and_combine_reversed(right, node, db, caches)
+
+
+def _probe_and_combine(
+    left: Relation,
+    node: Join,
+    db: Database,
+    caches: Optional[CacheMap],
+    final_bindings: Optional[Bindings],
+) -> Relation:
+    """Probe the right child for each left row (batched by probe value)."""
+    out_columns = node.columns
+    out_positions = {c: i for i, c in enumerate(out_columns)}
+    if node.condition is None:
+        right = fetch(node.right, db, None, caches)
+        rows = [lr + rr for lr in left.rows for rr in right.rows]
+        result = Relation(out_columns, rows)
+        return _filter_by_bindings(result, final_bindings) if final_bindings else result
+    pairs, residual = equi_join_pairs(
+        node.condition, node.left.columns, node.right.columns
+    )
+    rows: list[tuple] = []
+    if pairs:
+        lpos = [left.position(a) for a, _ in pairs]
+        right_attrs = tuple(b for _, b in pairs)
+        probe_values = [tuple(lr[i] for i in lpos) for lr in left.rows]
+        right = fetch(node.right, db, Bindings(right_attrs, probe_values), caches)
+        rpos = [right.position(b) for b in right_attrs]
+        buckets: dict[tuple, list[tuple]] = {}
+        for rr in right.rows:
+            buckets.setdefault(tuple(rr[i] for i in rpos), []).append(rr)
+        for lr, probe in zip(left.rows, probe_values):
+            for rr in buckets.get(probe, ()):
+                combined = lr + rr
+                if matches(residual, out_positions, combined):
+                    rows.append(combined)
+    else:
+        right = fetch(node.right, db, None, caches)
+        for lr in left.rows:
+            for rr in right.rows:
+                combined = lr + rr
+                if matches(node.condition, out_positions, combined):
+                    rows.append(combined)
+    result = Relation(out_columns, rows)
+    return _filter_by_bindings(result, final_bindings) if final_bindings else result
+
+
+def _probe_and_combine_reversed(
+    right: Relation, node: Join, db: Database, caches: Optional[CacheMap]
+) -> Relation:
+    """Drive the join from the right child (bindings bound only there)."""
+    out_columns = node.columns
+    out_positions = {c: i for i, c in enumerate(out_columns)}
+    if node.condition is None:
+        left = fetch(node.left, db, None, caches)
+        return Relation(out_columns, [lr + rr for lr in left.rows for rr in right.rows])
+    pairs, residual = equi_join_pairs(
+        node.condition, node.left.columns, node.right.columns
+    )
+    rows: list[tuple] = []
+    if pairs:
+        rpos = [right.position(b) for _, b in pairs]
+        left_attrs = tuple(a for a, _ in pairs)
+        probe_values = [tuple(rr[i] for i in rpos) for rr in right.rows]
+        left = fetch(node.left, db, Bindings(left_attrs, probe_values), caches)
+        lpos = [left.position(a) for a in left_attrs]
+        buckets: dict[tuple, list[tuple]] = {}
+        for lr in left.rows:
+            buckets.setdefault(tuple(lr[i] for i in lpos), []).append(lr)
+        for rr, probe in zip(right.rows, probe_values):
+            for lr in buckets.get(probe, ()):
+                combined = lr + rr
+                if matches(residual, out_positions, combined):
+                    rows.append(combined)
+    else:
+        left = fetch(node.left, db, None, caches)
+        for lr in left.rows:
+            for rr in right.rows:
+                combined = lr + rr
+                if matches(node.condition, out_positions, combined):
+                    rows.append(combined)
+    return Relation(out_columns, rows)
+
+
+def _fetch_semi_like(
+    node,
+    db: Database,
+    bindings: Optional[Bindings],
+    caches: Optional[CacheMap],
+    negated: bool,
+) -> Relation:
+    left_bindings = None
+    if bindings is not None:
+        unknown = set(bindings.attrs) - set(node.left.columns)
+        if unknown:
+            raise PlanError(f"bindings on unknown (anti)semijoin columns {sorted(unknown)}")
+        left_bindings = bindings
+    left = fetch(node.left, db, left_bindings, caches)
+    pairs, residual = equi_join_pairs(
+        node.condition, node.left.columns, node.right.columns
+    )
+    combined_positions = {
+        c: i for i, c in enumerate(node.left.columns + node.right.columns)
+    }
+    rows: list[tuple] = []
+    if pairs:
+        lpos = [left.position(a) for a, _ in pairs]
+        right_attrs = tuple(b for _, b in pairs)
+        probe_values = [tuple(lr[i] for i in lpos) for lr in left.rows]
+        right = fetch(node.right, db, Bindings(right_attrs, probe_values), caches)
+        rpos = [right.position(b) for b in right_attrs]
+        buckets: dict[tuple, list[tuple]] = {}
+        for rr in right.rows:
+            buckets.setdefault(tuple(rr[i] for i in rpos), []).append(rr)
+        for lr, probe in zip(left.rows, probe_values):
+            candidates = buckets.get(probe, ())
+            matched = any(
+                matches(residual, combined_positions, lr + rr) for rr in candidates
+            )
+            if matched != negated:
+                rows.append(lr)
+    else:
+        right = fetch(node.right, db, None, caches)
+        for lr in left.rows:
+            matched = any(
+                matches(node.condition, combined_positions, lr + rr)
+                for rr in right.rows
+            )
+            if matched != negated:
+                rows.append(lr)
+    return Relation(node.columns, rows)
+
+
+def _fetch_union(
+    node: UnionAll, db: Database, bindings: Optional[Bindings], caches: Optional[CacheMap]
+) -> Relation:
+    branch = node.branch_column
+    if bindings is None or branch not in bindings.attrs:
+        left = fetch(node.left, db, bindings, caches)
+        right = fetch(node.right, db, bindings, caches)
+        rows = [r + (0,) for r in left.rows]
+        rows.extend(r + (1,) for r in right.rows)
+        return Relation(node.columns, rows)
+    # Split bindings by branch value and route each part to its child.
+    b_idx = bindings.attrs.index(branch)
+    rest_attrs = tuple(a for a in bindings.attrs if a != branch)
+    rest_idx = [i for i, a in enumerate(bindings.attrs) if a != branch]
+    by_branch: dict[int, list[tuple]] = {0: [], 1: []}
+    for value in bindings.values:
+        b = value[b_idx]
+        if b in by_branch:
+            by_branch[b].append(tuple(value[i] for i in rest_idx))
+    rows = []
+    for b, child in ((0, node.left), (1, node.right)):
+        if not by_branch[b]:
+            continue
+        if rest_attrs:
+            part = fetch(child, db, Bindings(rest_attrs, by_branch[b]), caches)
+        else:
+            part = fetch(child, db, None, caches)
+        rows.extend(r + (b,) for r in part.rows)
+    return Relation(node.columns, rows)
+
+
+def _fetch_groupby(
+    node: GroupBy, db: Database, bindings: Optional[Bindings], caches: Optional[CacheMap]
+) -> Relation:
+    if bindings is not None and set(bindings.attrs) <= set(node.keys):
+        child = fetch(node.child, db, bindings, caches)
+        return aggregate_rows(child, node.keys, node.aggs)
+    child = fetch(node.child, db, None, caches)
+    result = aggregate_rows(child, node.keys, node.aggs)
+    if bindings is not None:
+        result = _filter_by_bindings(result, bindings)
+    return result

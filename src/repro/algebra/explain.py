@@ -1,0 +1,28 @@
+"""Human-readable plan rendering (EXPLAIN-style)."""
+
+from __future__ import annotations
+
+from .plan import PlanNode
+
+
+def explain_plan(root: PlanNode, show_ids: bool = True) -> str:
+    """Indented operator-tree rendering of *root*.
+
+    When Pass 1 has run (``node_id >= 0``), node identifiers and inferred
+    ID attributes are included — the annotations of the paper's Figure 5a.
+    """
+    lines: list[str] = []
+
+    def visit(node: PlanNode, depth: int) -> None:
+        pad = "  " * depth
+        annotated = node.node_id >= 0
+        suffix = ""
+        if show_ids and annotated:
+            ids = ",".join(node.ids)
+            suffix = f"   [n{node.node_id}  ids: {ids}]"
+        lines.append(f"{pad}{node.label()}{suffix}")
+        for child in node.children:
+            visit(child, depth + 1)
+
+    visit(root, 0)
+    return "\n".join(lines)

@@ -1,0 +1,7 @@
+"""Comparison systems: tuple-based IVM, recomputation and simulated DBToaster."""
+
+from .recompute import RecomputeEngine
+from .sdbt import SdbtEngine
+from .tuple_ivm import TDelta, TupleIvmEngine, repair_updates
+
+__all__ = ["RecomputeEngine", "SdbtEngine", "TDelta", "TupleIvmEngine", "repair_updates"]

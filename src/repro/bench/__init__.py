@@ -1,0 +1,15 @@
+"""Benchmark harness and paper-style reporting."""
+
+from .harness import SweepPoint, SystemResult, run_system, speedup
+from .report import format_comparison, format_figure10, format_sweep, format_table
+
+__all__ = [
+    "SweepPoint",
+    "SystemResult",
+    "format_comparison",
+    "format_figure10",
+    "format_sweep",
+    "format_table",
+    "run_system",
+    "speedup",
+]

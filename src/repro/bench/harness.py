@@ -1,0 +1,88 @@
+"""Benchmark harness: run one maintenance round per system and collect
+wall time + per-phase access counts (the paper's cost metric)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..algebra.evaluate import evaluate_plan
+from ..core.engine import MaintenanceReport
+from ..storage import Database
+
+
+@dataclass
+class SystemResult:
+    """One system's maintenance round on one workload configuration."""
+
+    label: str
+    total_cost: int
+    phase_costs: dict[str, int] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    correct: bool = True
+    lookups: int = 0
+    reads: int = 0
+    writes: int = 0
+
+    def phase(self, name: str) -> int:
+        return self.phase_costs.get(name, 0)
+
+
+def run_system(
+    label: str,
+    db_factory: Callable[[], Database],
+    make_engine: Callable[[Database], object],
+    build_view: Callable[[Database], object],
+    log_modifications: Callable[[object, Database], None],
+    check: bool = True,
+    view_name: str = "V",
+) -> SystemResult:
+    """Build a fresh database, define the view, log the modification
+    batch, run one maintenance round and report its cost."""
+    db = db_factory()
+    engine = make_engine(db)
+    view = engine.define_view(view_name, build_view(db))
+    log_modifications(engine, db)
+    started = time.perf_counter()
+    reports = engine.maintain()
+    wall = time.perf_counter() - started
+    report: MaintenanceReport = reports[view_name]
+    phase_costs = {
+        name: counts.total
+        for name, counts in report.phase_counts.items()
+        if name != "__total__"
+    }
+    total = report.phase_counts.get("__total__")
+    correct = True
+    if check:
+        expected = evaluate_plan(view.plan, db).as_set()
+        correct = view.table.as_set() == expected
+    return SystemResult(
+        label=label,
+        total_cost=report.total_cost,
+        phase_costs=phase_costs,
+        wall_seconds=wall,
+        correct=correct,
+        lookups=total.index_lookups if total else 0,
+        reads=total.tuple_reads if total else 0,
+        writes=total.tuple_writes if total else 0,
+    )
+
+
+def speedup(baseline: SystemResult, contender: SystemResult) -> float:
+    """baseline cost / contender cost (the paper's speedup ratio)."""
+    if contender.total_cost == 0:
+        return float("inf") if baseline.total_cost else 1.0
+    return baseline.total_cost / contender.total_cost
+
+
+@dataclass
+class SweepPoint:
+    """One x-axis value of a Figure 12 style sweep."""
+
+    parameter: object
+    results: dict[str, SystemResult]
+
+    def speedup(self, baseline: str = "tuple", contender: str = "idIVM") -> float:
+        return speedup(self.results[baseline], self.results[contender])

@@ -1,0 +1,198 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    Run the paper's running example end to end (Figures 1–7).
+``explain --sql "SELECT ..."``
+    Parse a view over the demo devices schema, print the annotated plan
+    (Pass 1's Figure 5a shape) and the generated ∆-script (Figure 7).
+``sweep --param {d,s,f,j} --values 100,200,...``
+    Run a Figure 12 style sweep of the devices workload for the chosen
+    parameter and print the paper-style table.
+``bsma [--updates N]``
+    Run the Figure 10 social-analytics comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .algebra.explain import explain_plan
+from .baselines import TupleIvmEngine
+from .bench import SweepPoint, SystemResult, format_figure10, format_sweep, run_system
+from .core import IdIvmEngine
+from .sql import sql_to_plan
+from .storage import Database
+from .workloads import (
+    BSMA_QUERIES,
+    BsmaConfig,
+    DevicesConfig,
+    apply_price_updates,
+    build_aggregate_view,
+    build_bsma_database,
+    build_devices_database,
+    log_user_updates,
+)
+
+
+def demo_database() -> Database:
+    """The Figure 1 instance, used by ``demo`` and ``explain``."""
+    db = Database()
+    db.create_table("devices", ("did", "category"), ("did",))
+    db.create_table("parts", ("pid", "price"), ("pid",))
+    db.create_table("devices_parts", ("did", "pid"), ("did", "pid"))
+    db.table("devices").load([("D1", "phone"), ("D2", "phone"), ("D3", "tablet")])
+    db.table("parts").load([("P1", 10), ("P2", 20)])
+    db.table("devices_parts").load([("D1", "P1"), ("D2", "P1"), ("D1", "P2")])
+    return db
+
+
+def cmd_demo(_args: argparse.Namespace) -> int:
+    """``repro demo``: the running example end to end."""
+    db = demo_database()
+    engine = IdIvmEngine(db)
+    view = engine.define_view(
+        "V_prime",
+        sql_to_plan(
+            db,
+            "SELECT did, SUM(price) AS cost FROM parts NATURAL JOIN "
+            "devices_parts NATURAL JOIN devices WHERE category = 'phone' "
+            "GROUP BY did",
+        ),
+    )
+    print("Initial view:", sorted(view.table.as_set()))
+    print()
+    print(explain_plan(view.plan))
+    print()
+    print(view.describe_script())
+    print()
+    engine.log.update("parts", ("P1",), {"price": 11})
+    report = engine.maintain()["V_prime"]
+    print("After the Figure 2 update (P1: 10 -> 11):", sorted(view.table.as_set()))
+    print(f"maintenance cost: {report.total_cost} accesses")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """``repro explain``: annotated plan + ∆-script for a SQL view."""
+    db = demo_database()
+    engine = IdIvmEngine(db, optimize=not args.no_minimize)
+    view = engine.define_view("V", sql_to_plan(db, args.sql))
+    print("-- annotated plan (Pass 1) " + "-" * 34)
+    print(explain_plan(view.plan))
+    print()
+    print("-- generated ∆-script " + "-" * 39)
+    print(view.describe_script())
+    return 0
+
+
+_SWEEP_PARAMS = {
+    "d": ("diff_size", int),
+    "s": ("selectivity", float),
+    "f": ("fanout", int),
+    "j": ("joins", int),
+}
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """``repro sweep``: a Figure 12 style parameter sweep."""
+    field, caster = _SWEEP_PARAMS[args.param]
+    values = [caster(v) for v in args.values.split(",")]
+    points: list[SweepPoint] = []
+    for value in values:
+        overrides = {field: value}
+        if args.param == "j":
+            overrides["with_selection"] = False
+        config = DevicesConfig(
+            n_parts=args.parts,
+            n_devices=args.parts,
+            diff_size=min(200, max(1, args.parts // 5)),
+            **overrides,
+        )
+        results: dict[str, SystemResult] = {}
+        for label, factory in (("idIVM", IdIvmEngine), ("tuple", TupleIvmEngine)):
+            results[label] = run_system(
+                label,
+                db_factory=lambda: build_devices_database(config),
+                make_engine=factory,
+                build_view=lambda db: build_aggregate_view(db, config),
+                log_modifications=lambda engine, db: apply_price_updates(
+                    engine, db, config
+                ),
+            )
+        points.append(SweepPoint(parameter=value, results=results))
+    print(
+        format_sweep(
+            f"devices sweep over {args.param}",
+            args.param,
+            points,
+            systems=("idIVM", "tuple"),
+            phases=("cache_update", "view_diff", "view_update"),
+        )
+    )
+    return 0
+
+
+def cmd_bsma(args: argparse.Namespace) -> int:
+    """``repro bsma``: the Figure 10 comparison."""
+    config = BsmaConfig(n_users=args.users)
+    rows = []
+    for name, build in BSMA_QUERIES.items():
+        costs = {}
+        for label, factory in (("id", IdIvmEngine), ("tuple", TupleIvmEngine)):
+            db = build_bsma_database(config)
+            engine = factory(db)
+            engine.define_view(name, build(db, config))
+            log_user_updates(engine, db, config, args.updates)
+            costs[label] = engine.maintain()[name].total_cost
+        rows.append(
+            (name, costs["id"], costs["tuple"], costs["tuple"] / max(costs["id"], 1))
+        )
+    print(format_figure10(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro command-line argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="idIVM: ID-based incremental view maintenance "
+        "(SIGMOD 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="run the paper's running example").set_defaults(
+        handler=cmd_demo
+    )
+
+    explain = sub.add_parser("explain", help="show the plan and ∆-script of a view")
+    explain.add_argument("--sql", required=True, help="view definition over the demo schema")
+    explain.add_argument(
+        "--no-minimize", action="store_true", help="skip Pass 4 (Figure 8 rewrites)"
+    )
+    explain.set_defaults(handler=cmd_explain)
+
+    sweep = sub.add_parser("sweep", help="Figure 12 style parameter sweep")
+    sweep.add_argument("--param", choices=sorted(_SWEEP_PARAMS), required=True)
+    sweep.add_argument("--values", required=True, help="comma-separated values")
+    sweep.add_argument("--parts", type=int, default=500, help="parts/devices table size")
+    sweep.set_defaults(handler=cmd_sweep)
+
+    bsma = sub.add_parser("bsma", help="Figure 10 social-analytics comparison")
+    bsma.add_argument("--users", type=int, default=400)
+    bsma.add_argument("--updates", type=int, default=100)
+    bsma.set_defaults(handler=cmd_bsma)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""The paper's contribution: ID-based incremental view maintenance."""
+
+from .apply import AppliedChanges, apply_diff
+from .diffs import (
+    DELETE,
+    INSERT,
+    UPDATE,
+    Diff,
+    DiffSchema,
+    delete_schema_for,
+    insert_schema_for,
+    is_effective,
+    merge_diffs,
+    update_schema_for,
+)
+from .eager import EagerIvmEngine
+from .engine import IdIvmEngine, MaintenanceReport, MaterializedView
+from .generator import GeneratedPlan, ScriptGenerator, has_mvd_risk
+from .idinfer import annotate_plan, node_by_id
+from .modlog import ModificationLog, populate_instances, schema_instance_name
+from .schema_gen import conditional_attribute_groups, generate_base_schemas
+from .script import DeltaScript, execute_script
+
+__all__ = [
+    "AppliedChanges",
+    "DELETE",
+    "Diff",
+    "DiffSchema",
+    "DeltaScript",
+    "EagerIvmEngine",
+    "GeneratedPlan",
+    "INSERT",
+    "IdIvmEngine",
+    "MaintenanceReport",
+    "MaterializedView",
+    "ModificationLog",
+    "ScriptGenerator",
+    "UPDATE",
+    "annotate_plan",
+    "apply_diff",
+    "conditional_attribute_groups",
+    "delete_schema_for",
+    "execute_script",
+    "generate_base_schemas",
+    "has_mvd_risk",
+    "insert_schema_for",
+    "is_effective",
+    "merge_diffs",
+    "node_by_id",
+    "populate_instances",
+    "schema_instance_name",
+    "update_schema_for",
+]

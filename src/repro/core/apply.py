@@ -1,0 +1,167 @@
+"""APPLY semantics: executing an i-diff against a materialized table.
+
+Implements the three DML statements of Section 2 (APPLY ∆u / ∆+ / ∆−)
+against :class:`~repro.storage.Table`, with the access accounting of
+Appendix A, and returns the *expansion* of the application — the per-row
+changes actually made.  The expansion is the paper's
+``UPDATE ... RETURNING`` optimization (Appendix A.2.1): after applying a
+cache diff, downstream rules read the expanded rows instead of re-probing
+the cache.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..algebra.relation import Relation
+from ..errors import DiffError
+from ..storage import Table
+from .diffs import DELETE, INSERT, UPDATE, Diff, DiffSchema, post_col, pre_col
+
+
+class AppliedChanges:
+    """What an APPLY actually did: full pre/post rows per affected tuple.
+
+    ``changes`` holds ``(pre_row, post_row)`` pairs over the target
+    table's schema; ``pre_row`` is None for inserts and ``post_row`` is
+    None for deletes.
+    """
+
+    __slots__ = ("kind", "table_schema", "changes", "updated_attrs")
+
+    def __init__(
+        self,
+        kind: str,
+        table_schema,
+        changes: list[tuple],
+        updated_attrs: tuple[str, ...] = (),
+    ):
+        self.kind = kind
+        self.table_schema = table_schema
+        self.changes = changes
+        self.updated_attrs = updated_attrs
+
+    def __len__(self) -> int:
+        return len(self.changes)
+
+    def expansion(self, attrs: Sequence[str] | None = None) -> Relation:
+        """RETURNING-style relation: full key + pre/post of *attrs*.
+
+        Columns: the table's key, then ``a__pre`` and ``a__post`` for each
+        requested attribute (defaults to the diff's updated attributes for
+        updates, all non-key attributes otherwise).  For inserts the pre
+        columns are None; for deletes the post columns are None.
+        """
+        schema = self.table_schema
+        if attrs is None:
+            attrs = self.updated_attrs if self.kind == UPDATE else schema.non_key_columns
+        attrs = tuple(attrs)
+        columns = (
+            schema.key
+            + tuple(pre_col(a) for a in attrs)
+            + tuple(post_col(a) for a in attrs)
+        )
+        attr_positions = [schema.position(a) for a in attrs]
+        rows: list[tuple] = []
+        for pre_row, post_row in self.changes:
+            some_row = post_row if post_row is not None else pre_row
+            key = schema.key_of(some_row)
+            pre_vals = (
+                tuple(pre_row[i] for i in attr_positions)
+                if pre_row is not None
+                else (None,) * len(attrs)
+            )
+            post_vals = (
+                tuple(post_row[i] for i in attr_positions)
+                if post_row is not None
+                else (None,) * len(attrs)
+            )
+            rows.append(key + pre_vals + post_vals)
+        return Relation(columns, rows)
+
+    def as_full_diff(self) -> Diff:
+        """The applied changes as a full-ID effective diff over the table.
+
+        Used when a cache application must be re-expressed as the diff
+        feeding the operators above the cache.
+        """
+        schema = self.table_schema
+        non_key = schema.non_key_columns
+        if self.kind == INSERT:
+            diff_schema = DiffSchema(INSERT, schema.name, schema.key, post_attrs=non_key)
+            rows = [
+                schema.key_of(post) + schema.project(post, non_key)
+                for _, post in self.changes
+            ]
+            return Diff(diff_schema, rows)
+        if self.kind == DELETE:
+            diff_schema = DiffSchema(DELETE, schema.name, schema.key, pre_attrs=non_key)
+            rows = [
+                schema.key_of(pre) + schema.project(pre, non_key)
+                for pre, _ in self.changes
+            ]
+            return Diff(diff_schema, rows)
+        attrs = self.updated_attrs
+        diff_schema = DiffSchema(
+            UPDATE, schema.name, schema.key, pre_attrs=attrs, post_attrs=attrs
+        )
+        rows = [
+            schema.key_of(post) + schema.project(pre, attrs) + schema.project(post, attrs)
+            for pre, post in self.changes
+        ]
+        return Diff(diff_schema, rows)
+
+
+def apply_diff(table: Table, diff: Diff) -> AppliedChanges:
+    """Apply *diff* to *table* per the Section 2 DML semantics."""
+    kind = diff.schema.kind
+    if kind == UPDATE:
+        return _apply_update(table, diff)
+    if kind == INSERT:
+        return _apply_insert(table, diff)
+    if kind == DELETE:
+        return _apply_delete(table, diff)
+    raise DiffError(f"unknown diff kind {kind!r}")
+
+
+def _apply_update(table: Table, diff: Diff) -> AppliedChanges:
+    """APPLY ∆u: UPDATE V SET Ā″ = Ā″_post WHERE V.Ī′ = ∆.Ī′."""
+    schema = diff.schema
+    post_attrs = schema.post_attrs
+    post_positions = [schema.position(post_col(a)) for a in post_attrs]
+    changes: list[tuple] = []
+    for diff_row in diff.rows:
+        ident = diff.id_of(diff_row)
+        new_values = {
+            a: diff_row[i] for a, i in zip(post_attrs, post_positions)
+        }
+        for key in table.locate(schema.id_attrs, ident):
+            old_row = table.write_at(key, new_values)
+            new_row = table.get_uncounted(key)
+            changes.append((old_row, new_row))
+    return AppliedChanges(UPDATE, table.schema, changes, updated_attrs=post_attrs)
+
+
+def _apply_insert(table: Table, diff: Diff) -> AppliedChanges:
+    """APPLY ∆+: INSERT ... WHERE ROW NOT IN (SELECT ... FROM V)."""
+    schema = diff.schema
+    table_columns = schema.id_attrs + schema.post_attrs
+    order = [table_columns.index(c) for c in table.schema.columns]
+    changes: list[tuple] = []
+    for diff_row in diff.rows:
+        row = tuple(diff_row[i] for i in order)
+        if table.insert_checked(row):
+            changes.append((None, row))
+    return AppliedChanges(INSERT, table.schema, changes)
+
+
+def _apply_delete(table: Table, diff: Diff) -> AppliedChanges:
+    """APPLY ∆−: DELETE FROM V WHERE ROW(Ī′) IN (SELECT Ī′ FROM ∆−)."""
+    schema = diff.schema
+    changes: list[tuple] = []
+    for diff_row in diff.rows:
+        ident = diff.id_of(diff_row)
+        for key in table.locate(schema.id_attrs, ident):
+            old_row = table.delete_at(key)
+            changes.append((old_row, None))
+    return AppliedChanges(DELETE, table.schema, changes)

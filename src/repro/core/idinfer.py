@@ -1,0 +1,163 @@
+"""Pass 1 of the ∆-script generator: ID inference (paper Section 4, Table 1).
+
+Because i-diffs identify the view tuples to modify through their IDs, every
+subview must carry a set of ID attributes forming its key.  The rules of
+Table 1 derive each operator's IDs from its children's:
+
+=====================  =============================
+Operator               Output ID attributes
+=====================  =============================
+SCAN(R)                key(R)
+σ_φ(R)                 ID(R)
+π_D̄(R)                 ID(R)
+R × S, R ⋈φ S          ID(R) ∪ ID(S)
+R ▷φ S, R ⋉φ S         ID(R)
+bag union R ∪ S        ID(R) ∪ ID(S) ∪ {b}
+γ_{Ḡ, f(M̄)}(R)          Ḡ
+=====================  =============================
+
+When a projection (the only QSPJADU operator that drops columns besides γ,
+whose keys are its IDs by construction) does not retain the inferred IDs,
+the plan is *extended* with passthrough items — this widens the view but
+never changes its cardinality (Section 4, Pass 1 discussion).
+
+:func:`annotate_plan` rebuilds the plan tree with ``ids`` computed for
+every node and stable preorder ``node_id`` identifiers attached.
+"""
+
+from __future__ import annotations
+
+from ..algebra.plan import (
+    AntiJoin,
+    GroupBy,
+    Join,
+    PlanNode,
+    Project,
+    Scan,
+    SemiJoin,
+    Select,
+    UnionAll,
+)
+from ..errors import PlanError
+from ..expr import Col, col, equi_join_pairs
+
+
+def annotate_plan(root: PlanNode) -> PlanNode:
+    """Return a copy of *root* with ``ids`` inferred and ``node_id`` set.
+
+    Projections are extended where needed so that every subview's output
+    schema contains its ID attributes.  Raises :class:`PlanError` when an
+    extension would collide with an existing computed column.
+    """
+    annotated = _infer(root)
+    _number(annotated)
+    return annotated
+
+
+def _infer(node: PlanNode) -> PlanNode:
+    if isinstance(node, Scan):
+        new = Scan(node.schema, alias=node.alias)
+        new.ids = tuple(node.schema.key)
+        return new
+    if isinstance(node, Select):
+        child = _infer(node.child)
+        new = Select(child, node.predicate)
+        new.ids = child.ids
+        return new
+    if isinstance(node, Project):
+        return _infer_project(node)
+    if isinstance(node, Join):
+        left = _infer(node.left)
+        right = _infer(node.right)
+        new = Join(left, right, node.condition)
+        new.ids = _join_ids(left, right, node.condition)
+        return new
+    if isinstance(node, (AntiJoin, SemiJoin)):
+        left = _infer(node.left)
+        right = _infer(node.right)
+        new = type(node)(left, right, node.condition)
+        new.ids = left.ids
+        return new
+    if isinstance(node, UnionAll):
+        left = _infer(node.left)
+        right = _infer(node.right)
+        new = UnionAll(left, right, branch_column=node.branch_column)
+        merged = list(left.ids)
+        for i in right.ids:
+            if i not in merged:
+                merged.append(i)
+        new.ids = tuple(merged) + (node.branch_column,)
+        return new
+    if isinstance(node, GroupBy):
+        child = _infer(node.child)
+        new = GroupBy(child, node.keys, node.aggs)
+        new.ids = tuple(node.keys)
+        return new
+    raise PlanError(f"cannot infer IDs for plan node {node!r}")
+
+
+def _join_ids(left: PlanNode, right: PlanNode, condition) -> tuple[str, ...]:
+    """Table 1 for joins: ID(L) ∪ ID(R), pruned with equality awareness.
+
+    An equi conjunct ``c = d`` makes the two columns identical on every
+    output row, so an ID can be substituted by the column it is equated
+    to.  This keeps natural-join IDs minimal (the paper's running example
+    view has IDs exactly {did, pid}, not four columns) while preserving
+    every key *component* (Section 2: an i-diff may identify view rows
+    through any component, so projections must retain them all — which is
+    why no stronger key-join reduction is applied here).
+    """
+    if condition is None:
+        return left.ids + right.ids
+    pairs, _ = equi_join_pairs(condition, left.columns, right.columns)
+    canon: dict[str, str] = {}
+    for lcol, rcol in pairs:
+        canon[rcol] = canon.get(lcol, lcol)
+    ids = []
+    for id_col in left.ids + right.ids:
+        representative = canon.get(id_col, id_col)
+        if representative not in ids:
+            ids.append(representative)
+    return tuple(ids)
+
+
+def _infer_project(node: Project) -> PlanNode:
+    child = _infer(node.child)
+    # Map each passthrough child column to its (first) output name.
+    passthrough: dict[str, str] = {}
+    for name, expr in node.items:
+        if isinstance(expr, Col) and expr.name not in passthrough:
+            passthrough[expr.name] = name
+    items = list(node.items)
+    output_names = {name for name, _ in items}
+    ids: list[str] = []
+    for id_col in child.ids:
+        if id_col in passthrough:
+            ids.append(passthrough[id_col])
+            continue
+        # Extend the projection with the missing ID (Pass 1 extension).
+        if id_col in output_names:
+            raise PlanError(
+                f"cannot extend projection with ID column {id_col!r}: the name "
+                f"is already bound to a computed column"
+            )
+        items.append((id_col, col(id_col)))
+        output_names.add(id_col)
+        ids.append(id_col)
+    new = Project(child, items)
+    new.ids = tuple(ids)
+    return new
+
+
+def _number(root: PlanNode) -> None:
+    """Assign stable preorder node identifiers."""
+    for i, node in enumerate(root.walk()):
+        node.node_id = i
+
+
+def node_by_id(root: PlanNode, node_id: int) -> PlanNode:
+    """Find the node with the given identifier (post-annotation)."""
+    for node in root.walk():
+        if node.node_id == node_id:
+            return node
+    raise PlanError(f"no node with id {node_id}")

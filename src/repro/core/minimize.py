@@ -1,0 +1,218 @@
+"""Pass 4: semantic minimization of ∆-script queries — paper Figure 8.
+
+The propagation rules of Pass 2 are written in their general form: when a
+rule needs attribute values it cannot read off the diff, it probes the
+operator's input subview (``∆ ⋈Ī Input``).  Composition (Pass 3) stacks
+these probes, many of which are redundant given the i-diff constraints
+
+* C1: ∆+R ⊆ R (post-state),
+* C2: πĪ ∆−R ∩ πĪ R = ∅ (post-state),
+* C3: updated tuples still present carry the diff's post values,
+
+so this pass rewrites them away (the Figure 8 rules, expressed on the IR):
+
+* ``∆+ ⋈Ī R → π(∆+)``, ``∆u ⋈Ī R → π(∆u)`` when the probed columns are
+  derivable from the diff (if Ā″ covers them, in the table's terms);
+* ``∆− ⋈Ī R(post) → ∅``;
+* ``∆+ ⋉Ī σφ R → σφ(post) ∆+``, ``∆− ⋉Ī R(post) → ∅``,
+  ``∆− ▷Ī R(post) → ∆−``, etc. for the (anti)semijoin variants;
+
+plus standard cleanups: TRUE-filter elimination, empty-result
+propagation, adjacent filter merging and identity projections.
+
+Pre-state probes are left untouched: the constraints C1–C3 speak about
+the post-state only, and pre-state probes also realize multiplicity
+expansion (partial-ID diffs), which a projection cannot.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..expr import TRUE, Col, all_of, rename_columns
+from .diffs import DELETE, INSERT, DiffSchema
+from .ir import (
+    POST,
+    SUB_PREFIX,
+    Compute,
+    DiffSource,
+    Distinct,
+    Empty,
+    Filter,
+    GroupAgg,
+    IrNode,
+    ProbeJoin,
+    ProbeSemi,
+    UnionRows,
+)
+from .rules.base import state_mapping, target_name
+
+
+def minimize_ir(node: IrNode) -> IrNode:
+    """Rewrite *node* bottom-up until no rule applies."""
+    previous = None
+    current = node
+    # The rewrites strictly shrink the tree, so a short fixpoint loop
+    # suffices (each pass is linear in tree size).
+    while previous is not current:
+        previous = current
+        current = _rewrite(current)
+    return current
+
+
+def _rewrite(node: IrNode) -> IrNode:
+    if isinstance(node, (DiffSource, Empty)):
+        return node
+    if isinstance(node, Filter):
+        child = _rewrite(node.child)
+        if isinstance(child, Empty):
+            return Empty(node.columns)
+        if node.predicate == TRUE:
+            return child
+        if isinstance(child, Filter):
+            return Filter(child.child, all_of(child.predicate, node.predicate))
+        return node if child is node.child else Filter(child, node.predicate)
+    if isinstance(node, Compute):
+        child = _rewrite(node.child)
+        if isinstance(child, Empty):
+            return Empty(node.columns)
+        if _is_identity(node, child):
+            return child
+        return node if child is node.child else Compute(child, node.items)
+    if isinstance(node, Distinct):
+        child = _rewrite(node.child)
+        if isinstance(child, Empty):
+            return Empty(node.columns)
+        return node if child is node.child else Distinct(child)
+    if isinstance(node, UnionRows):
+        parts = [_rewrite(p) for p in node.parts]
+        live = [p for p in parts if not isinstance(p, Empty)]
+        if not live:
+            return Empty(node.columns)
+        if len(live) == 1:
+            return live[0]
+        return UnionRows(live)
+    if isinstance(node, GroupAgg):
+        child = _rewrite(node.child)
+        if isinstance(child, Empty):
+            return Empty(node.columns)
+        return node if child is node.child else GroupAgg(child, node.keys, node.aggs)
+    if isinstance(node, ProbeJoin):
+        return _rewrite_probe_join(node)
+    if isinstance(node, ProbeSemi):
+        return _rewrite_probe_semi(node)
+    return node
+
+
+def _is_identity(node: Compute, child: IrNode) -> bool:
+    if node.columns != child.columns:
+        return False
+    return all(
+        isinstance(expr, Col) and expr.name == name for name, expr in node.items
+    )
+
+
+def _chain_schema(node: IrNode) -> Optional[DiffSchema]:
+    """The diff schema feeding *node* through a filter-only chain.
+
+    Filters and Distinct preserve columns and row identity, so the Figure
+    8 patterns look through them; anything else breaks the chain.
+    """
+    while isinstance(node, (Filter, Distinct)):
+        node = node.child
+    if isinstance(node, DiffSource):
+        return node.schema
+    return None
+
+
+def _probe_matches_own_input(
+    schema: DiffSchema, on: tuple[tuple[str, str], ...], probed_node
+) -> bool:
+    """True when the probe rejoins the diff with the subview it targets,
+    on the diff's own ID attributes (the ``∆ ⋈Ī Input`` shape).
+
+    Partial-ID probes qualify too: eliding them changes multiplicity
+    (one diff row instead of the m matching subview rows) and keeps
+    dummy rows, but every kept column the rewrite substitutes is
+    functionally determined by the diff row, duplicates collapse at
+    diff construction, and dummies are absorbed by APPLY
+    (overestimation, Example 4.8) — so the value semantics is preserved
+    wherever rules place these probes."""
+    if schema.target != target_name(probed_node):
+        return False
+    if any(lcol != sub for lcol, sub in on):
+        return False
+    return set(schema.id_attrs) == {sub for _, sub in on}
+
+
+def _rewrite_probe_join(node: ProbeJoin) -> IrNode:
+    left = _rewrite(node.left)
+    if isinstance(left, Empty):
+        return Empty(node.columns)
+    rebuilt = (
+        node
+        if left is node.left
+        else ProbeJoin(left, node.node, node.state, node.on, node.keep, node.residual)
+    )
+    schema = _chain_schema(left)
+    if schema is None or node.state != POST:
+        return rebuilt
+    if not _probe_matches_own_input(schema, node.on, node.node):
+        return rebuilt
+    if schema.kind == DELETE:
+        # Figure 8: ∆− ⋈Ī R → ∅ (C2: deleted IDs are absent post-state).
+        return Empty(node.columns)
+    mapping = state_mapping(schema, POST)
+    if not all(sub in mapping for _, sub in node.keep):
+        return rebuilt
+    # Figure 8: ∆+ ⋈Ī R → ∆+ and ∆u ⋈Ī R → ∆u (projected/renamed).
+    items = [(c, Col(c)) for c in left.columns]
+    items += [(out, Col(mapping[sub])) for out, sub in node.keep]
+    result: IrNode = Compute(left, items)
+    if node.residual is not None:
+        result = Filter(result, node.residual)
+    return result
+
+
+def _rewrite_probe_semi(node: ProbeSemi) -> IrNode:
+    left = _rewrite(node.left)
+    if isinstance(left, Empty):
+        return Empty(node.columns)
+    rebuilt = (
+        node
+        if left is node.left
+        else ProbeSemi(left, node.node, node.state, node.on, node.residual, node.negated)
+    )
+    schema = _chain_schema(left)
+    if schema is None or node.state != POST:
+        return rebuilt
+    if not _probe_matches_own_input(schema, node.on, node.node):
+        return rebuilt
+    if schema.kind == DELETE:
+        # ∆− ⋉Ī R(post) → ∅ ; ∆− ▷Ī R(post) → ∆− (Figure 8).
+        return left if node.negated else Empty(node.columns)
+    if node.negated:
+        # ∆+ ▷Ī R(post) → ∅ only for inserts without residual (C1).
+        if schema.kind == INSERT and node.residual is None:
+            return Empty(node.columns)
+        return rebuilt
+    if node.residual is None:
+        # ∆+ ⋉Ī R → ∆+, ∆u ⋉Ī R → ∆u (C1 / C3, overestimation-safe).
+        return left
+    # ⋉ with a residual over sub__ columns: evaluable from the diff when
+    # the referenced attributes are derivable post-state.
+    mapping = state_mapping(schema, POST)
+    sub_mapping = {SUB_PREFIX + a: m for a, m in mapping.items()}
+    from ..expr import columns_of
+
+    referenced = {
+        c for c in columns_of(node.residual) if c.startswith(SUB_PREFIX)
+    }
+    if not referenced <= set(sub_mapping):
+        return rebuilt
+    return Filter(left, rename_columns(node.residual, sub_mapping))
+
+
+def estimate_probe_count(node: IrNode) -> int:
+    """Number of subview probes in the tree (for tests and the bench)."""
+    return sum(1 for n in node.walk() if isinstance(n, (ProbeJoin, ProbeSemi)))

@@ -1,0 +1,264 @@
+"""Modification logger and base-table i-diff instance generator — Section 5.
+
+The logger records raw modifications at data-modification time (the paper
+uses triggers; we hook the same three operations).  At view-maintenance
+time the instance generator folds the log into *effective* net changes —
+multiple modifications of the same tuple are combined (insert∘update →
+insert with final values, insert∘delete → nothing, delete∘insert →
+update, update∘update → merged) — and routes each net change into the
+pre-computed i-diff schemas: inserts into the single insert schema,
+deletes into the single delete schema, and each tuple's update into the
+*minimal* update schema covering all of its modified attributes (one
+instance per tuple — splitting a change across instances would entangle
+them; the catch-all schema from :mod:`repro.core.schema_gen` guarantees
+a cover exists).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from ..errors import DiffError, WorkloadError
+from ..storage import Database, Table
+from .diffs import DELETE, INSERT, UPDATE, Diff, DiffSchema
+
+
+class LoggedModification:
+    """One raw log record."""
+
+    __slots__ = ("kind", "table", "key", "row", "changes")
+
+    def __init__(
+        self,
+        kind: str,
+        table: str,
+        key: tuple,
+        row: Optional[tuple] = None,
+        changes: Optional[dict[str, object]] = None,
+    ):
+        self.kind = kind
+        self.table = table
+        self.key = key
+        self.row = row
+        self.changes = changes
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return f"Mod({self.kind} {self.table} {self.key})"
+
+
+class _NetChange:
+    """Folded per-tuple state while scanning the log."""
+
+    __slots__ = ("kind", "pre_row", "post_row")
+
+    def __init__(self, kind: str, pre_row: Optional[tuple], post_row: Optional[tuple]):
+        self.kind = kind
+        self.pre_row = pre_row
+        self.post_row = post_row
+
+
+class ModificationLog:
+    """Records base-table modifications and applies them to the database.
+
+    ``log.insert/update/delete`` both mutate the live database (deferred
+    IVM: base tables move to post-state immediately) and append to the
+    log.  ``take()`` drains the log for a maintenance round.
+    """
+
+    def __init__(self, db: Database):
+        self.db = db
+        self.entries: list[LoggedModification] = []
+
+    # ------------------------------------------------------------------
+    def insert(self, table: str, row: Sequence) -> None:
+        """Insert *row* into the live table and log the modification."""
+        t = self.db.table(table)
+        row = tuple(row)
+        t.insert_uncounted(row)
+        self.entries.append(
+            LoggedModification(INSERT, table, t.schema.key_of(row), row=row)
+        )
+
+    def delete(self, table: str, key: Sequence) -> None:
+        """Delete the row with *key* and log the modification."""
+        t = self.db.table(table)
+        key = tuple(key)
+        old = t.delete_uncounted(key)
+        if old is None:
+            raise WorkloadError(f"cannot delete absent key {key} from {table!r}")
+        self.entries.append(LoggedModification(DELETE, table, key, row=old))
+
+    def update(self, table: str, key: Sequence, changes: Mapping[str, object]) -> None:
+        t = self.db.table(table)
+        key = tuple(key)
+        immutable = set(changes) & set(t.schema.key)
+        if immutable:
+            raise WorkloadError(
+                f"key columns {sorted(immutable)} of {table!r} are immutable "
+                f"(paper Section 5, footnote 7); delete and re-insert instead"
+            )
+        old = t.update_uncounted(key, changes)
+        if old is None:
+            raise WorkloadError(f"cannot update absent key {key} in {table!r}")
+        # Trigger-style logging: capture the pre-state row alongside the
+        # changed attributes.
+        self.entries.append(
+            LoggedModification(UPDATE, table, key, row=old, changes=dict(changes))
+        )
+
+    def take(self) -> list[LoggedModification]:
+        """Drain the log for one maintenance round."""
+        entries, self.entries = self.entries, []
+        return entries
+
+
+def fold_log(
+    entries: Sequence[LoggedModification], db: Database
+) -> dict[str, dict[tuple, _NetChange]]:
+    """Fold the log into net per-tuple changes (effective diffs).
+
+    Pre-state rows come from the log entries themselves (the trigger
+    captured them); *db* is only consulted for table schemas.
+    """
+    net: dict[str, dict[tuple, _NetChange]] = {}
+    for entry in entries:
+        table = db.table(entry.table)
+        per_table = net.setdefault(entry.table, {})
+        current = per_table.get(entry.key)
+        if entry.kind == INSERT:
+            if current is None:
+                per_table[entry.key] = _NetChange(INSERT, None, entry.row)
+            elif current.kind == DELETE:
+                # delete then re-insert: net update (or nothing if equal)
+                if current.pre_row == entry.row:
+                    del per_table[entry.key]
+                else:
+                    per_table[entry.key] = _NetChange(
+                        UPDATE, current.pre_row, entry.row
+                    )
+            else:
+                raise DiffError(f"insert over live tuple {entry.key} in log")
+        elif entry.kind == DELETE:
+            if current is None:
+                per_table[entry.key] = _NetChange(DELETE, entry.row, None)
+            elif current.kind == INSERT:
+                del per_table[entry.key]
+            else:  # UPDATE then DELETE
+                per_table[entry.key] = _NetChange(DELETE, current.pre_row, None)
+        else:  # UPDATE
+            if current is None:
+                pre_row = entry.row
+                if pre_row is None:
+                    raise DiffError(
+                        f"log updates unknown tuple {entry.key} of {entry.table!r}"
+                    )
+                post = _apply_changes(table, pre_row, entry.changes)
+                if post == pre_row:
+                    continue
+                per_table[entry.key] = _NetChange(UPDATE, pre_row, post)
+            else:
+                base = current.post_row
+                if base is None:
+                    raise DiffError(f"update of deleted tuple {entry.key} in log")
+                post = _apply_changes(table, base, entry.changes)
+                if current.kind == INSERT:
+                    per_table[entry.key] = _NetChange(INSERT, None, post)
+                else:
+                    if post == current.pre_row:
+                        del per_table[entry.key]
+                    else:
+                        per_table[entry.key] = _NetChange(
+                            UPDATE, current.pre_row, post
+                        )
+    return net
+
+
+def _apply_changes(table: Table, row: tuple, changes: Mapping[str, object]) -> tuple:
+    new = list(row)
+    for column, value in changes.items():
+        new[table.schema.position(column)] = value
+    return tuple(new)
+
+
+def populate_instances(
+    schemas: Sequence[DiffSchema],
+    entries: Sequence[LoggedModification],
+    db: Database,
+) -> dict[str, Diff]:
+    """Build i-diff instances for the pre-computed schemas from the log.
+
+    Returns a mapping from a stable schema name (used as the ∆-script's
+    DiffSource name) to the populated instance.  Every schema gets an
+    instance (possibly empty) so scripts can reference all of them.
+    """
+    net = fold_log(entries, db)
+    out: dict[str, Diff] = {}
+    update_schemas: dict[str, list[DiffSchema]] = {}
+    for schema in schemas:
+        if schema.kind == UPDATE:
+            update_schemas.setdefault(schema.target, []).append(schema)
+    # Route every net tuple-update to exactly ONE schema: the smallest
+    # whose post attributes cover all modified attributes.  (Splitting a
+    # tuple's change across instances would entangle them: each instance
+    # implies its non-post attributes are unchanged — the derivation the
+    # rules and Figure 8 rewrites rely on — and aggregate deltas would
+    # double-count the shared row.  The per-group schemas of Section 5
+    # still serve the common case of updates within one group; the
+    # catch-all schema absorbs the rest.)
+    routed: dict[tuple[str, tuple], DiffSchema] = {}
+    for table, per_table in net.items():
+        if table not in update_schemas:
+            continue  # the view does not read this table
+        table_schema = db.table(table).schema
+        for key, change in per_table.items():
+            if change.kind != UPDATE:
+                continue
+            modified = frozenset(
+                a
+                for a in table_schema.non_key_columns
+                if change.pre_row[table_schema.position(a)]
+                != change.post_row[table_schema.position(a)]
+            )
+            candidates = [
+                s
+                for s in update_schemas.get(table, [])
+                if modified <= set(s.post_attrs)
+            ]
+            if not candidates:
+                raise DiffError(
+                    f"no update i-diff schema of {table!r} covers modified "
+                    f"attributes {sorted(modified)}"
+                )
+            chosen = min(candidates, key=lambda s: len(s.post_attrs))
+            routed[(table, key)] = chosen
+
+    for schema in schemas:
+        rows: list[tuple] = []
+        table_schema = db.table(schema.target).schema
+        per_table = net.get(schema.target, {})
+        for key, change in per_table.items():
+            if schema.kind == INSERT and change.kind == INSERT:
+                rows.append(
+                    key + table_schema.project(change.post_row, schema.post_attrs)
+                )
+            elif schema.kind == DELETE and change.kind == DELETE:
+                rows.append(
+                    key + table_schema.project(change.pre_row, schema.pre_attrs)
+                )
+            elif schema.kind == UPDATE and change.kind == UPDATE:
+                if routed.get((schema.target, key)) is schema:
+                    rows.append(
+                        key
+                        + table_schema.project(change.pre_row, schema.pre_attrs)
+                        + table_schema.project(change.post_row, schema.post_attrs)
+                    )
+        out[schema_instance_name(schema)] = Diff(schema, rows)
+    return out
+
+
+def schema_instance_name(schema: DiffSchema) -> str:
+    """Stable ∆-script name for a base-table i-diff schema."""
+    if schema.kind == UPDATE:
+        return f"base_u_{schema.target}__{'_'.join(schema.post_attrs)}"
+    kind = "ins" if schema.kind == INSERT else "del"
+    return f"base_{kind}_{schema.target}"

@@ -1,0 +1,189 @@
+"""i-diff propagation rules for the antisemijoin L ▷_φ(X̄,Ȳ) R —
+paper Table 13.
+
+The output is the set of left rows with no φ-matching right row, so the
+two inputs behave very differently:
+
+Left-side diffs
+    inserts are anti-probed against ``Input_post`` of the right side;
+    deletes and updates pass through (IDs of the output are the left IDs);
+    updates touching X̄ additionally emit an insert branch (rows whose new
+    values no longer match anything) and a delete branch (rows that now
+    match something).
+
+Right-side diffs (the negation side)
+    an insert on the right *deletes* the left rows it newly matches; a
+    delete on the right *inserts* the left rows that matched it and now
+    match nothing; an update on Ȳ is treated as delete-then-insert.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...algebra.plan import AntiJoin
+from ...expr import Expr, TRUE, col, columns_of, equi_join_pairs, rename_columns
+from ..diffs import DELETE, INSERT, DiffSchema, pre_col
+from ..ir import POST, PRE, SUB_PREFIX, Compute, Distinct, IrNode, ProbeJoin, ProbeSemi
+from .base import (
+    ValueSource,
+    make_insert,
+    passthrough_schema,
+    state_mapping,
+    target_name,
+    values_via_probe,
+)
+
+
+def propagate_antijoin(
+    op: AntiJoin, source: IrNode, in_schema: DiffSchema, side: int
+) -> list[tuple[DiffSchema, IrNode]]:
+    """Instantiate the Table 13 rules for the diff arriving from child
+    *side* (0 = the preserved left input, 1 = the negation side)."""
+    if side == 0:
+        return _left_rules(op, source, in_schema)
+    return _right_rules(op, source, in_schema)
+
+
+def _pairs(op: AntiJoin) -> tuple[list[tuple[str, str]], Optional[Expr]]:
+    pairs, residual = equi_join_pairs(op.condition, op.left.columns, op.right.columns)
+    return pairs, (None if residual == TRUE else residual)
+
+
+def _semi_right(
+    op: AntiJoin,
+    values: ValueSource,
+    pairs: list[tuple[str, str]],
+    residual: Optional[Expr],
+    negated: bool,
+) -> ProbeSemi:
+    """(anti)semijoin of *values* against the right side's post-state."""
+    on = [(values.mapping[l], r) for l, r in pairs]
+    residual_expr = None
+    if residual is not None:
+        mapping = dict(values.mapping)
+        mapping.update({c: SUB_PREFIX + c for c in op.right.columns})
+        residual_expr = rename_columns(residual, mapping)
+    return ProbeSemi(
+        values.ir, op.right, POST, on=on, residual=residual_expr, negated=negated
+    )
+
+
+# ----------------------------------------------------------------------
+# left-side diffs
+# ----------------------------------------------------------------------
+def _left_rules(
+    op: AntiJoin, source: IrNode, in_schema: DiffSchema
+) -> list[tuple[DiffSchema, IrNode]]:
+    pairs, residual = _pairs(op)
+    left_condition_attrs = set(columns_of(op.condition)) & set(op.left.columns)
+
+    if in_schema.kind == INSERT:
+        values = ValueSource(source, state_mapping(in_schema, POST), probed=False)
+        ir = _semi_right(op, values, pairs, residual, negated=True)
+        return [(passthrough_schema(op, in_schema), ir)]
+
+    if in_schema.kind == DELETE:
+        return [(passthrough_schema(op, in_schema), source)]
+
+    out: list[tuple[DiffSchema, IrNode]] = [
+        (passthrough_schema(op, in_schema), source)
+    ]
+    if not (left_condition_attrs & set(in_schema.post_attrs)):
+        return out
+
+    needed = sorted(left_condition_attrs)
+
+    # Insert branch: new values match nothing on the right any more.
+    post_values = values_via_probe(source, in_schema, op.left, POST, list(op.left.columns))
+    no_match = _semi_right(op, post_values, pairs, residual, negated=True)
+    insert_values = ValueSource(no_match, post_values.mapping, post_values.probed)
+    out.append(make_insert(op, insert_values, {c: col(c) for c in op.columns}))
+
+    # Delete branch: new values now match some right row -> row leaves V.
+    dpost = values_via_probe(source, in_schema, op.left, POST, needed, prefix="vd__")
+    matches_now = _semi_right(op, dpost, pairs, residual, negated=False)
+    delete_schema = DiffSchema(
+        DELETE, target_name(op), in_schema.id_attrs, pre_attrs=in_schema.pre_attrs
+    )
+    items = [(a, col(a)) for a in in_schema.id_attrs]
+    items += [(pre_col(a), col(pre_col(a))) for a in in_schema.pre_attrs]
+    out.append((delete_schema, Compute(matches_now, items)))
+    return out
+
+
+# ----------------------------------------------------------------------
+# right-side diffs
+# ----------------------------------------------------------------------
+def _probe_left(
+    op: AntiJoin,
+    values: ValueSource,
+    pairs: list[tuple[str, str]],
+    residual: Optional[Expr],
+    state: str,
+) -> ProbeJoin:
+    """Left rows φ-matching the right values carried by *values*."""
+    on = [(values.mapping[r], l) for l, r in pairs]
+    keep = [(c, c) for c in op.left.columns]
+    residual_expr = None
+    if residual is not None:
+        residual_expr = rename_columns(residual, dict(values.mapping))
+    return ProbeJoin(values.ir, op.left, state, on=on, keep=keep, residual=residual_expr)
+
+
+def _right_rules(
+    op: AntiJoin, source: IrNode, in_schema: DiffSchema
+) -> list[tuple[DiffSchema, IrNode]]:
+    pairs, residual = _pairs(op)
+    right_condition_attrs = set(columns_of(op.condition)) & set(op.right.columns)
+    needed = sorted(right_condition_attrs)
+    left_ids = tuple(op.ids)
+
+    if in_schema.kind == INSERT:
+        # Newly matched left rows leave the antijoin output.
+        values = ValueSource(source, state_mapping(in_schema, POST), probed=False)
+        probe = _probe_left(op, values, pairs, residual, POST)
+        delete_schema = DiffSchema(DELETE, target_name(op), left_ids)
+        ir = Distinct(Compute(probe, [(a, col(a)) for a in left_ids]))
+        return [(delete_schema, ir)]
+
+    if in_schema.kind == DELETE:
+        # Left rows that matched the deleted right rows may re-enter the
+        # output — if nothing else on the right matches them now.
+        values = values_via_probe(source, in_schema, op.right, PRE, needed)
+        probe = _probe_left(op, values, pairs, residual, POST)
+        left_values = ValueSource(probe, {c: c for c in op.left.columns}, probed=True)
+        survivors = _semi_right(op, left_values, pairs, residual, negated=True)
+        dedup = _dedupe_left(op, survivors)
+        insert_values = ValueSource(dedup, {c: c for c in op.left.columns}, probed=True)
+        return [make_insert(op, insert_values, {c: col(c) for c in op.columns})]
+
+    # UPDATE: treated as delete-then-insert (Table 13).
+    if not (right_condition_attrs & set(in_schema.post_attrs)):
+        return []
+    out: list[tuple[DiffSchema, IrNode]] = []
+
+    # Delete branch: left rows matching the updated right rows' NEW values.
+    post_values = values_via_probe(source, in_schema, op.right, POST, needed, prefix="vq__")
+    probe_new = _probe_left(op, post_values, pairs, residual, POST)
+    delete_schema = DiffSchema(DELETE, target_name(op), left_ids)
+    out.append(
+        (delete_schema, Distinct(Compute(probe_new, [(a, col(a)) for a in left_ids])))
+    )
+
+    # Insert branch: left rows matching the OLD values that now match
+    # nothing at all.
+    pre_values = values_via_probe(source, in_schema, op.right, PRE, needed, prefix="vp__")
+    probe_old = _probe_left(op, pre_values, pairs, residual, POST)
+    left_values = ValueSource(probe_old, {c: c for c in op.left.columns}, probed=True)
+    survivors = _semi_right(op, left_values, pairs, residual, negated=True)
+    dedup = _dedupe_left(op, survivors)
+    insert_values = ValueSource(dedup, {c: c for c in op.left.columns}, probed=True)
+    out.append(make_insert(op, insert_values, {c: col(c) for c in op.columns}))
+    return out
+
+
+def _dedupe_left(op: AntiJoin, ir: IrNode) -> IrNode:
+    """Keep one copy of each left row (several right diff rows may have
+    matched the same left row)."""
+    return Distinct(Compute(ir, [(c, col(c)) for c in op.left.columns]))

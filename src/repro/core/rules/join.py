@@ -1,0 +1,301 @@
+"""i-diff propagation rules for join ⋈_φ and cross product × —
+paper Tables 10 and 4.
+
+For a diff arriving from one side ("mine"), the *other* side is consulted
+through diff-driven probes of its post-state subview:
+
+* insert: the diff's full tuples join with ``Input_post`` of the other
+  side to produce full output tuples (∆+ ⋈φ Input_post).
+* delete: passes through — the output IDs contain the diff's IDs, so
+  deleting by them removes every joined combination; the other side is
+  never accessed (this is where i-diffs shine).  Mine-side conjuncts of φ
+  filter the diff when pre values are derivable (blue variant).
+* update on attributes not in φ: passes through unchanged.
+* update touching φ: splits into (a) a pass-through update branch
+  (overestimated — dummy rows are absorbed by APPLY), (b) a delete branch
+  for combinations that stop joining (probe the other side with the
+  *old* join values, drop those that still join), and (c) an insert
+  branch for newly joining combinations (probe with the new values).
+
+A cross product is a join with no condition: inserts pair with the whole
+other side, deletes and updates pass through (Table 4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...algebra.plan import Join, PlanNode
+from ...expr import Expr, Not, all_of, col, columns_of, equi_join_pairs, rename_columns
+from ..diffs import DELETE, INSERT, DiffSchema, post_col, pre_col
+from ..ir import POST, PRE, Compute, Filter, IrNode, ProbeJoin
+from .base import (
+    ValueSource,
+    lower_key_update,
+    make_insert,
+    passthrough_schema,
+    split_conjuncts,
+    subst_state,
+    target_name,
+    values_via_probe,
+)
+
+
+def propagate_join(
+    op: Join, source: IrNode, in_schema: DiffSchema, side: int
+) -> list[tuple[DiffSchema, IrNode]]:
+    """Instantiate the Table 10 / Table 4 rules for the diff arriving
+    from child *side* (0 = left, 1 = right)."""
+    mine = op.children[side]
+    other = op.children[1 - side]
+    pairs, residual = _oriented_condition(op, side)
+    if in_schema.kind == INSERT:
+        return [_insert_rule(op, source, in_schema, mine, other, pairs, residual)]
+    if in_schema.kind == DELETE:
+        return [_delete_rule(op, source, in_schema, mine)]
+    return _update_rules(op, source, in_schema, mine, other, pairs, residual)
+
+
+def _oriented_condition(
+    op: Join, side: int
+) -> tuple[list[tuple[str, str]], Optional[Expr]]:
+    """Equi pairs as (mine_col, other_col) plus the residual condition."""
+    if op.condition is None:
+        return [], None
+    pairs, residual = equi_join_pairs(op.condition, op.left.columns, op.right.columns)
+    if side == 1:
+        pairs = [(r, l) for l, r in pairs]
+    from ...expr import TRUE
+
+    return pairs, (None if residual == TRUE else residual)
+
+
+def _mine_condition(op: Join, mine: PlanNode) -> Optional[Expr]:
+    """Conjuncts of φ referencing only the diff's own side."""
+    if op.condition is None:
+        return None
+    local, _ = split_conjuncts(op.condition, mine.columns)
+    from ...expr import TRUE
+
+    return None if local == TRUE else local
+
+
+def _combined_values(
+    probe: IrNode, mine_values: ValueSource, other: PlanNode
+) -> ValueSource:
+    """ValueSource spanning both sides after an other-side probe.
+
+    The probe keeps the other side's columns under their plain names
+    (join children have disjoint column sets, so no collision arises).
+    """
+    mapping = dict(mine_values.mapping)
+    for c in other.columns:
+        mapping[c] = c
+    return ValueSource(probe, mapping, probed=True)
+
+
+def _probe_other(
+    base: ValueSource,
+    other: PlanNode,
+    state: str,
+    pairs: list[tuple[str, str]],
+    residual: Optional[Expr],
+) -> IrNode:
+    """⋈φ Input_state of the other side, driven by *base*'s join values."""
+    on = [(base.mapping[m], o) for m, o in pairs]
+    keep = [(c, c) for c in other.columns]
+    residual_expr = None
+    if residual is not None:
+        residual_expr = rename_columns(residual, dict(base.mapping))
+    return ProbeJoin(base.ir, other, state, on=on, keep=keep, residual=residual_expr)
+
+
+def _canonical_map(op: Join) -> dict[str, str]:
+    """column -> canonical representative of its join-equality class.
+
+    Must mirror Pass 1's equality-aware ID pruning: a diff keyed by a
+    column that the join equates to another (e.g. the renamed copy a
+    natural-join lowering introduces) is re-keyed to the representative,
+    which Pass 1 guarantees survives any projection above.
+    """
+    if op.condition is None:
+        return {}
+    pairs, _ = equi_join_pairs(op.condition, op.left.columns, op.right.columns)
+    canon: dict[str, str] = {}
+    for lcol, rcol in pairs:
+        canon[rcol] = canon.get(lcol, lcol)
+    return canon
+
+
+def _canonized_passthrough(
+    op: Join, source: IrNode, in_schema: DiffSchema
+) -> tuple[DiffSchema, IrNode]:
+    """Pass-through diff with ID attributes renamed to canonical columns."""
+    canon = _canonical_map(op)
+    if not any(a in canon for a in in_schema.id_attrs):
+        return passthrough_schema(op, in_schema), source
+    new_ids: list[str] = []
+    items: list[tuple[str, object]] = []
+    for a in in_schema.id_attrs:
+        canonical = canon.get(a, a)
+        if canonical in new_ids:
+            continue
+        new_ids.append(canonical)
+        items.append((canonical, col(a)))
+    items += [(pre_col(a), col(pre_col(a))) for a in in_schema.pre_attrs]
+    items += [(post_col(a), col(post_col(a))) for a in in_schema.post_attrs]
+    schema = DiffSchema(
+        in_schema.kind,
+        target_name(op),
+        tuple(new_ids),
+        pre_attrs=in_schema.pre_attrs,
+        post_attrs=in_schema.post_attrs,
+    )
+    return schema, Compute(source, items)
+
+
+def _insert_rule(
+    op: Join,
+    source: IrNode,
+    in_schema: DiffSchema,
+    mine: PlanNode,
+    other: PlanNode,
+    pairs: list[tuple[str, str]],
+    residual: Optional[Expr],
+) -> tuple[DiffSchema, IrNode]:
+    values = values_via_probe(source, in_schema, mine, POST, list(mine.columns))
+    probe = _probe_other(values, other, POST, pairs, residual)
+    combined = _combined_values(probe, values, other)
+    return make_insert(op, combined, {c: col(c) for c in op.columns})
+
+
+def _delete_rule(
+    op: Join, source: IrNode, in_schema: DiffSchema, mine: PlanNode
+) -> tuple[DiffSchema, IrNode]:
+    ir: IrNode = source
+    local = _mine_condition(op, mine)
+    if local is not None:
+        local_pre = subst_state(local, in_schema, PRE)
+        if local_pre is not None:
+            ir = Filter(source, local_pre)
+    schema, ir = _canonized_passthrough(op, ir, in_schema)
+    return schema, ir
+
+
+def _update_rules(
+    op: Join,
+    source: IrNode,
+    in_schema: DiffSchema,
+    mine: PlanNode,
+    other: PlanNode,
+    pairs: list[tuple[str, str]],
+    residual: Optional[Expr],
+) -> list[tuple[DiffSchema, IrNode]]:
+    updated = set(in_schema.post_attrs)
+    problem = sorted(updated & set(op.ids) - set(mine.ids))
+    if problem:
+        # Equality canonicalization can promote a non-key column of this
+        # side to a join-output ID; lower updates on it to delete+insert
+        # and re-propagate each part through the ordinary rules.
+        out: list[tuple[DiffSchema, IrNode]] = []
+        for kind, schema, ir in lower_key_update(source, in_schema, mine, problem):
+            if kind == INSERT:
+                out.append(_insert_rule(op, ir, schema, mine, other, pairs, residual))
+            elif kind == DELETE:
+                out.append(_delete_rule(op, ir, schema, mine))
+            else:
+                out.extend(
+                    _update_rules(op, ir, schema, mine, other, pairs, residual)
+                )
+        return out
+    condition_attrs: set[str] = set()
+    if op.condition is not None:
+        condition_attrs = set(columns_of(op.condition)) & set(mine.columns)
+
+    local = _mine_condition(op, mine)
+    if not (condition_attrs & updated):
+        # Join behaviour unchanged: pure update pass-through, filtered by
+        # the mine-side conjuncts over pre values when derivable.
+        ir: IrNode = source
+        if local is not None:
+            local_pre = subst_state(local, in_schema, PRE)
+            if local_pre is not None:
+                ir = Filter(source, local_pre)
+        schema, ir = _canonized_passthrough(op, ir, in_schema)
+        return [(schema, ir)]
+
+    out: list[tuple[DiffSchema, IrNode]] = []
+
+    # (a) pass-through update branch (overestimated; Example 4.8).
+    update_ir: IrNode = source
+    if local is not None:
+        local_both = [
+            c
+            for c in (
+                subst_state(local, in_schema, PRE),
+                subst_state(local, in_schema, POST),
+            )
+            if c is not None
+        ]
+        if local_both:
+            update_ir = Filter(source, all_of(*local_both))
+    out.append(_canonized_passthrough(op, update_ir, in_schema))
+
+    mine_condition_cols = sorted(condition_attrs)
+
+    # (b) delete branch: combinations that stop joining.  Old combos are
+    # pre-state objects, so probe the other side's PRE state with the OLD
+    # (pre) join values — a post-state probe would miss combos whose
+    # partner row changed its own condition attributes in the same batch.
+    # The filter below keeps only combos no longer satisfying φ with the
+    # new mine-side values against the probed partner values; a combo
+    # surviving thanks to the partner's *own* change gets deleted here
+    # and re-created by the insert branch (sound under the canonical
+    # −/u/+ APPLY order).
+    pre_values = values_via_probe(
+        source, in_schema, mine, PRE, mine_condition_cols, prefix="vpre__"
+    )
+    stale_probe = _probe_other(pre_values, other, PRE, pairs, residual)
+    post_values = values_via_probe(
+        stale_probe, in_schema, mine, POST, mine_condition_cols, prefix="vpost__"
+    )
+    still_joins = _full_condition(pairs, residual, post_values.mapping)
+    delete_base = Filter(post_values.ir, Not(still_joins))
+    canon = _canonical_map(op)
+    delete_ids: list[str] = []
+    items = []
+    for a in in_schema.id_attrs + tuple(other.ids):
+        canonical = canon.get(a, a)
+        if canonical in delete_ids:
+            continue
+        delete_ids.append(canonical)
+        items.append((canonical, col(a)))
+    # A canonicalized other-side ID may land on one of our non-key
+    # attribute names (join on a non-key column); IDs win.
+    delete_pre = tuple(a for a in in_schema.pre_attrs if a not in set(delete_ids))
+    items += [(pre_col(a), col(pre_col(a))) for a in delete_pre]
+    delete_schema = DiffSchema(
+        DELETE, target_name(op), tuple(delete_ids), pre_attrs=delete_pre
+    )
+    out.append((delete_schema, Compute(delete_base, items)))
+
+    # (c) insert branch: newly joining combinations with full post tuples.
+    new_values = values_via_probe(source, in_schema, mine, POST, list(mine.columns))
+    new_probe = _probe_other(new_values, other, POST, pairs, residual)
+    combined = _combined_values(new_probe, new_values, other)
+    out.append(make_insert(op, combined, {c: col(c) for c in op.columns}))
+    return out
+
+
+def _full_condition(
+    pairs: list[tuple[str, str]],
+    residual: Optional[Expr],
+    post_mapping: dict[str, str],
+) -> Expr:
+    """φ with mine values POST and other values as probed (plain names)."""
+    terms: list[Expr] = [
+        col(post_mapping[m]).eq(col(o)) for m, o in pairs
+    ]
+    if residual is not None:
+        terms.append(rename_columns(residual, dict(post_mapping)))
+    return all_of(*terms)

@@ -1,0 +1,216 @@
+"""i-diff propagation rules for generalized projection π — paper Table 8.
+
+The projection computes output columns ``name := expr(child columns)``;
+after Pass 1 every child ID is passed through under some output name, so
+the diff's ID attributes always survive the projection (possibly renamed).
+
+* insert: recompute every output column from the diff's post values.
+* delete: rename the IDs; carry the pre values of whatever output columns
+  are derivable from the diff's pre attributes (blue variant).
+* update: only output columns whose expression touches an updated
+  attribute change.  Their new values are computed from the diff when
+  derivable and from ``Input_post`` otherwise (general form; minimized by
+  Pass 4).  The σ_isupd filter drops rows whose recomputed outputs did
+  not actually change (requires derivable pre values).
+"""
+
+from __future__ import annotations
+
+from ...algebra.plan import Project
+from ...errors import RuleError
+from ...expr import Call, Col, Expr, any_of, col, columns_of
+from ..diffs import DELETE, INSERT, UPDATE, DiffSchema, post_col, pre_col
+from ..ir import POST, PRE, Compute, Filter, IrNode
+from .base import (
+    state_mapping,
+    target_name,
+    values_via_probe,
+)
+
+
+def _passthrough_map(op: Project) -> dict[str, str]:
+    """child column -> output name, for bare-column items."""
+    mapping: dict[str, str] = {}
+    for name, expr in op.items:
+        if isinstance(expr, Col) and expr.name not in mapping:
+            mapping[expr.name] = name
+    return mapping
+
+
+def _mapped_ids(op: Project, in_schema: DiffSchema) -> tuple[str, ...]:
+    passthrough = _passthrough_map(op)
+    try:
+        return tuple(passthrough[a] for a in in_schema.id_attrs)
+    except KeyError as exc:
+        raise RuleError(
+            f"diff ID {exc.args[0]!r} is not passed through projection "
+            f"{target_name(op)}; Pass 1 should have extended the plan"
+        ) from None
+
+
+def propagate_project(
+    op: Project, source: IrNode, in_schema: DiffSchema
+) -> list[tuple[DiffSchema, IrNode]]:
+    """Instantiate the Table 8 rules for one input diff branch."""
+    if in_schema.kind == INSERT:
+        return _propagate_insert(op, source, in_schema)
+    if in_schema.kind == DELETE:
+        return _propagate_delete(op, source, in_schema)
+    return _propagate_update(op, source, in_schema)
+
+
+def _propagate_insert(
+    op: Project, source: IrNode, in_schema: DiffSchema
+) -> list[tuple[DiffSchema, IrNode]]:
+    post_map = state_mapping(in_schema, POST)
+    out_ids = tuple(op.ids)
+    non_ids = tuple(c for c in op.columns if c not in set(out_ids))
+    exprs = dict(op.items)
+    items = [(a, _rewrite(exprs[a], post_map)) for a in out_ids]
+    items += [(post_col(c), _rewrite(exprs[c], post_map)) for c in non_ids]
+    schema = DiffSchema(INSERT, target_name(op), out_ids, post_attrs=non_ids)
+    return [(schema, Compute(source, items))]
+
+
+def _propagate_delete(
+    op: Project, source: IrNode, in_schema: DiffSchema
+) -> list[tuple[DiffSchema, IrNode]]:
+    out_ids = _mapped_ids(op, in_schema)
+    pre_map = state_mapping(in_schema, PRE)
+    items = [(a, col(diff_col)) for a, diff_col in zip(out_ids, in_schema.id_attrs)]
+    # Carry pre values for every derivable non-ID output column.
+    pre_attrs: list[str] = []
+    id_set = set(out_ids)
+    for name, expr in op.items:
+        if name in id_set:
+            continue
+        if set(columns_of(expr)) <= set(pre_map):
+            pre_attrs.append(name)
+            items.append((pre_col(name), _rewrite(expr, pre_map)))
+    schema = DiffSchema(
+        DELETE, target_name(op), out_ids, pre_attrs=tuple(pre_attrs)
+    )
+    return [(schema, Compute(source, items))]
+
+
+def _propagate_update(
+    op: Project, source: IrNode, in_schema: DiffSchema
+) -> list[tuple[DiffSchema, IrNode]]:
+    updated = set(in_schema.post_attrs)
+    out_ids = _mapped_ids(op, in_schema)
+    id_set = set(out_ids)
+    affected = [
+        (name, expr)
+        for name, expr in op.items
+        if name not in id_set and (set(columns_of(expr)) & updated)
+    ]
+    if not affected:
+        # No output column depends on the updated attributes: the view is
+        # untouched by this branch (rule not triggered).
+        return []
+
+    needed = sorted({c for _, expr in affected for c in columns_of(expr)})
+    post_map = state_mapping(in_schema, POST)
+    expanded = not all(c in post_map for c in needed)
+    if expanded:
+        return _propagate_update_expanded(op, source, in_schema, affected, needed)
+
+    values = values_via_probe(source, in_schema, op.child, POST, needed)
+    pre_map = state_mapping(in_schema, PRE)
+
+    items = [(a, col(diff_col)) for a, diff_col in zip(out_ids, in_schema.id_attrs)]
+    pre_attrs: list[str] = []
+    post_attrs: list[str] = []
+    isupd_terms: list[Expr] = []
+    for name, expr in affected:
+        post_attrs.append(name)
+        post_expr = values.rewrite(expr)
+        items.append((post_col(name), post_expr))
+        if set(columns_of(expr)) <= set(pre_map):
+            pre_attrs.append(name)
+            pre_expr = _rewrite(expr, pre_map)
+            items.append((pre_col(name), pre_expr))
+            isupd_terms.append(Call("is_distinct", [post_expr, pre_expr]))
+
+    # sigma_isupd: drop rows provably unchanged (only when *every* affected
+    # output has a derivable pre value, otherwise a change could hide in
+    # the non-derivable ones).
+    base: IrNode = values.ir
+    if len(pre_attrs) == len(affected) and isupd_terms:
+        base = Filter(base, any_of(*isupd_terms))
+
+    # Also pass through derivable pre values of *unaffected* columns --
+    # they are free and reduce overestimation upstream (Section 5).
+    for name, expr in op.items:
+        if name in id_set or name in set(post_attrs):
+            continue
+        if set(columns_of(expr)) <= set(pre_map):
+            pre_attrs.append(name)
+            items.append((pre_col(name), _rewrite(expr, pre_map)))
+
+    schema = DiffSchema(
+        UPDATE,
+        target_name(op),
+        out_ids,
+        pre_attrs=tuple(pre_attrs),
+        post_attrs=tuple(post_attrs),
+    )
+    # Order items to match the schema layout: ids, pres, posts.
+    by_name = dict(items)
+    ordered = [(a, by_name[a]) for a in out_ids]
+    ordered += [(pre_col(a), by_name[pre_col(a)]) for a in schema.pre_attrs]
+    ordered += [(post_col(a), by_name[post_col(a)]) for a in schema.post_attrs]
+    return [(schema, Compute(base, ordered))]
+
+
+def _propagate_update_expanded(
+    op: Project,
+    source: IrNode,
+    in_schema: DiffSchema,
+    affected: list[tuple[str, Expr]],
+    needed: list[str],
+) -> list[tuple[DiffSchema, IrNode]]:
+    """Update rule when a recomputed output depends on attributes outside
+    the diff.
+
+    Its new value is then NOT functionally determined by the diff's ID
+    subset (Section 2's FD requirement for i-diffs), so the Input_post
+    probe expands the diff to full child rows and the output diff is
+    keyed by the full child IDs.  No pre-state values are emitted: the
+    probed post values reflect the whole batch, and mixing them with this
+    branch's pre values would let downstream rules filter incorrectly --
+    overestimation is the safe direction (Example 4.8).
+    """
+    child_ids = tuple(op.child.ids)
+    passthrough = _passthrough_map(op)
+    try:
+        out_ids = tuple(passthrough[a] for a in child_ids)
+    except KeyError as exc:
+        raise RuleError(
+            f"child ID {exc.args[0]!r} is not passed through projection "
+            f"{target_name(op)}; Pass 1 should have extended the plan"
+        ) from None
+    request = sorted(set(needed) | set(child_ids))
+    values = values_via_probe(source, in_schema, op.child, POST, request)
+    id_set = set(out_ids)
+    affected = [(n, e) for n, e in affected if n not in id_set]
+    if not affected:
+        return []
+    items = [
+        (out_name, values.expr_for(child_id))
+        for out_name, child_id in zip(out_ids, child_ids)
+    ]
+    post_attrs = tuple(name for name, _ in affected)
+    items += [
+        (post_col(name), values.rewrite(expr)) for name, expr in affected
+    ]
+    schema = DiffSchema(
+        UPDATE, target_name(op), out_ids, post_attrs=post_attrs
+    )
+    return [(schema, Compute(values.ir, items))]
+
+
+def _rewrite(expr: Expr, mapping: dict[str, str]) -> Expr:
+    from ...expr import rename_columns
+
+    return rename_columns(expr, mapping)

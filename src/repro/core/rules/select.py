@@ -1,0 +1,117 @@
+"""i-diff propagation rules for selection σ_φ(X̄) — paper Table 6.
+
+* insert: filter the diff by φ over post-state values (always derivable —
+  insert i-diffs carry full tuples).
+* delete: filter by φ over pre-state values when the diff carries them
+  (the table's blue variant), pass through unfiltered otherwise
+  (overestimation, Example 4.8).
+* update: when the updated attributes are disjoint from X̄ the update can
+  only yield updates; otherwise it splits into an update branch (rows
+  satisfying φ before and after), an insert branch (rows newly satisfying
+  φ — full tuples obtained from ``Input_post``, the general form that
+  Pass 4 minimizes when the diff suffices) and a delete branch (rows no
+  longer satisfying φ).
+"""
+
+from __future__ import annotations
+
+from ...algebra.plan import Select
+from ...expr import Expr, Not, all_of, col, columns_of
+from ..diffs import DELETE, INSERT, DiffSchema, pre_col
+from ..ir import POST, PRE, Compute, Filter, IrNode
+from .base import (
+    ValueSource,
+    make_insert,
+    passthrough_schema,
+    subst_state,
+    target_name,
+    values_via_probe,
+)
+
+
+def propagate_select(
+    op: Select, source: IrNode, in_schema: DiffSchema
+) -> list[tuple[DiffSchema, IrNode]]:
+    """Instantiate the Table 6 rules for one input diff branch."""
+    predicate = op.predicate
+    condition_attrs = columns_of(predicate)
+    if in_schema.kind == INSERT:
+        phi_post = subst_state(predicate, in_schema, POST)
+        return [(passthrough_schema(op, in_schema), Filter(source, phi_post))]
+    if in_schema.kind == DELETE:
+        phi_pre = subst_state(predicate, in_schema, PRE)
+        ir: IrNode = Filter(source, phi_pre) if phi_pre is not None else source
+        return [(passthrough_schema(op, in_schema), ir)]
+    return _propagate_update(op, source, in_schema, predicate, condition_attrs)
+
+
+def _propagate_update(
+    op: Select,
+    source: IrNode,
+    in_schema: DiffSchema,
+    predicate: Expr,
+    condition_attrs: frozenset[str],
+) -> list[tuple[DiffSchema, IrNode]]:
+    updated = set(in_schema.post_attrs)
+    phi_pre = subst_state(predicate, in_schema, PRE)
+    phi_post = subst_state(predicate, in_schema, POST)
+
+    if not (condition_attrs & updated):
+        # The condition is untouched: pure update propagation, filtered by
+        # φ over pre values when available (rows failing φ are not in the
+        # view; their updates are dummies).
+        ir: IrNode = Filter(source, phi_pre) if phi_pre is not None else source
+        return [(passthrough_schema(op, in_schema), ir)]
+
+    out: list[tuple[DiffSchema, IrNode]] = []
+
+    # --- update branch: satisfied φ before and after ------------------
+    conditions = [c for c in (phi_pre, phi_post) if c is not None]
+    update_ir: IrNode = Filter(source, all_of(*conditions)) if conditions else source
+    out.append((passthrough_schema(op, in_schema), update_ir))
+
+    # --- insert branch: ¬φ(pre) ∧ φ(post); needs full post tuples ------
+    seed: IrNode = source
+    seed_filters = []
+    if phi_post is not None:
+        seed_filters.append(phi_post)
+    if phi_pre is not None:
+        seed_filters.append(Not(phi_pre))
+    if seed_filters:
+        seed = Filter(source, all_of(*seed_filters))
+    values = values_via_probe(seed, in_schema, op.child, POST, list(op.child.columns))
+    insert_base = values.ir
+    if phi_post is None:
+        # φ was not derivable from the diff; evaluate it on the probed
+        # post-state values instead.
+        insert_base = Filter(values.ir, values.rewrite(predicate))
+    insert_values = ValueSource(insert_base, values.mapping, values.probed)
+    out.append(
+        make_insert(op, insert_values, {c: col(c) for c in op.columns})
+    )
+
+    # --- delete branch: φ(pre) ∧ ¬φ(post) ------------------------------
+    delete_seed: IrNode = source
+    delete_filters = []
+    if phi_pre is not None:
+        delete_filters.append(phi_pre)
+    if phi_post is not None:
+        delete_filters.append(Not(phi_post))
+    if delete_filters:
+        delete_seed = Filter(source, all_of(*delete_filters))
+    if phi_post is None:
+        # General form: rows whose post state fails φ (probe Input_post).
+        dvalues = values_via_probe(
+            delete_seed, in_schema, op.child, POST, sorted(condition_attrs)
+        )
+        delete_seed = Filter(dvalues.ir, Not(dvalues.rewrite(predicate)))
+    delete_schema = DiffSchema(
+        DELETE,
+        target_name(op),
+        in_schema.id_attrs,
+        pre_attrs=in_schema.pre_attrs,
+    )
+    items = [(a, col(a)) for a in in_schema.id_attrs]
+    items += [(pre_col(a), col(pre_col(a))) for a in in_schema.pre_attrs]
+    out.append((delete_schema, Compute(delete_seed, items)))
+    return out

@@ -1,0 +1,53 @@
+"""i-diff propagation rules for bag union (union all) — paper Table 5.
+
+Each branch's diff passes through with the branch attribute *b* appended
+as an additional ID (π_{*, b→0/1} in the table): a diff coming from the
+left child may only touch rows tagged b = 0, and symmetrically for the
+right, so the branch tag keeps the two sides' modifications apart.
+"""
+
+from __future__ import annotations
+
+from ...algebra.plan import UnionAll
+from ...expr import col, lit
+from ..diffs import UPDATE, DiffSchema, post_col, pre_col
+from ..ir import Compute, IrNode
+from .base import lower_key_update, target_name
+
+
+def propagate_union(
+    op: UnionAll, source: IrNode, in_schema: DiffSchema, side: int
+) -> list[tuple[DiffSchema, IrNode]]:
+    """Instantiate the Table 5 rules: tag the diff with its branch."""
+    branch = op.branch_column
+    if in_schema.kind == UPDATE:
+        # ID(l) ∪ ID(r) can promote a branch's non-key attribute to a
+        # union ID; updates on it must become delete+insert (key update).
+        problem = sorted(set(in_schema.post_attrs) & set(op.ids))
+        if problem:
+            child = op.children[side]
+            out: list[tuple[DiffSchema, IrNode]] = []
+            for _kind, schema, ir in lower_key_update(
+                source, in_schema, child, problem
+            ):
+                out.extend(_tag_branch(op, ir, schema, side))
+            return out
+    return _tag_branch(op, source, in_schema, side)
+
+
+def _tag_branch(
+    op: UnionAll, source: IrNode, in_schema: DiffSchema, side: int
+) -> list[tuple[DiffSchema, IrNode]]:
+    branch = op.branch_column
+    schema = DiffSchema(
+        in_schema.kind,
+        target_name(op),
+        in_schema.id_attrs + (branch,),
+        pre_attrs=in_schema.pre_attrs,
+        post_attrs=in_schema.post_attrs,
+    )
+    items = [(a, col(a)) for a in in_schema.id_attrs]
+    items.append((branch, lit(side)))
+    items += [(pre_col(a), col(pre_col(a))) for a in in_schema.pre_attrs]
+    items += [(post_col(a), col(post_col(a))) for a in in_schema.post_attrs]
+    return [(schema, Compute(source, items))]

@@ -1,0 +1,141 @@
+"""∆-scripts: the executable output of the 4-pass generator (Section 4).
+
+A ∆-script is an ordered list of steps:
+
+* :class:`ComputeDiffStep` — evaluate a diff-query IR tree and bind the
+  result to a name (the queries of Figure 7);
+* :class:`ApplyDiffStep` — APPLY a named diff to a materialized target
+  (a cache or the view), capturing the ``UPDATE ... RETURNING``
+  expansion;
+* :class:`MarkCacheUpdatedStep` — record that a cache now holds the
+  post-state (subview references switch from recompute to cache read);
+* aggregate steps (:mod:`repro.core.rules.aggregate`) — the blocking
+  rules of Tables 7, 9, 11, 12.
+
+Steps carry a *phase* label so the harness can attribute access counts to
+the paper's Figure 12 cost components (cache update / view diff
+computation / view update).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ScriptError
+from ..storage import CounterSet
+from .apply import apply_diff
+from .diffs import Diff, DiffSchema
+from .ir import IrNode
+from .ir_exec import IrContext, run_ir
+
+PHASE_CACHE_DIFF = "cache_diff"
+PHASE_CACHE_UPDATE = "cache_update"
+PHASE_VIEW_DIFF = "view_diff"
+PHASE_VIEW_UPDATE = "view_update"
+
+
+class Step:
+    """Base class for ∆-script steps."""
+
+    phase: str = PHASE_VIEW_DIFF
+
+    def run(self, ctx: IrContext) -> None:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+class ComputeDiffStep(Step):
+    """``name := <IR>`` — compute a diff and bind it in the environment."""
+
+    def __init__(self, name: str, schema: DiffSchema, ir: IrNode, phase: str):
+        self.name = name
+        self.schema = schema
+        self.ir = ir
+        self.phase = phase
+
+    def run(self, ctx: IrContext) -> None:
+        relation = run_ir(self.ir, ctx)
+        ctx.diffs[self.name] = Diff.from_relation(self.schema, relation)
+
+    def describe(self) -> str:
+        return f"{self.name} := {self.schema!r}\n{self.ir.pretty(1)}"
+
+
+class ApplyDiffStep(Step):
+    """``APPLY name`` against a cache or the view (Section 2 DML)."""
+
+    def __init__(
+        self,
+        diff_name: str,
+        target_node_id: int,
+        target_label: str,
+        phase: str,
+        returning_name: Optional[str] = None,
+    ):
+        self.diff_name = diff_name
+        self.target_node_id = target_node_id
+        self.target_label = target_label
+        self.phase = phase
+        self.returning_name = returning_name
+
+    def run(self, ctx: IrContext) -> None:
+        diff = ctx.diffs.get(self.diff_name)
+        if diff is None:
+            raise ScriptError(f"diff {self.diff_name!r} was never computed")
+        table = ctx.caches.get(self.target_node_id)
+        if table is None:
+            raise ScriptError(
+                f"no materialization registered for node {self.target_node_id}"
+            )
+        applied = apply_diff(table, diff)
+        if self.returning_name is not None:
+            ctx.expansions[self.returning_name] = applied
+
+    def describe(self) -> str:
+        tail = f" RETURNING {self.returning_name}" if self.returning_name else ""
+        return f"APPLY {self.diff_name} TO {self.target_label}{tail}"
+
+
+class MarkCacheUpdatedStep(Step):
+    """Flip a cache's state to post (all its diffs have been applied)."""
+
+    def __init__(self, node_id: int, label: str):
+        self.node_id = node_id
+        self.label = label
+        self.phase = PHASE_CACHE_UPDATE
+
+    def run(self, ctx: IrContext) -> None:
+        ctx.mark_cache_updated(self.node_id)
+
+    def describe(self) -> str:
+        return f"-- {self.label} is now post-state"
+
+
+class DeltaScript:
+    """An ordered ∆-script plus the metadata needed to execute it."""
+
+    def __init__(self, steps: list[Step], view_node_id: int):
+        self.steps = steps
+        self.view_node_id = view_node_id
+
+    def describe(self) -> str:
+        """Human-readable rendering (the Figure 7 shape)."""
+        lines = []
+        for i, step in enumerate(self.steps, start=1):
+            lines.append(f"{i:3d}. [{step.phase}] {step.describe()}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+def execute_script(
+    script: DeltaScript, ctx: IrContext, counters: CounterSet
+) -> dict[str, Diff]:
+    """Run every step under its phase label; returns the diff environment."""
+    for step in script.steps:
+        with counters.phase(step.phase):
+            step.run(ctx)
+    return ctx.diffs

@@ -1,0 +1,57 @@
+"""Empirical extraction of the cost-model parameters from a live run.
+
+The analytical model of :mod:`repro.costmodel.model` speaks in terms of
+*a* (tuple-based probe cost per base diff tuple) and *p* (compression
+factor).  These helpers measure both from the instrumented engines so the
+model's predictions can be validated against observed speedups
+(``benchmarks/bench_speedup_model.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.engine import MaintenanceReport
+
+
+@dataclass
+class MeasuredParameters:
+    """Cost-model parameters observed during one maintenance round."""
+
+    base_diff_size: int
+    view_diff_size: int
+    id_cost: int
+    tuple_cost: int
+
+    @property
+    def p(self) -> float:
+        """Compression factor |D_V| / |∆_V| with a single base i-diff
+        (|∆_V| = base diff size for pass-through update branches)."""
+        if self.base_diff_size == 0:
+            return 0.0
+        return self.view_diff_size / self.base_diff_size
+
+    @property
+    def observed_speedup(self) -> float:
+        if self.id_cost == 0:
+            return float("inf") if self.tuple_cost else 1.0
+        return self.tuple_cost / self.id_cost
+
+
+def measure_a(report: MaintenanceReport, base_diff_size: int) -> float:
+    """Observed *a*: the tuple-based view-diff computation accesses per
+    base diff tuple (Section 6's diff-driven loop cost)."""
+    if base_diff_size == 0:
+        return 0.0
+    return report.cost_of("view_diff") / base_diff_size
+
+
+def observed_speedup(
+    tuple_report: MaintenanceReport, id_report: MaintenanceReport
+) -> float:
+    """tuple-based cost / ID-based cost (the paper's speedup ratio)."""
+    id_cost = id_report.total_cost
+    tuple_cost = tuple_report.total_cost
+    if id_cost == 0:
+        return float("inf") if tuple_cost else 1.0
+    return tuple_cost / id_cost

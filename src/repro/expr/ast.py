@@ -1,0 +1,348 @@
+"""Scalar expression AST.
+
+Expressions appear in selection predicates, join conditions and generalized
+projections.  Nodes are immutable and hashable so they can be used as keys
+during plan analysis.  Comparison operators are exposed as *methods*
+(``col("a").eq(lit(3))``) rather than ``__eq__`` overloads, so that
+expressions remain well-behaved members of sets and dict keys; arithmetic
+and boolean connectives get genuine operator overloads (``+``, ``&``, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from ..errors import ExpressionError
+
+# Scalar functions available to generalized projection (Call nodes).
+SCALAR_FUNCTIONS: dict[str, Callable] = {
+    "abs": abs,
+    "round": round,
+    "floor": lambda x: int(x // 1),
+    "ceil": lambda x: -int((-x) // 1),
+    "length": len,
+    "lower": lambda s: s.lower(),
+    "upper": lambda s: s.upper(),
+    "concat": lambda *parts: "".join(str(p) for p in parts),
+    "coalesce": lambda *vals: next((v for v in vals if v is not None), None),
+    "greatest": max,
+    "least": min,
+    "mod": lambda a, b: a % b,
+    "sign": lambda x: (x > 0) - (x < 0),
+    # Null-safe inequality (SQL's IS DISTINCT FROM); used by the σ_isupd
+    # filter of the projection rules (Table 8).
+    "is_distinct": lambda a, b: a != b,
+}
+
+#: Functions that receive None arguments instead of short-circuiting to None.
+NULL_TOLERANT_FUNCTIONS = frozenset({"coalesce", "is_distinct"})
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+    __slots__ = ()
+
+    # -- arithmetic ----------------------------------------------------
+    def __add__(self, other: "Expr | object") -> "Arith":
+        return Arith("+", self, _wrap(other))
+
+    def __radd__(self, other: object) -> "Arith":
+        return Arith("+", _wrap(other), self)
+
+    def __sub__(self, other: "Expr | object") -> "Arith":
+        return Arith("-", self, _wrap(other))
+
+    def __rsub__(self, other: object) -> "Arith":
+        return Arith("-", _wrap(other), self)
+
+    def __mul__(self, other: "Expr | object") -> "Arith":
+        return Arith("*", self, _wrap(other))
+
+    def __rmul__(self, other: object) -> "Arith":
+        return Arith("*", _wrap(other), self)
+
+    def __truediv__(self, other: "Expr | object") -> "Arith":
+        return Arith("/", self, _wrap(other))
+
+    def __rtruediv__(self, other: object) -> "Arith":
+        return Arith("/", _wrap(other), self)
+
+    def __neg__(self) -> "Arith":
+        return Arith("-", Lit(0), self)
+
+    # -- comparisons (methods, to preserve hashability) -----------------
+    def eq(self, other: "Expr | object") -> "Cmp":
+        return Cmp("=", self, _wrap(other))
+
+    def ne(self, other: "Expr | object") -> "Cmp":
+        return Cmp("<>", self, _wrap(other))
+
+    def lt(self, other: "Expr | object") -> "Cmp":
+        return Cmp("<", self, _wrap(other))
+
+    def le(self, other: "Expr | object") -> "Cmp":
+        return Cmp("<=", self, _wrap(other))
+
+    def gt(self, other: "Expr | object") -> "Cmp":
+        return Cmp(">", self, _wrap(other))
+
+    def ge(self, other: "Expr | object") -> "Cmp":
+        return Cmp(">=", self, _wrap(other))
+
+    def isin(self, values: Iterable[object]) -> "InList":
+        return InList(self, tuple(values))
+
+    # -- boolean connectives --------------------------------------------
+    def __and__(self, other: "Expr") -> "And":
+        return And((self, other))
+
+    def __or__(self, other: "Expr") -> "Or":
+        return Or((self, other))
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+def _wrap(value: "Expr | object") -> "Expr":
+    return value if isinstance(value, Expr) else Lit(value)
+
+
+class Col(Expr):
+    """Reference to a column by name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, *_):  # pragma: no cover - immutability guard
+        raise AttributeError("Expr nodes are immutable")
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Col) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Col", self.name))
+
+
+class Lit(Expr):
+    """A literal constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object):
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, *_):  # pragma: no cover
+        raise AttributeError("Expr nodes are immutable")
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Lit) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("Lit", self.value))
+
+
+class _Binary(Expr):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __setattr__(self, *_):  # pragma: no cover
+        raise AttributeError("Expr nodes are immutable")
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is type(self)
+            and other.op == self.op  # type: ignore[attr-defined]
+            and other.left == self.left  # type: ignore[attr-defined]
+            and other.right == self.right  # type: ignore[attr-defined]
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.op, self.left, self.right))
+
+
+class Arith(_Binary):
+    """Arithmetic: ``+ - * /``."""
+
+    __slots__ = ()
+
+
+class Cmp(_Binary):
+    """Comparison: ``= <> < <= > >=``."""
+
+    __slots__ = ()
+
+
+class And(Expr):
+    """N-ary conjunction."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Sequence[Expr]):
+        flat: list[Expr] = []
+        for item in items:
+            if isinstance(item, And):
+                flat.extend(item.items)
+            else:
+                flat.append(item)
+        object.__setattr__(self, "items", tuple(flat))
+
+    def __setattr__(self, *_):  # pragma: no cover
+        raise AttributeError("Expr nodes are immutable")
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(repr(i) for i in self.items) + ")"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, And) and other.items == self.items
+
+    def __hash__(self) -> int:
+        return hash(("And", self.items))
+
+
+class Or(Expr):
+    """N-ary disjunction."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Sequence[Expr]):
+        flat: list[Expr] = []
+        for item in items:
+            if isinstance(item, Or):
+                flat.extend(item.items)
+            else:
+                flat.append(item)
+        object.__setattr__(self, "items", tuple(flat))
+
+    def __setattr__(self, *_):  # pragma: no cover
+        raise AttributeError("Expr nodes are immutable")
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(repr(i) for i in self.items) + ")"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Or) and other.items == self.items
+
+    def __hash__(self) -> int:
+        return hash(("Or", self.items))
+
+
+class Not(Expr):
+    """Logical negation."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, item: Expr):
+        object.__setattr__(self, "item", item)
+
+    def __setattr__(self, *_):  # pragma: no cover
+        raise AttributeError("Expr nodes are immutable")
+
+    def __repr__(self) -> str:
+        return f"NOT {self.item!r}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Not) and other.item == self.item
+
+    def __hash__(self) -> int:
+        return hash(("Not", self.item))
+
+
+class InList(Expr):
+    """Membership test against a literal value list."""
+
+    __slots__ = ("item", "values")
+
+    def __init__(self, item: Expr, values: tuple):
+        object.__setattr__(self, "item", item)
+        object.__setattr__(self, "values", tuple(values))
+
+    def __setattr__(self, *_):  # pragma: no cover
+        raise AttributeError("Expr nodes are immutable")
+
+    def __repr__(self) -> str:
+        return f"{self.item!r} IN {self.values!r}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, InList) and (other.item, other.values) == (
+            self.item,
+            self.values,
+        )
+
+    def __hash__(self) -> int:
+        return hash(("InList", self.item, self.values))
+
+
+class Call(Expr):
+    """Scalar function application (from :data:`SCALAR_FUNCTIONS`)."""
+
+    __slots__ = ("func", "args")
+
+    def __init__(self, func: str, args: Sequence[Expr]):
+        if func not in SCALAR_FUNCTIONS:
+            raise ExpressionError(f"unknown scalar function {func!r}")
+        object.__setattr__(self, "func", func)
+        object.__setattr__(self, "args", tuple(_wrap(a) for a in args))
+
+    def __setattr__(self, *_):  # pragma: no cover
+        raise AttributeError("Expr nodes are immutable")
+
+    def __repr__(self) -> str:
+        return f"{self.func}({', '.join(repr(a) for a in self.args)})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Call) and (other.func, other.args) == (
+            self.func,
+            self.args,
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Call", self.func, self.args))
+
+
+TRUE = Lit(True)
+FALSE = Lit(False)
+
+
+def col(name: str) -> Col:
+    """Shorthand constructor for a column reference."""
+    return Col(name)
+
+
+def lit(value: object) -> Lit:
+    """Shorthand constructor for a literal."""
+    return Lit(value)
+
+
+def all_of(*exprs: Expr) -> Expr:
+    """Conjunction of the given predicates (TRUE when empty)."""
+    exprs = tuple(e for e in exprs if e != TRUE)
+    if not exprs:
+        return TRUE
+    if len(exprs) == 1:
+        return exprs[0]
+    return And(exprs)
+
+
+def any_of(*exprs: Expr) -> Expr:
+    """Disjunction of the given predicates (FALSE when empty)."""
+    if not exprs:
+        return FALSE
+    if len(exprs) == 1:
+        return exprs[0]
+    return Or(exprs)

@@ -1,0 +1,107 @@
+"""Expression evaluation against (column-index, row) pairs."""
+
+from __future__ import annotations
+
+import operator
+from typing import Mapping
+
+from ..errors import ExpressionError, UnknownColumnError
+from .ast import (
+    NULL_TOLERANT_FUNCTIONS,
+    SCALAR_FUNCTIONS,
+    And,
+    Arith,
+    Call,
+    Cmp,
+    Col,
+    Expr,
+    InList,
+    Lit,
+    Not,
+    Or,
+)
+
+_ARITH_OPS = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+}
+
+_CMP_OPS = {
+    "=": operator.eq,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+def evaluate(expr: Expr, positions: Mapping[str, int], row: tuple):
+    """Evaluate *expr* on *row*, using *positions* to resolve column names.
+
+    ``None`` propagates through arithmetic and comparisons (SQL-ish NULL
+    semantics: any operation on None yields None; predicates treat None as
+    False at filter boundaries).
+    """
+    if isinstance(expr, Lit):
+        return expr.value
+    if isinstance(expr, Col):
+        try:
+            return row[positions[expr.name]]
+        except KeyError:
+            raise UnknownColumnError(
+                f"column {expr.name!r} not available; have {sorted(positions)}"
+            ) from None
+    if isinstance(expr, Arith):
+        left = evaluate(expr.left, positions, row)
+        right = evaluate(expr.right, positions, row)
+        if left is None or right is None:
+            return None
+        return _ARITH_OPS[expr.op](left, right)
+    if isinstance(expr, Cmp):
+        left = evaluate(expr.left, positions, row)
+        right = evaluate(expr.right, positions, row)
+        if left is None or right is None:
+            return None
+        return _CMP_OPS[expr.op](left, right)
+    if isinstance(expr, And):
+        result: object = True
+        for item in expr.items:
+            value = evaluate(item, positions, row)
+            if value is False:
+                return False
+            if value is None:
+                result = None
+        return result
+    if isinstance(expr, Or):
+        result = False
+        for item in expr.items:
+            value = evaluate(item, positions, row)
+            if value is True:
+                return True
+            if value is None:
+                result = None
+        return result
+    if isinstance(expr, Not):
+        value = evaluate(expr.item, positions, row)
+        if value is None:
+            return None
+        return not value
+    if isinstance(expr, InList):
+        value = evaluate(expr.item, positions, row)
+        if value is None:
+            return None
+        return value in expr.values
+    if isinstance(expr, Call):
+        args = [evaluate(a, positions, row) for a in expr.args]
+        if expr.func not in NULL_TOLERANT_FUNCTIONS and any(a is None for a in args):
+            return None
+        return SCALAR_FUNCTIONS[expr.func](*args)
+    raise ExpressionError(f"cannot evaluate expression node {expr!r}")
+
+
+def matches(expr: Expr, positions: Mapping[str, int], row: tuple) -> bool:
+    """Predicate evaluation at a filter boundary: None counts as False."""
+    return evaluate(expr, positions, row) is True

@@ -1,0 +1,21 @@
+"""Ad-hoc querying: run one-off SQL against a database.
+
+Materialized views are for queries you keep; for everything else::
+
+    from repro import Database, query
+
+    rows = query(db, "SELECT did, SUM(price) AS cost FROM ... GROUP BY did")
+
+Returns the result :class:`~repro.algebra.Relation` (columns + rows).
+"""
+
+from __future__ import annotations
+
+from .algebra import Relation, evaluate_plan
+from .sql import sql_to_plan
+from .storage import Database
+
+
+def query(db: Database, sql: str) -> Relation:
+    """Parse, translate and evaluate *sql* against *db*."""
+    return evaluate_plan(sql_to_plan(db, sql), db)

@@ -1,0 +1,7 @@
+"""SQL subset front-end: lexer, parser and algebra translation."""
+
+from .lexer import Token, tokenize
+from .parser import parse
+from .translate import sql_to_plan
+
+__all__ = ["Token", "parse", "sql_to_plan", "tokenize"]

@@ -1,0 +1,82 @@
+"""Tokenizer for the SQL subset front-end."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SqlError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "AS", "AND", "OR",
+    "NOT", "IN", "NATURAL", "JOIN", "ON", "UNION", "ALL", "EXCEPT",
+    "SUM", "COUNT", "AVG", "MIN", "MAX", "TRUE", "FALSE", "NULL",
+    "CREATE", "VIEW", "BETWEEN", "INNER",
+}
+
+PUNCTUATION = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", "*",
+               "+", "-", "/", ".")
+
+
+@dataclass
+class Token:
+    kind: str   # KEYWORD | IDENT | NUMBER | STRING | PUNCT | EOF
+    value: str
+    position: int
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return f"{self.kind}:{self.value}"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split *text* into tokens; raises :class:`SqlError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text[i:i + 2] == "--":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, start))
+            else:
+                tokens.append(Token("IDENT", word, start))
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and (text[i].isdigit() or text[i] == "."):
+                i += 1
+            tokens.append(Token("NUMBER", text[start:i], start))
+            continue
+        if ch in ("'", '"'):
+            quote = ch
+            start = i
+            i += 1
+            chunk: list[str] = []
+            while i < n and text[i] != quote:
+                chunk.append(text[i])
+                i += 1
+            if i >= n:
+                raise SqlError(f"unterminated string literal at offset {start}")
+            i += 1
+            tokens.append(Token("STRING", "".join(chunk), start))
+            continue
+        for punct in PUNCTUATION:
+            if text.startswith(punct, i):
+                tokens.append(Token("PUNCT", "<>" if punct == "!=" else punct, i))
+                i += len(punct)
+                break
+        else:
+            raise SqlError(f"unexpected character {ch!r} at offset {i}")
+    tokens.append(Token("EOF", "", n))
+    return tokens

@@ -1,0 +1,408 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (QSPJADU, the paper's view-definition language):
+
+.. code-block:: text
+
+    statement   := select ( UNION ALL select | EXCEPT select )*
+    select      := SELECT item ("," item)* FROM source
+                   [WHERE expr] [GROUP BY column ("," column)*]
+                   [HAVING expr]
+    item        := "*" | expr [AS name]
+    source      := table_ref ( NATURAL JOIN table_ref
+                             | [INNER] JOIN table_ref ON expr
+                             | "," table_ref )*
+    table_ref   := name [[AS] alias]
+    expr        := standard precedence with AND / OR / NOT, comparisons
+                   (= <> < <= > >=), BETWEEN, IN (literals), + - * /,
+                   scalar functions, and the aggregates SUM / COUNT /
+                   AVG / MIN / MAX in the select list.
+
+The parser produces a small AST (:class:`SelectStmt` and friends) that
+:mod:`repro.sql.translate` lowers onto the algebra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import SqlError
+from .lexer import Token, tokenize
+
+AGG_KEYWORDS = ("SUM", "COUNT", "AVG", "MIN", "MAX")
+
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+@dataclass
+class ColumnRef:
+    table: Optional[str]
+    name: str
+
+
+@dataclass
+class Literal:
+    value: object
+
+
+@dataclass
+class BinaryOp:
+    op: str
+    left: object
+    right: object
+
+
+@dataclass
+class BoolOp:
+    op: str  # AND | OR
+    items: list
+
+
+@dataclass
+class NotOp:
+    item: object
+
+
+@dataclass
+class InOp:
+    item: object
+    values: list
+
+
+@dataclass
+class FuncCall:
+    name: str
+    args: list
+
+
+@dataclass
+class AggCall:
+    func: str            # sum/count/avg/min/max (lower case)
+    arg: Optional[object]  # None for COUNT(*)
+
+
+@dataclass
+class SelectItem:
+    expr: object
+    alias: Optional[str]
+    star: bool = False
+
+
+@dataclass
+class TableRef:
+    name: str
+    alias: Optional[str]
+
+
+@dataclass
+class JoinClause:
+    kind: str            # natural | on | cross
+    table: TableRef
+    condition: Optional[object] = None
+
+
+@dataclass
+class SelectStmt:
+    items: list[SelectItem]
+    base: TableRef
+    joins: list[JoinClause] = field(default_factory=list)
+    where: Optional[object] = None
+    group_by: list[ColumnRef] = field(default_factory=list)
+    having: Optional[object] = None
+
+
+@dataclass
+class SetOp:
+    op: str  # union_all | except
+    left: object
+    right: object
+
+
+def parse(text: str):
+    """Parse *text* into a :class:`SelectStmt` / :class:`SetOp` tree."""
+    return _Parser(tokenize(text)).parse_statement()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token helpers ---------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def at_keyword(self, *words: str) -> bool:
+        token = self.peek()
+        return token.kind == "KEYWORD" and token.value in words
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.advance()
+        if token.kind != "KEYWORD" or token.value != word:
+            raise SqlError(f"expected {word}, found {token.value!r} at {token.position}")
+        return token
+
+    def expect_punct(self, symbol: str) -> Token:
+        token = self.advance()
+        if token.kind != "PUNCT" or token.value != symbol:
+            raise SqlError(
+                f"expected {symbol!r}, found {token.value!r} at {token.position}"
+            )
+        return token
+
+    def at_punct(self, symbol: str) -> bool:
+        token = self.peek()
+        return token.kind == "PUNCT" and token.value == symbol
+
+    def accept_punct(self, symbol: str) -> bool:
+        if self.at_punct(symbol):
+            self.advance()
+            return True
+        return False
+
+    # -- grammar ---------------------------------------------------------
+    def parse_statement(self):
+        node = self.parse_select()
+        while True:
+            if self.at_keyword("UNION"):
+                self.advance()
+                self.expect_keyword("ALL")
+                node = SetOp("union_all", node, self.parse_select())
+            elif self.at_keyword("EXCEPT"):
+                self.advance()
+                node = SetOp("except", node, self.parse_select())
+            else:
+                break
+        token = self.peek()
+        if token.kind != "EOF":
+            raise SqlError(f"unexpected trailing input {token.value!r} at {token.position}")
+        return node
+
+    def parse_select(self) -> SelectStmt:
+        self.expect_keyword("SELECT")
+        items = [self.parse_select_item()]
+        while self.accept_punct(","):
+            items.append(self.parse_select_item())
+        self.expect_keyword("FROM")
+        base = self.parse_table_ref()
+        joins: list[JoinClause] = []
+        while True:
+            if self.at_keyword("NATURAL"):
+                self.advance()
+                self.expect_keyword("JOIN")
+                joins.append(JoinClause("natural", self.parse_table_ref()))
+            elif self.at_keyword("JOIN", "INNER"):
+                if self.at_keyword("INNER"):
+                    self.advance()
+                self.expect_keyword("JOIN")
+                table = self.parse_table_ref()
+                self.expect_keyword("ON")
+                joins.append(JoinClause("on", table, self.parse_expr()))
+            elif self.at_punct(","):
+                self.advance()
+                joins.append(JoinClause("cross", self.parse_table_ref()))
+            else:
+                break
+        where = None
+        if self.at_keyword("WHERE"):
+            self.advance()
+            where = self.parse_expr()
+        group_by: list[ColumnRef] = []
+        if self.at_keyword("GROUP"):
+            self.advance()
+            self.expect_keyword("BY")
+            group_by.append(self.parse_column_ref())
+            while self.accept_punct(","):
+                group_by.append(self.parse_column_ref())
+        having = None
+        if self.at_keyword("HAVING"):
+            self.advance()
+            having = self.parse_expr()
+        return SelectStmt(items, base, joins, where, group_by, having)
+
+    def parse_select_item(self) -> SelectItem:
+        if self.at_punct("*"):
+            self.advance()
+            return SelectItem(None, None, star=True)
+        expr = self.parse_expr()
+        alias = None
+        if self.at_keyword("AS"):
+            self.advance()
+            token = self.advance()
+            if token.kind != "IDENT":
+                raise SqlError(f"expected alias name at {token.position}")
+            alias = token.value
+        elif self.peek().kind == "IDENT":
+            alias = self.advance().value
+        return SelectItem(expr, alias)
+
+    def parse_table_ref(self) -> TableRef:
+        token = self.advance()
+        if token.kind != "IDENT":
+            raise SqlError(f"expected table name at {token.position}")
+        alias = None
+        if self.at_keyword("AS"):
+            self.advance()
+            alias_token = self.advance()
+            if alias_token.kind != "IDENT":
+                raise SqlError(f"expected alias at {alias_token.position}")
+            alias = alias_token.value
+        elif self.peek().kind == "IDENT":
+            alias = self.advance().value
+        return TableRef(token.value, alias)
+
+    def parse_column_ref(self) -> ColumnRef:
+        token = self.advance()
+        if token.kind != "IDENT":
+            raise SqlError(f"expected column name at {token.position}")
+        if self.accept_punct("."):
+            column = self.advance()
+            if column.kind != "IDENT":
+                raise SqlError(f"expected column after '.' at {column.position}")
+            return ColumnRef(token.value, column.value)
+        return ColumnRef(None, token.value)
+
+    # -- expressions -------------------------------------------------
+    def parse_expr(self):
+        return self.parse_or()
+
+    def parse_or(self):
+        node = self.parse_and()
+        items = [node]
+        while self.at_keyword("OR"):
+            self.advance()
+            items.append(self.parse_and())
+        return items[0] if len(items) == 1 else BoolOp("OR", items)
+
+    def parse_and(self):
+        node = self.parse_not()
+        items = [node]
+        while self.at_keyword("AND"):
+            self.advance()
+            items.append(self.parse_not())
+        return items[0] if len(items) == 1 else BoolOp("AND", items)
+
+    def parse_not(self):
+        if self.at_keyword("NOT"):
+            self.advance()
+            return NotOp(self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self):
+        left = self.parse_additive()
+        token = self.peek()
+        if token.kind == "PUNCT" and token.value in ("=", "<>", "<", "<=", ">", ">="):
+            self.advance()
+            right = self.parse_additive()
+            return BinaryOp(token.value, left, right)
+        if self.at_keyword("BETWEEN"):
+            self.advance()
+            low = self.parse_additive()
+            self.expect_keyword("AND")
+            high = self.parse_additive()
+            return BoolOp(
+                "AND",
+                [BinaryOp(">=", left, low), BinaryOp("<=", left, high)],
+            )
+        if self.at_keyword("IN"):
+            self.advance()
+            self.expect_punct("(")
+            values = [self.parse_literal_value()]
+            while self.accept_punct(","):
+                values.append(self.parse_literal_value())
+            self.expect_punct(")")
+            return InOp(left, values)
+        if self.at_keyword("NOT"):
+            # NOT IN
+            save = self.position
+            self.advance()
+            if self.at_keyword("IN"):
+                self.advance()
+                self.expect_punct("(")
+                values = [self.parse_literal_value()]
+                while self.accept_punct(","):
+                    values.append(self.parse_literal_value())
+                self.expect_punct(")")
+                return NotOp(InOp(left, values))
+            self.position = save
+        return left
+
+    def parse_additive(self):
+        node = self.parse_multiplicative()
+        while self.at_punct("+") or self.at_punct("-"):
+            op = self.advance().value
+            node = BinaryOp(op, node, self.parse_multiplicative())
+        return node
+
+    def parse_multiplicative(self):
+        node = self.parse_unary()
+        while self.at_punct("*") or self.at_punct("/"):
+            op = self.advance().value
+            node = BinaryOp(op, node, self.parse_unary())
+        return node
+
+    def parse_unary(self):
+        if self.at_punct("-"):
+            self.advance()
+            return BinaryOp("-", Literal(0), self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self):
+        token = self.peek()
+        if token.kind == "NUMBER":
+            self.advance()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return Literal(value)
+        if token.kind == "STRING":
+            self.advance()
+            return Literal(token.value)
+        if token.kind == "KEYWORD" and token.value in ("TRUE", "FALSE", "NULL"):
+            self.advance()
+            return Literal(
+                {"TRUE": True, "FALSE": False, "NULL": None}[token.value]
+            )
+        if token.kind == "KEYWORD" and token.value in AGG_KEYWORDS:
+            self.advance()
+            self.expect_punct("(")
+            if token.value == "COUNT" and self.at_punct("*"):
+                self.advance()
+                self.expect_punct(")")
+                return AggCall("count", None)
+            arg = self.parse_expr()
+            self.expect_punct(")")
+            return AggCall(token.value.lower(), arg)
+        if token.kind == "IDENT":
+            self.advance()
+            if self.at_punct("("):
+                self.advance()
+                args = []
+                if not self.at_punct(")"):
+                    args.append(self.parse_expr())
+                    while self.accept_punct(","):
+                        args.append(self.parse_expr())
+                self.expect_punct(")")
+                return FuncCall(token.value.lower(), args)
+            if self.accept_punct("."):
+                column = self.advance()
+                if column.kind != "IDENT":
+                    raise SqlError(f"expected column after '.' at {column.position}")
+                return ColumnRef(token.value, column.value)
+            return ColumnRef(None, token.value)
+        if self.accept_punct("("):
+            node = self.parse_expr()
+            self.expect_punct(")")
+            return node
+        raise SqlError(f"unexpected token {token.value!r} at {token.position}")
+
+    def parse_literal_value(self):
+        node = self.parse_primary()
+        if not isinstance(node, Literal):
+            raise SqlError("IN lists may contain literals only")
+        return node.value

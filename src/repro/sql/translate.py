@@ -1,0 +1,256 @@
+"""Lowering of parsed SQL onto the QSPJADU algebra."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..algebra import (
+    AggSpec,
+    GroupBy,
+    Join,
+    PlanNode,
+    Project,
+    Select,
+    UnionAll,
+    difference,
+    natural_join,
+    scan,
+)
+from ..errors import SqlError
+from ..expr import Call, Expr, InList, Not, all_of, any_of, col, lit
+from ..storage import Database
+from .parser import (
+    AggCall,
+    BinaryOp,
+    BoolOp,
+    ColumnRef,
+    FuncCall,
+    InOp,
+    Literal,
+    NotOp,
+    SelectStmt,
+    SetOp,
+    parse,
+)
+
+
+def sql_to_plan(db: Database, text: str) -> PlanNode:
+    """Parse and translate a SELECT statement into an algebra plan."""
+    return _translate(db, parse(text))
+
+
+def _translate(db: Database, node) -> PlanNode:
+    if isinstance(node, SetOp):
+        left = _translate(db, node.left)
+        right = _translate(db, node.right)
+        if node.op == "union_all":
+            return UnionAll(left, right)
+        return difference(left, right)
+    assert isinstance(node, SelectStmt)
+    return _translate_select(db, node)
+
+
+class _Scope:
+    """Column-name resolution for one FROM clause."""
+
+    def __init__(self) -> None:
+        #: (qualifier, column) -> plan column name
+        self.qualified: dict[tuple[str, str], str] = {}
+        #: plan column name -> how many sources expose it
+        self.plain: dict[str, int] = {}
+
+    def add_table(self, db: Database, name: str, alias: Optional[str]) -> None:
+        schema = db.table(name).schema
+        qualifier = alias if alias is not None else name
+        for column in schema.columns:
+            out = f"{alias}_{column}" if alias is not None else column
+            self.qualified[(qualifier, column)] = out
+            self.plain[out] = self.plain.get(out, 0) + 1
+
+    def merge_shared(self, shared: list[str]) -> None:
+        """After a natural join, shared columns collapse to one copy."""
+        for column in shared:
+            self.plain[column] = 1
+
+    def resolve(self, ref: ColumnRef) -> str:
+        if ref.table is not None:
+            out = self.qualified.get((ref.table, ref.name))
+            if out is None:
+                raise SqlError(f"unknown column {ref.table}.{ref.name}")
+            return out
+        if ref.name in self.plain:
+            if self.plain[ref.name] > 1:
+                raise SqlError(f"ambiguous column {ref.name!r}; qualify it")
+            return ref.name
+        # An aliased table's column referenced without the qualifier.
+        matches = [
+            out for (_q, c), out in self.qualified.items() if c == ref.name
+        ]
+        matches = sorted(set(matches))
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise SqlError(f"unknown column {ref.name!r}")
+        raise SqlError(f"ambiguous column {ref.name!r}; qualify it")
+
+
+def _translate_select(db: Database, stmt: SelectStmt) -> PlanNode:
+    scope = _Scope()
+    plan = scan(db, stmt.base.name, alias=stmt.base.alias)
+    scope.add_table(db, stmt.base.name, stmt.base.alias)
+    for clause in stmt.joins:
+        right = scan(db, clause.table.name, alias=clause.table.alias)
+        if clause.kind == "natural":
+            shared = [c for c in plan.columns if c in set(right.columns)]
+            plan = natural_join(plan, right)
+            scope.add_table(db, clause.table.name, clause.table.alias)
+            scope.merge_shared(shared)
+            continue
+        scope.add_table(db, clause.table.name, clause.table.alias)
+        overlap = set(plan.columns) & set(right.columns)
+        if overlap:
+            raise SqlError(
+                f"tables share columns {sorted(overlap)}; alias one of them "
+                f"or use NATURAL JOIN"
+            )
+        condition = (
+            _expr(clause.condition, scope) if clause.kind == "on" else None
+        )
+        plan = Join(plan, right, condition)
+    if stmt.where is not None:
+        plan = Select(plan, _expr(stmt.where, scope))
+
+    has_aggs = any(
+        not item.star and _contains_agg(item.expr) for item in stmt.items
+    )
+    if stmt.group_by or has_aggs:
+        return _translate_grouped(stmt, plan, scope)
+
+    if len(stmt.items) == 1 and stmt.items[0].star:
+        return plan
+    items: list[tuple[str, Expr]] = []
+    for i, item in enumerate(stmt.items):
+        if item.star:
+            raise SqlError("'*' cannot be combined with other select items")
+        expr = _expr(item.expr, scope)
+        name = item.alias or _default_name(item.expr, scope, i)
+        items.append((name, expr))
+    return Project(plan, items)
+
+
+def _translate_grouped(stmt: SelectStmt, plan: PlanNode, scope: _Scope) -> PlanNode:
+    if not stmt.group_by:
+        raise SqlError(
+            "aggregates require GROUP BY (views need keys; paper Section 2)"
+        )
+    keys = [scope.resolve(ref) for ref in stmt.group_by]
+    aggs: list[AggSpec] = []
+    output: list[tuple[str, str]] = []  # (output name, source column)
+    for i, item in enumerate(stmt.items):
+        if item.star:
+            raise SqlError("'*' is not allowed with GROUP BY")
+        if isinstance(item.expr, AggCall):
+            name = item.alias or f"{item.expr.func}_{i}"
+            arg = _expr(item.expr.arg, scope) if item.expr.arg is not None else None
+            aggs.append(AggSpec(item.expr.func, arg, name))
+            output.append((name, name))
+        elif isinstance(item.expr, ColumnRef):
+            resolved = scope.resolve(item.expr)
+            if resolved not in keys:
+                raise SqlError(
+                    f"non-aggregated column {resolved!r} must appear in GROUP BY"
+                )
+            output.append((item.alias or resolved, resolved))
+        else:
+            raise SqlError(
+                "grouped select items must be grouping columns or aggregates"
+            )
+    if not aggs:
+        raise SqlError("GROUP BY without aggregates is not supported")
+    grouped: PlanNode = GroupBy(plan, tuple(keys), tuple(aggs))
+    if stmt.having is not None:
+        # HAVING references grouping columns and aggregate aliases.
+        grouped = Select(grouped, _having_expr(stmt.having, scope, grouped))
+    if [name for name, _src in output] == list(grouped.columns):
+        return grouped
+    return Project(grouped, [(name, col(src)) for name, src in output])
+
+
+def _having_expr(node, scope: _Scope, grouped: PlanNode) -> Expr:
+    """Translate a HAVING predicate over the grouped output columns."""
+    available = set(grouped.columns)
+    if isinstance(node, ColumnRef) and node.table is None and node.name in available:
+        return col(node.name)
+    if isinstance(node, Literal):
+        return lit(node.value)
+    if isinstance(node, BinaryOp):
+        left = _having_expr(node.left, scope, grouped)
+        right = _having_expr(node.right, scope, grouped)
+        if node.op in ("+", "-", "*", "/"):
+            from ..expr import Arith
+
+            return Arith(node.op, left, right)
+        from ..expr import Cmp
+
+        return Cmp(node.op, left, right)
+    if isinstance(node, BoolOp):
+        parts = [_having_expr(i, scope, grouped) for i in node.items]
+        return all_of(*parts) if node.op == "AND" else any_of(*parts)
+    if isinstance(node, NotOp):
+        return Not(_having_expr(node.item, scope, grouped))
+    if isinstance(node, InOp):
+        return InList(_having_expr(node.item, scope, grouped), tuple(node.values))
+    if isinstance(node, AggCall):
+        raise SqlError(
+            "HAVING must reference aggregate columns by their alias"
+        )
+    raise SqlError(f"cannot translate HAVING expression {node!r}")
+
+
+def _contains_agg(node) -> bool:
+    if isinstance(node, AggCall):
+        return True
+    if isinstance(node, BinaryOp):
+        return _contains_agg(node.left) or _contains_agg(node.right)
+    if isinstance(node, BoolOp):
+        return any(_contains_agg(i) for i in node.items)
+    if isinstance(node, (NotOp,)):
+        return _contains_agg(node.item)
+    if isinstance(node, FuncCall):
+        return any(_contains_agg(a) for a in node.args)
+    return False
+
+
+def _default_name(node, scope: _Scope, index: int) -> str:
+    if isinstance(node, ColumnRef):
+        return scope.resolve(node)
+    raise SqlError(f"select item #{index + 1} needs an AS alias")
+
+
+def _expr(node, scope: _Scope) -> Expr:
+    if isinstance(node, Literal):
+        return lit(node.value)
+    if isinstance(node, ColumnRef):
+        return col(scope.resolve(node))
+    if isinstance(node, BinaryOp):
+        left = _expr(node.left, scope)
+        right = _expr(node.right, scope)
+        if node.op in ("+", "-", "*", "/"):
+            from ..expr import Arith
+
+            return Arith(node.op, left, right)
+        from ..expr import Cmp
+
+        return Cmp(node.op, left, right)
+    if isinstance(node, BoolOp):
+        parts = [_expr(i, scope) for i in node.items]
+        return all_of(*parts) if node.op == "AND" else any_of(*parts)
+    if isinstance(node, NotOp):
+        return Not(_expr(node.item, scope))
+    if isinstance(node, InOp):
+        return InList(_expr(node.item, scope), tuple(node.values))
+    if isinstance(node, FuncCall):
+        return Call(node.name, [_expr(a, scope) for a in node.args])
+    if isinstance(node, AggCall):
+        raise SqlError("aggregates are only allowed in the select list")
+    raise SqlError(f"cannot translate expression node {node!r}")

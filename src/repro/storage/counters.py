@@ -1,0 +1,131 @@
+"""Access-count instrumentation.
+
+The paper's Section 6 cost model measures IVM cost as "the combined number of
+tuple accesses and index lookups incurred by the ∆/D-script".  This module
+provides the counters that every storage-level operation reports into, plus a
+*phase* mechanism so the benchmark harness can attribute accesses to the cost
+components shown in Figure 12 (cache update, view diff computation, view
+update).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class AccessCounts:
+    """Raw access counts for one phase (or the total)."""
+
+    index_lookups: int = 0
+    tuple_reads: int = 0
+    tuple_writes: int = 0
+
+    @property
+    def total(self) -> int:
+        """Combined accesses, the paper's cost metric."""
+        return self.index_lookups + self.tuple_reads + self.tuple_writes
+
+    def add(self, other: "AccessCounts") -> None:
+        self.index_lookups += other.index_lookups
+        self.tuple_reads += other.tuple_reads
+        self.tuple_writes += other.tuple_writes
+
+    def copy(self) -> "AccessCounts":
+        return AccessCounts(self.index_lookups, self.tuple_reads, self.tuple_writes)
+
+    def __sub__(self, other: "AccessCounts") -> "AccessCounts":
+        return AccessCounts(
+            self.index_lookups - other.index_lookups,
+            self.tuple_reads - other.tuple_reads,
+            self.tuple_writes - other.tuple_writes,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"lookups={self.index_lookups} reads={self.tuple_reads} "
+            f"writes={self.tuple_writes} total={self.total}"
+        )
+
+
+class CounterSet:
+    """A set of phase-labelled access counters.
+
+    All storage operations report into the *current* phase (default
+    ``"default"``).  Use :meth:`phase` to scope a block of work::
+
+        counters = CounterSet()
+        with counters.phase("view_update"):
+            table.apply(...)
+
+    Phases nest; accesses are attributed to the innermost phase only, and
+    always to the grand total.
+    """
+
+    DEFAULT_PHASE = "default"
+
+    def __init__(self) -> None:
+        self.total = AccessCounts()
+        self.phases: dict[str, AccessCounts] = {}
+        self._stack: list[str] = [self.DEFAULT_PHASE]
+
+    @property
+    def current_phase(self) -> str:
+        return self._stack[-1]
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Attribute accesses within the block to phase *name*."""
+        self._stack.append(name)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+
+    def _bucket(self) -> AccessCounts:
+        name = self._stack[-1]
+        bucket = self.phases.get(name)
+        if bucket is None:
+            bucket = AccessCounts()
+            self.phases[name] = bucket
+        return bucket
+
+    def count_index_lookup(self, n: int = 1) -> None:
+        self.total.index_lookups += n
+        self._bucket().index_lookups += n
+
+    def count_tuple_read(self, n: int = 1) -> None:
+        self.total.tuple_reads += n
+        self._bucket().tuple_reads += n
+
+    def count_tuple_write(self, n: int = 1) -> None:
+        self.total.tuple_writes += n
+        self._bucket().tuple_writes += n
+
+    def reset(self) -> None:
+        """Zero all counters but keep the phase stack."""
+        self.total = AccessCounts()
+        self.phases = {}
+
+    def snapshot(self) -> dict[str, AccessCounts]:
+        """Copy of per-phase counts (plus ``"__total__"``)."""
+        out = {name: counts.copy() for name, counts in self.phases.items()}
+        out["__total__"] = self.total.copy()
+        return out
+
+
+@dataclass
+class CostBreakdown:
+    """Named cost components, used for the Figure 12 stacked bars."""
+
+    components: dict[str, AccessCounts] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(c.total for c in self.components.values())
+
+    def component_total(self, name: str) -> int:
+        counts = self.components.get(name)
+        return counts.total if counts is not None else 0

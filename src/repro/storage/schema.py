@@ -1,0 +1,126 @@
+"""Relation schemas: named columns plus a primary key.
+
+Rows throughout the library are plain tuples aligned with the schema's
+column order; :class:`TableSchema` provides the name-to-position mapping and
+key extraction helpers used everywhere else.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import SchemaError, UnknownColumnError
+
+
+class TableSchema:
+    """Schema of a stored relation: ordered columns and a primary key.
+
+    Parameters
+    ----------
+    name:
+        Relation name (unique within a :class:`~repro.storage.Database`).
+    columns:
+        Ordered column names; must be unique.
+    key:
+        Subset of *columns* forming the primary key.  Every base table in
+        idIVM must have a key (the paper's core assumption).
+    """
+
+    __slots__ = ("name", "columns", "key", "_positions", "_key_positions")
+
+    def __init__(self, name: str, columns: Sequence[str], key: Sequence[str]):
+        columns = tuple(columns)
+        key = tuple(key)
+        if not name:
+            raise SchemaError("relation name must be non-empty")
+        if not columns:
+            raise SchemaError(f"relation {name!r} must have at least one column")
+        if len(set(columns)) != len(columns):
+            raise SchemaError(f"relation {name!r} has duplicate column names: {columns}")
+        if not key:
+            raise SchemaError(f"relation {name!r} must have a primary key (idIVM requires keys)")
+        missing = [k for k in key if k not in columns]
+        if missing:
+            raise SchemaError(f"key columns {missing} of {name!r} are not in the schema")
+        if len(set(key)) != len(key):
+            raise SchemaError(f"relation {name!r} has duplicate key columns: {key}")
+        self.name = name
+        self.columns = columns
+        self.key = key
+        self._positions = {c: i for i, c in enumerate(columns)}
+        self._key_positions = tuple(self._positions[k] for k in key)
+
+    @property
+    def non_key_columns(self) -> tuple[str, ...]:
+        key_set = set(self.key)
+        return tuple(c for c in self.columns if c not in key_set)
+
+    def position(self, column: str) -> int:
+        """Index of *column* in a row tuple."""
+        try:
+            return self._positions[column]
+        except KeyError:
+            raise UnknownColumnError(
+                f"column {column!r} not in relation {self.name!r} {self.columns}"
+            ) from None
+
+    def positions(self, columns: Iterable[str]) -> tuple[int, ...]:
+        return tuple(self.position(c) for c in columns)
+
+    def has_column(self, column: str) -> bool:
+        return column in self._positions
+
+    def key_of(self, row: tuple) -> tuple:
+        """Extract the primary-key values from *row*."""
+        return tuple(row[i] for i in self._key_positions)
+
+    def project(self, row: tuple, columns: Sequence[str]) -> tuple:
+        """Extract the values of *columns* from *row* (in the given order)."""
+        return tuple(row[self.position(c)] for c in columns)
+
+    def check_row(self, row: tuple) -> None:
+        if len(row) != len(self.columns):
+            raise SchemaError(
+                f"row arity {len(row)} does not match relation {self.name!r} "
+                f"with {len(self.columns)} columns"
+            )
+
+    def rename(self, name: str) -> "TableSchema":
+        return TableSchema(name, self.columns, self.key)
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        cols = ", ".join(f"{c}*" if c in self.key else c for c in self.columns)
+        return f"TableSchema({self.name}: {cols})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TableSchema)
+            and self.name == other.name
+            and self.columns == other.columns
+            and self.key == other.key
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.columns, self.key))
+
+
+class ForeignKey:
+    """A foreign-key constraint, used by cache placement to rule out MVDs.
+
+    ``child_table.child_columns`` references ``parent_table``'s primary key.
+    """
+
+    __slots__ = ("child_table", "child_columns", "parent_table")
+
+    def __init__(self, child_table: str, child_columns: Sequence[str], parent_table: str):
+        if not child_columns:
+            raise SchemaError("foreign key must reference at least one column")
+        self.child_table = child_table
+        self.child_columns = tuple(child_columns)
+        self.parent_table = parent_table
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"ForeignKey({self.child_table}.{self.child_columns} -> "
+            f"{self.parent_table})"
+        )

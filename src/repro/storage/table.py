@@ -1,0 +1,438 @@
+"""Instrumented in-memory tables with a primary-key index and optional
+secondary hash indexes.
+
+Access-count policy (matching the paper's Section 6 / Appendix A model):
+
+* fetching the ``m`` rows matching an indexed value costs ``1 + m``
+  (one index lookup, ``m`` tuple reads);
+* a full scan of ``n`` rows costs ``n`` tuple reads;
+* writing a row (insert / in-place update / delete) costs one index lookup
+  (to locate the slot) plus one tuple write;
+* secondary-index maintenance is *not* counted — the paper explicitly grants
+  the tuple-based baseline free index maintenance ("without counting the
+  associated index maintenance cost", Section 7.2) and we extend the same
+  courtesy to every approach.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from ..errors import IntegrityError, SchemaError
+from .counters import CounterSet
+from .schema import TableSchema
+
+
+class _SecondaryIndex:
+    """Hash index from a column subset to the set of primary keys."""
+
+    __slots__ = ("columns", "positions", "buckets")
+
+    def __init__(self, schema: TableSchema, columns: tuple[str, ...]):
+        self.columns = columns
+        self.positions = schema.positions(columns)
+        self.buckets: dict[tuple, set[tuple]] = {}
+
+    def value_of(self, row: tuple) -> tuple:
+        return tuple(row[i] for i in self.positions)
+
+    def add(self, key: tuple, row: tuple) -> None:
+        self.buckets.setdefault(self.value_of(row), set()).add(key)
+
+    def remove(self, key: tuple, row: tuple) -> None:
+        value = self.value_of(row)
+        bucket = self.buckets.get(value)
+        if bucket is not None:
+            bucket.discard(key)
+            if not bucket:
+                del self.buckets[value]
+
+    def get(self, value: tuple) -> set[tuple]:
+        return self.buckets.get(value, set())
+
+
+class Table:
+    """A stored relation: primary-key dict plus secondary hash indexes.
+
+    All reads and writes report into *counters* (shared with the owning
+    :class:`~repro.storage.Database`).  Methods with an ``_uncounted``
+    suffix bypass instrumentation and exist for test oracles and workload
+    setup only.
+    """
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        counters: CounterSet | None = None,
+        auto_index: bool = True,
+    ):
+        self.schema = schema
+        self.counters = counters if counters is not None else CounterSet()
+        self.auto_index = auto_index
+        self._rows: dict[tuple, tuple] = {}
+        self._indexes: dict[tuple[str, ...], _SecondaryIndex] = {}
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def has_index(self, columns: Sequence[str]) -> bool:
+        columns = tuple(columns)
+        return columns == self.schema.key or columns in self._indexes
+
+    # ------------------------------------------------------------------
+    # index management (uncounted)
+    # ------------------------------------------------------------------
+    def create_index(self, columns: Sequence[str]) -> None:
+        """Create a secondary hash index on *columns* (no-op if present)."""
+        columns = tuple(columns)
+        if columns == self.schema.key or columns in self._indexes:
+            return
+        for c in columns:
+            self.schema.position(c)  # validates
+        index = _SecondaryIndex(self.schema, columns)
+        for key, row in self._rows.items():
+            index.add(key, row)
+        self._indexes[columns] = index
+
+    def _index_for(self, columns: tuple[str, ...]) -> _SecondaryIndex | None:
+        index = self._indexes.get(columns)
+        if index is None and self.auto_index:
+            self.create_index(columns)
+            index = self._indexes.get(columns)
+        return index
+
+    # ------------------------------------------------------------------
+    # counted reads
+    # ------------------------------------------------------------------
+    def get(self, key: tuple) -> tuple | None:
+        """Primary-key lookup.  Costs 1 index lookup (+1 read if found)."""
+        self.counters.count_index_lookup()
+        row = self._rows.get(tuple(key))
+        if row is not None:
+            self.counters.count_tuple_read()
+        return row
+
+    def lookup(self, columns: Sequence[str], value: tuple) -> list[tuple]:
+        """Fetch rows whose *columns* equal *value*.
+
+        Uses the PK index when *columns* is exactly the key, a secondary
+        index otherwise (auto-created when ``auto_index`` is on, falling
+        back to a counted full scan when not).
+        """
+        columns = tuple(columns)
+        value = tuple(value)
+        if columns == self.schema.key:
+            row = self._rows.get(value)
+            self.counters.count_index_lookup()
+            if row is None:
+                return []
+            self.counters.count_tuple_read()
+            return [row]
+        index = self._index_for(columns)
+        if index is None:
+            positions = self.schema.positions(columns)
+            out = []
+            for row in self._rows.values():
+                self.counters.count_tuple_read()
+                if tuple(row[i] for i in positions) == value:
+                    out.append(row)
+            return out
+        self.counters.count_index_lookup()
+        keys = index.get(value)
+        rows = [self._rows[k] for k in keys]
+        self.counters.count_tuple_read(len(rows))
+        return rows
+
+    def lookup_one(self, columns: Sequence[str], value: tuple) -> tuple | None:
+        """One arbitrary row whose *columns* equal *value* (LIMIT 1).
+
+        Costs one index lookup plus at most one tuple read — used when
+        any exemplar suffices (e.g. the Section 9 view-reuse probes,
+        where the requested attributes are functionally determined by
+        the looked-up columns).
+        """
+        columns = tuple(columns)
+        value = tuple(value)
+        if columns == self.schema.key:
+            self.counters.count_index_lookup()
+            row = self._rows.get(value)
+            if row is not None:
+                self.counters.count_tuple_read()
+            return row
+        index = self._index_for(columns)
+        if index is not None:
+            self.counters.count_index_lookup()
+            keys = index.get(value)
+            if not keys:
+                return None
+            self.counters.count_tuple_read()
+            return self._rows[next(iter(keys))]
+        positions = self.schema.positions(columns)
+        for row in self._rows.values():
+            self.counters.count_tuple_read()
+            if tuple(row[i] for i in positions) == value:
+                return row
+        return None
+
+    def scan(self) -> Iterator[tuple]:
+        """Iterate all rows; each yielded row costs one tuple read."""
+        for row in self._rows.values():
+            self.counters.count_tuple_read()
+            yield row
+
+    # ------------------------------------------------------------------
+    # counted writes
+    # ------------------------------------------------------------------
+    def insert(self, row: Sequence) -> None:
+        """Insert *row*; raises :class:`IntegrityError` on duplicate key."""
+        row = tuple(row)
+        self.schema.check_row(row)
+        key = self.schema.key_of(row)
+        self.counters.count_index_lookup()
+        if key in self._rows:
+            raise IntegrityError(
+                f"duplicate key {key} in relation {self.schema.name!r}"
+            )
+        self._rows[key] = row
+        for index in self._indexes.values():
+            index.add(key, row)
+        self.counters.count_tuple_write()
+
+    def delete_key(self, key: tuple) -> tuple | None:
+        """Delete the row with primary key *key*; returns it (or None)."""
+        key = tuple(key)
+        self.counters.count_index_lookup()
+        row = self._rows.pop(key, None)
+        if row is None:
+            return None
+        for index in self._indexes.values():
+            index.remove(key, row)
+        self.counters.count_tuple_write()
+        return row
+
+    def update_key(self, key: tuple, changes: Mapping[str, object]) -> tuple | None:
+        """Set *changes* (column -> new value) on the row with key *key*.
+
+        Returns the pre-state row, or None when the key is absent.  Key
+        columns are immutable (the paper's Section 5, footnote 7).
+        """
+        key = tuple(key)
+        self.counters.count_index_lookup()
+        old = self._rows.get(key)
+        if old is None:
+            return None
+        for column in changes:
+            if column in self.schema.key:
+                raise SchemaError(
+                    f"key column {column!r} of {self.schema.name!r} is immutable"
+                )
+        new = list(old)
+        for column, value in changes.items():
+            new[self.schema.position(column)] = value
+        new_row = tuple(new)
+        for index in self._indexes.values():
+            index.remove(key, old)
+            index.add(key, new_row)
+        self._rows[key] = new_row
+        self.counters.count_tuple_write()
+        return old
+
+    def replace_row(self, key: tuple, new_row: tuple) -> tuple | None:
+        """Replace the whole row at *key* (key columns must be unchanged)."""
+        key = tuple(key)
+        self.schema.check_row(new_row)
+        if self.schema.key_of(new_row) != key:
+            raise SchemaError("replace_row must preserve the primary key")
+        self.counters.count_index_lookup()
+        old = self._rows.get(key)
+        if old is None:
+            return None
+        for index in self._indexes.values():
+            index.remove(key, old)
+            index.add(key, new_row)
+        self._rows[key] = new_row
+        self.counters.count_tuple_write()
+        return old
+
+    # ------------------------------------------------------------------
+    # APPLY-oriented primitives (paper Appendix A cost accounting:
+    # identifying the to-be-modified tuples costs one index lookup per
+    # diff tuple; each read-modify-write of a located row costs one
+    # tuple access).
+    # ------------------------------------------------------------------
+    def locate(self, columns: Sequence[str], value: tuple) -> list[tuple]:
+        """Primary keys of rows whose *columns* equal *value*.
+
+        Costs exactly one index lookup (no tuple reads) — the
+        "identification" step of applying a diff.
+        """
+        columns = tuple(columns)
+        value = tuple(value)
+        if columns == self.schema.key:
+            self.counters.count_index_lookup()
+            return [value] if value in self._rows else []
+        index = self._index_for(columns)
+        if index is not None:
+            self.counters.count_index_lookup()
+            return list(index.get(value))
+        # No index: a counted full scan locates the rows.
+        positions = self.schema.positions(columns)
+        keys = []
+        for key, row in self._rows.items():
+            self.counters.count_tuple_read()
+            if tuple(row[i] for i in positions) == value:
+                keys.append(key)
+        return keys
+
+    def write_at(self, key: tuple, changes: Mapping[str, object]) -> tuple:
+        """Read-modify-write the already-located row at *key*.
+
+        Costs one tuple write (the paper counts the combined
+        read-modify-write as a single access).  Returns the pre-state row.
+        """
+        key = tuple(key)
+        old = self._rows[key]
+        new = list(old)
+        for column, value in changes.items():
+            position = self.schema.position(column)
+            if column in self.schema.key:
+                raise SchemaError(
+                    f"key column {column!r} of {self.schema.name!r} is immutable"
+                )
+            new[position] = value
+        new_row = tuple(new)
+        for index in self._indexes.values():
+            index.remove(key, old)
+            index.add(key, new_row)
+        self._rows[key] = new_row
+        self.counters.count_tuple_write()
+        return old
+
+    def delete_at(self, key: tuple) -> tuple:
+        """Delete the already-located row at *key* (one tuple write)."""
+        key = tuple(key)
+        row = self._rows.pop(key)
+        for index in self._indexes.values():
+            index.remove(key, row)
+        self.counters.count_tuple_write()
+        return row
+
+    def insert_checked(self, row: tuple) -> bool:
+        """Insert with the APPLY ∆+ NOT-IN guard (Section 2).
+
+        Returns True when inserted, False when the identical row already
+        exists (several insert i-diffs may carry the same tuple).  A row
+        with the same key but *different* values signals an ineffective
+        diff set and raises :class:`IntegrityError`.
+        """
+        row = tuple(row)
+        self.schema.check_row(row)
+        key = self.schema.key_of(row)
+        self.counters.count_index_lookup()
+        existing = self._rows.get(key)
+        if existing is not None:
+            if existing == row:
+                return False
+            raise IntegrityError(
+                f"insert of {row} conflicts with existing {existing} "
+                f"in {self.schema.name!r}"
+            )
+        self._rows[key] = row
+        for index in self._indexes.values():
+            index.add(key, row)
+        self.counters.count_tuple_write()
+        return True
+
+    # ------------------------------------------------------------------
+    # uncounted helpers (setup, oracles, copying)
+    # ------------------------------------------------------------------
+    def insert_uncounted(self, row: Sequence) -> None:
+        row = tuple(row)
+        self.schema.check_row(row)
+        key = self.schema.key_of(row)
+        if key in self._rows:
+            raise IntegrityError(
+                f"duplicate key {key} in relation {self.schema.name!r}"
+            )
+        self._rows[key] = row
+        for index in self._indexes.values():
+            index.add(key, row)
+
+    def load(self, rows: Iterable[Sequence]) -> None:
+        """Bulk-load rows without counting (workload setup)."""
+        for row in rows:
+            self.insert_uncounted(row)
+
+    def delete_uncounted(self, key: tuple) -> tuple | None:
+        """Uncounted delete (modification time is outside the IVM cost)."""
+        key = tuple(key)
+        row = self._rows.pop(key, None)
+        if row is None:
+            return None
+        for index in self._indexes.values():
+            index.remove(key, row)
+        return row
+
+    def update_uncounted(self, key: tuple, changes: Mapping[str, object]) -> tuple | None:
+        """Uncounted in-place update; returns the pre-state row."""
+        key = tuple(key)
+        old = self._rows.get(key)
+        if old is None:
+            return None
+        new = list(old)
+        for column, value in changes.items():
+            if column in self.schema.key:
+                raise SchemaError(
+                    f"key column {column!r} of {self.schema.name!r} is immutable"
+                )
+            new[self.schema.position(column)] = value
+        new_row = tuple(new)
+        for index in self._indexes.values():
+            index.remove(key, old)
+            index.add(key, new_row)
+        self._rows[key] = new_row
+        return old
+
+    def rows_uncounted(self) -> list[tuple]:
+        return list(self._rows.values())
+
+    def get_uncounted(self, key: tuple) -> tuple | None:
+        return self._rows.get(tuple(key))
+
+    def as_set(self) -> frozenset[tuple]:
+        """Frozen set of rows, for order-insensitive comparisons in tests."""
+        return frozenset(self._rows.values())
+
+    def copy(self, counters: CounterSet | None = None) -> "Table":
+        """Deep copy (rows are immutable tuples, so sharing them is safe)."""
+        clone = Table(
+            self.schema,
+            counters=counters if counters is not None else self.counters,
+            auto_index=self.auto_index,
+        )
+        clone._rows = dict(self._rows)
+        for columns in self._indexes:
+            clone.create_index(columns)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return f"Table({self.schema.name}, {len(self._rows)} rows)"
+
+
+def sort_rows(rows: Iterable[tuple]) -> list[tuple]:
+    """Deterministically order rows for display and golden tests."""
+
+    def sort_key(row: tuple):
+        return tuple((value is None, str(type(value)), repr(value)) for value in row)
+
+    return sorted(rows, key=sort_key)
+
+
+RowFilter = Callable[[tuple], bool]

@@ -1,0 +1,36 @@
+"""Benchmark workloads: the devices running example (Figure 11) and the
+BSMA-like social analytics suite (Figure 9)."""
+
+from .bsma import (
+    BSMA_QUERIES,
+    BsmaConfig,
+    build_database as build_bsma_database,
+    log_user_updates,
+    user_update_batch,
+)
+from .devices import (
+    DevicesConfig,
+    apply_price_updates,
+    build_aggregate_view,
+    build_database as build_devices_database,
+    build_flat_view,
+    log_batch,
+    mixed_modification_batch,
+    price_update_batch,
+)
+
+__all__ = [
+    "BSMA_QUERIES",
+    "BsmaConfig",
+    "DevicesConfig",
+    "apply_price_updates",
+    "build_aggregate_view",
+    "build_bsma_database",
+    "build_devices_database",
+    "build_flat_view",
+    "log_batch",
+    "log_user_updates",
+    "mixed_modification_batch",
+    "price_update_batch",
+    "user_update_batch",
+]

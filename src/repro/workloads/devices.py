@@ -1,0 +1,199 @@
+"""The running-example workload (paper Figures 1, 5, 11).
+
+Generates the devices / parts / devices_parts database with the paper's
+tunable parameters:
+
+* ``d`` — base-table diff size (number of price updates), default 200;
+* ``s`` — selectivity of ``category = 'phone'`` (% of devices), default 20;
+* ``f`` — fanout from parts to devices_parts (device slots per part),
+  default 10 (the fanout from devices_parts to devices is always 1);
+* ``j`` — number of joins: 2 is the original view; each extra join adds a
+  vertically-decomposed table R_i keyed (did, pid) joined 1-to-1 (the
+  Figure 12b construction, which also disables the selection).
+
+The paper's tables hold 5M / 5M / 50M rows; we default to a 1000x
+downscale (relation *ratios* and fanouts preserved), which is what the
+access-count cost metric depends on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..algebra import PlanNode, group_by, natural_join, project_columns, scan, where
+from ..algebra.plan import GroupBy
+from ..errors import WorkloadError
+from ..expr import col, lit
+from ..storage import Database
+
+
+@dataclass
+class DevicesConfig:
+    """Workload parameters (Figure 11 defaults, scaled)."""
+
+    n_parts: int = 2_000
+    n_devices: int = 2_000
+    diff_size: int = 200          # d
+    selectivity: float = 0.20     # s
+    fanout: int = 10              # f
+    joins: int = 2                # j
+    with_selection: bool = True
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if not 0 < self.selectivity <= 1:
+            raise WorkloadError("selectivity must be in (0, 1]")
+        if self.joins < 2:
+            raise WorkloadError("the base view already performs 2 joins")
+        if self.fanout < 1:
+            raise WorkloadError("fanout must be at least 1")
+        if self.diff_size > self.n_parts:
+            raise WorkloadError("diff size cannot exceed the number of parts")
+
+    @property
+    def extra_join_tables(self) -> list[str]:
+        return [f"r{i}" for i in range(1, self.joins - 1)]
+
+
+def build_database(config: DevicesConfig) -> Database:
+    """Create and populate the devices schema per *config* (seeded)."""
+    rng = random.Random(config.seed)
+    db = Database()
+    db.create_table("devices", ("did", "category"), ("did",))
+    db.create_table("parts", ("pid", "price"), ("pid",))
+    db.create_table("devices_parts", ("did", "pid"), ("did", "pid"))
+    for name in config.extra_join_tables:
+        db.create_table(name, ("did", "pid", f"{name}_payload"), ("did", "pid"))
+
+    n_phones = max(1, round(config.n_devices * config.selectivity))
+    devices = []
+    for i in range(config.n_devices):
+        category = "phone" if i < n_phones else "tablet"
+        devices.append((f"D{i}", category))
+    rng.shuffle(devices)
+    db.table("devices").load(devices)
+
+    db.table("parts").load(
+        (f"P{i}", rng.randint(1, 500)) for i in range(config.n_parts)
+    )
+
+    # Each part lands in `fanout` distinct devices.
+    dp_rows = []
+    device_ids = [f"D{i}" for i in range(config.n_devices)]
+    for i in range(config.n_parts):
+        for did in rng.sample(device_ids, config.fanout):
+            dp_rows.append((did, f"P{i}"))
+    db.table("devices_parts").load(dp_rows)
+    for name in config.extra_join_tables:
+        db.table(name).load(
+            (did, pid, rng.randint(0, 999)) for did, pid in dp_rows
+        )
+
+    db.add_foreign_key("devices_parts", ("did",), "devices")
+    db.add_foreign_key("devices_parts", ("pid",), "parts")
+    return db
+
+
+def build_flat_view(db: Database, config: DevicesConfig) -> PlanNode:
+    """Figure 1b: the SPJ view V (part list of phone devices)."""
+    plan = _join_chain(db, config)
+    if config.with_selection:
+        plan = where(plan, col("category").eq(lit("phone")))
+    return project_columns(plan, ("did", "pid", "price"))
+
+
+def build_aggregate_view(db: Database, config: DevicesConfig) -> GroupBy:
+    """Figure 5b: the aggregate view V' (total part cost per device)."""
+    plan = _join_chain(db, config)
+    if config.with_selection:
+        plan = where(plan, col("category").eq(lit("phone")))
+    return group_by(plan, ("did",), [("sum", col("price"), "cost")])
+
+
+def _join_chain(db: Database, config: DevicesConfig) -> PlanNode:
+    plan = natural_join(scan(db, "parts"), scan(db, "devices_parts"))
+    # Extra 1-to-1 joins on (did, pid) — the Figure 12b construction.
+    for name in config.extra_join_tables:
+        plan = natural_join(plan, scan(db, name))
+    return natural_join(plan, scan(db, "devices"))
+
+
+def price_update_batch(db: Database, config: DevicesConfig, round_seed: int = 0):
+    """The Figure 11c base diff: d updates on parts.price.
+
+    Returns (key, changes) pairs ready for ``engine.log.update``.
+    """
+    rng = random.Random(config.seed + 1000 + round_seed)
+    picked = rng.sample(range(config.n_parts), config.diff_size)
+    batch = []
+    for i in picked:
+        key = (f"P{i}",)
+        current = db.table("parts").get_uncounted(key)
+        batch.append((key, {"price": current[1] + rng.randint(1, 9)}))
+    return batch
+
+
+def apply_price_updates(engine, db: Database, config: DevicesConfig, round_seed: int = 0) -> int:
+    """Log d price updates against *engine*; returns the diff size."""
+    batch = price_update_batch(db, config, round_seed)
+    for key, changes in batch:
+        engine.log.update("parts", key, changes)
+    return len(batch)
+
+
+@dataclass
+class MixedBatch:
+    """A mixed modification batch for insert/delete experiments."""
+
+    updates: int = 0
+    inserts: int = 0
+    deletes: int = 0
+    operations: list = field(default_factory=list)
+
+
+def mixed_modification_batch(
+    db: Database,
+    config: DevicesConfig,
+    updates: int,
+    inserts: int,
+    deletes: int,
+    round_seed: int = 0,
+) -> MixedBatch:
+    """Build a batch mixing price updates, new parts (with placements)
+    and part removals, for the insert-heavy regime of Section 6."""
+    rng = random.Random(config.seed + 5000 + round_seed)
+    batch = MixedBatch(updates=updates, inserts=inserts, deletes=deletes)
+    live = [row[0] for row in db.table("parts").rows_uncounted()]
+    touched = rng.sample(live, min(updates + deletes, len(live)))
+    for pid in touched[:updates]:
+        current = db.table("parts").get_uncounted((pid,))
+        batch.operations.append(
+            ("update", "parts", (pid,), {"price": current[1] + 1})
+        )
+    doomed = set(touched[updates:updates + deletes])
+    if doomed:
+        for did, pid in db.table("devices_parts").rows_uncounted():
+            if pid in doomed:
+                batch.operations.append(("delete", "devices_parts", (did, pid), None))
+        for pid in doomed:
+            batch.operations.append(("delete", "parts", (pid,), None))
+    device_ids = [f"D{i}" for i in range(config.n_devices)]
+    for i in range(inserts):
+        pid = f"PNEW{round_seed}_{i}"
+        batch.operations.append(
+            ("insert", "parts", (pid, rng.randint(1, 500)), None)
+        )
+        for did in rng.sample(device_ids, config.fanout):
+            batch.operations.append(("insert", "devices_parts", (did, pid), None))
+    return batch
+
+
+def log_batch(engine, batch: MixedBatch) -> None:
+    for kind, table, payload, changes in batch.operations:
+        if kind == "update":
+            engine.log.update(table, payload, changes)
+        elif kind == "delete":
+            engine.log.delete(table, payload)
+        else:
+            engine.log.insert(table, payload)

@@ -1,0 +1,78 @@
+"""Shared fixtures: the paper's running example (Figures 1-2)."""
+
+import pytest
+
+from repro.algebra import natural_join, scan, where
+from repro.expr import col, lit
+from repro.storage import Database
+
+
+@pytest.fixture
+def running_example_db() -> Database:
+    """The exact instance of Figure 2 (initial database instance DB)."""
+    db = Database()
+    db.create_table("devices", ("did", "category"), ("did",))
+    db.create_table("parts", ("pid", "price"), ("pid",))
+    db.create_table("devices_parts", ("did", "pid"), ("did", "pid"))
+    db.table("devices").load(
+        [("D1", "phone"), ("D2", "phone"), ("D3", "tablet")]
+    )
+    db.table("parts").load([("P1", 10), ("P2", 20)])
+    db.table("devices_parts").load(
+        [("D1", "P1"), ("D2", "P1"), ("D1", "P2")]
+    )
+    db.add_foreign_key("devices_parts", ("did",), "devices")
+    db.add_foreign_key("devices_parts", ("pid",), "parts")
+    return db
+
+
+def build_view_v(db: Database):
+    """Figure 1b: SELECT did, pid, price FROM parts NATURAL JOIN
+    devices_parts NATURAL JOIN devices WHERE category = 'phone'."""
+    joined = natural_join(
+        natural_join(scan(db, "parts"), scan(db, "devices_parts")),
+        scan(db, "devices"),
+    )
+    filtered = where(joined, col("category").eq(lit("phone")))
+    from repro.algebra import project_columns
+
+    return project_columns(filtered, ("did", "pid", "price"))
+
+
+def build_view_v_prime(db: Database):
+    """Figure 5b: the aggregate extension (total part cost per device)."""
+    from repro.algebra import group_by
+
+    joined = natural_join(
+        natural_join(scan(db, "parts"), scan(db, "devices_parts")),
+        scan(db, "devices"),
+    )
+    filtered = where(joined, col("category").eq(lit("phone")))
+    return group_by(filtered, ("did",), [("sum", col("price"), "cost")])
+
+
+@pytest.fixture
+def view_v(running_example_db):
+    return build_view_v(running_example_db)
+
+
+@pytest.fixture
+def view_v_prime(running_example_db):
+    return build_view_v_prime(running_example_db)
+
+
+# ----------------------------------------------------------------------
+# hypothesis profiles: HYPOTHESIS_PROFILE=stress runs a deep fuzz.
+# ----------------------------------------------------------------------
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "stress",
+    max_examples=1200,
+    deadline=None,
+    suppress_health_check=list(HealthCheck),
+)
+if os.environ.get("HYPOTHESIS_PROFILE"):
+    settings.load_profile(os.environ["HYPOTHESIS_PROFILE"])

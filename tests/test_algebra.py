@@ -1,0 +1,246 @@
+"""Unit tests for plan construction and full evaluation."""
+
+import pytest
+
+from repro.algebra import (
+    AggSpec,
+    AntiJoin,
+    GroupBy,
+    Join,
+    Project,
+    Scan,
+    Select,
+    UnionAll,
+    difference,
+    equi_join,
+    evaluate_plan,
+    group_by,
+    natural_join,
+    project_columns,
+    rename,
+    scan,
+    scans_of,
+    where,
+)
+from repro.errors import PlanError
+from repro.expr import Call, col, lit
+from repro.storage import Database, TableSchema
+
+
+class TestPlanConstruction:
+    def test_scan_columns(self, running_example_db):
+        node = scan(running_example_db, "parts")
+        assert node.columns == ("pid", "price")
+
+    def test_scan_alias_prefixes_columns(self, running_example_db):
+        node = scan(running_example_db, "parts", alias="p2")
+        assert node.columns == ("p2_pid", "p2_price")
+
+    def test_join_requires_disjoint_columns(self, running_example_db):
+        left = scan(running_example_db, "parts")
+        right = scan(running_example_db, "parts")
+        with pytest.raises(PlanError):
+            Join(left, right, None)
+
+    def test_select_validates_columns(self, running_example_db):
+        node = scan(running_example_db, "parts")
+        with pytest.raises(PlanError):
+            Select(node, col("zzz").eq(lit(1)))
+
+    def test_project_validates_columns(self, running_example_db):
+        node = scan(running_example_db, "parts")
+        with pytest.raises(PlanError):
+            Project(node, [("x", col("zzz"))])
+
+    def test_project_rejects_duplicate_names(self, running_example_db):
+        node = scan(running_example_db, "parts")
+        with pytest.raises(PlanError):
+            Project(node, [("x", col("pid")), ("x", col("price"))])
+
+    def test_union_requires_same_columns(self, running_example_db):
+        parts = scan(running_example_db, "parts")
+        devices = scan(running_example_db, "devices")
+        with pytest.raises(PlanError):
+            UnionAll(parts, devices)
+
+    def test_groupby_requires_keys(self, running_example_db):
+        node = scan(running_example_db, "parts")
+        with pytest.raises(PlanError):
+            GroupBy(node, (), (AggSpec("sum", col("price"), "s"),))
+
+    def test_groupby_requires_aggs(self, running_example_db):
+        node = scan(running_example_db, "parts")
+        with pytest.raises(PlanError):
+            GroupBy(node, ("pid",), ())
+
+    def test_aggspec_count_star(self):
+        spec = AggSpec("count", None, "n")
+        assert spec.arg_columns == frozenset()
+
+    def test_aggspec_requires_arg_except_count(self):
+        with pytest.raises(PlanError):
+            AggSpec("sum", None, "s")
+
+    def test_unknown_agg_func(self):
+        with pytest.raises(PlanError):
+            AggSpec("median", col("x"), "m")
+
+    def test_scans_of(self, view_v):
+        scans = scans_of(view_v)
+        assert [s.table for s in scans] == ["parts", "devices_parts", "devices"]
+
+    def test_walk_preorder(self, view_v):
+        kinds = [type(n).__name__ for n in view_v.walk()]
+        assert kinds[0] == "Project"
+        assert "Scan" in kinds
+
+
+class TestEvaluation:
+    def test_running_example_view_instance(self, running_example_db, view_v):
+        """Figure 2's initial view instance V(DB)."""
+        result = evaluate_plan(view_v, running_example_db)
+        assert result.columns == ("did", "pid", "price")
+        assert result.as_set() == {
+            ("D1", "P1", 10),
+            ("D2", "P1", 10),
+            ("D1", "P2", 20),
+        }
+
+    def test_aggregate_view_v_prime(self, running_example_db, view_v_prime):
+        """Figure 5: total part cost per phone device."""
+        result = evaluate_plan(view_v_prime, running_example_db)
+        assert result.as_set() == {("D1", 30), ("D2", 10)}
+
+    def test_selection(self, running_example_db):
+        node = where(scan(running_example_db, "devices"), col("category").eq(lit("phone")))
+        result = evaluate_plan(node, running_example_db)
+        assert result.as_set() == {("D1", "phone"), ("D2", "phone")}
+
+    def test_generalized_projection(self, running_example_db):
+        node = Project(
+            scan(running_example_db, "parts"),
+            [("pid", col("pid")), ("double_price", col("price") * lit(2))],
+        )
+        result = evaluate_plan(node, running_example_db)
+        assert result.as_set() == {("P1", 20), ("P2", 40)}
+
+    def test_projection_with_scalar_function(self, running_example_db):
+        node = Project(
+            scan(running_example_db, "devices"),
+            [("did", col("did")), ("cat", Call("upper", [col("category")]))],
+        )
+        result = evaluate_plan(node, running_example_db)
+        assert ("D1", "PHONE") in result.as_set()
+
+    def test_cross_product(self, running_example_db):
+        parts = scan(running_example_db, "parts")
+        devices = rename(
+            scan(running_example_db, "devices"), {"did": "d", "category": "c"}
+        )
+        node = Join(parts, devices, None)
+        result = evaluate_plan(node, running_example_db)
+        assert len(result) == 2 * 3
+
+    def test_theta_join(self, running_example_db):
+        parts = scan(running_example_db, "parts")
+        parts2 = scan(running_example_db, "parts", alias="p2")
+        node = Join(parts, parts2, col("price").lt(col("p2_price")))
+        result = evaluate_plan(node, running_example_db)
+        assert result.as_set() == {("P1", 10, "P2", 20)}
+
+    def test_equi_join_helper(self, running_example_db):
+        dp = scan(running_example_db, "devices_parts")
+        parts = rename(scan(running_example_db, "parts"), {"pid": "p_pid"})
+        node = equi_join(dp, parts, [("pid", "p_pid")])
+        result = evaluate_plan(node, running_example_db)
+        assert len(result) == 3
+
+    def test_antijoin(self, running_example_db):
+        # devices with no parts: D3
+        devices = scan(running_example_db, "devices")
+        dp = rename(scan(running_example_db, "devices_parts"), {"did": "dp_did", "pid": "dp_pid"})
+        node = AntiJoin(devices, dp, col("did").eq(col("dp_did")))
+        result = evaluate_plan(node, running_example_db)
+        assert result.as_set() == {("D3", "tablet")}
+
+    def test_difference(self, running_example_db):
+        all_dids = project_columns(scan(running_example_db, "devices"), ("did",))
+        phone_dids = project_columns(
+            where(scan(running_example_db, "devices"), col("category").eq(lit("phone"))),
+            ("did",),
+        )
+        node = difference(all_dids, phone_dids)
+        result = evaluate_plan(node, running_example_db)
+        assert result.as_set() == {("D3",)}
+
+    def test_union_all_branch_column(self, running_example_db):
+        phones = where(scan(running_example_db, "devices"), col("category").eq(lit("phone")))
+        tablets = where(scan(running_example_db, "devices"), col("category").eq(lit("tablet")))
+        node = UnionAll(phones, tablets)
+        result = evaluate_plan(node, running_example_db)
+        assert result.columns == ("did", "category", "b")
+        assert ("D1", "phone", 0) in result.as_set()
+        assert ("D3", "tablet", 1) in result.as_set()
+
+    def test_groupby_sum_count_avg_min_max(self, running_example_db):
+        dp = scan(running_example_db, "devices_parts")
+        parts = rename(scan(running_example_db, "parts"), {"pid": "p_pid"})
+        joined = equi_join(dp, parts, [("pid", "p_pid")])
+        node = group_by(
+            joined,
+            ("did",),
+            [
+                ("sum", col("price"), "total"),
+                ("count", None, "n"),
+                ("avg", col("price"), "mean"),
+                ("min", col("price"), "lo"),
+                ("max", col("price"), "hi"),
+            ],
+        )
+        result = evaluate_plan(node, running_example_db)
+        rows = {r[0]: r[1:] for r in result.rows}
+        assert rows["D1"] == (30, 2, 15.0, 10, 20)
+        assert rows["D2"] == (10, 1, 10.0, 10, 10)
+
+    def test_count_arg_skips_nulls(self):
+        db = Database()
+        db.create_table("t", ("k", "g", "v"), ("k",))
+        db.table("t").load([(1, "a", 5), (2, "a", None), (3, "b", 7)])
+        node = group_by(
+            scan(db, "t"), ("g",), [("count", col("v"), "nv"), ("count", None, "n")]
+        )
+        result = evaluate_plan(node, db)
+        rows = {r[0]: r[1:] for r in result.rows}
+        assert rows["a"] == (1, 2)
+        assert rows["b"] == (1, 1)
+
+    def test_sum_of_empty_group_absent(self, running_example_db):
+        # Groups only exist for rows present in the input.
+        node = group_by(
+            where(scan(running_example_db, "parts"), col("price").gt(lit(100))),
+            ("pid",),
+            [("sum", col("price"), "s")],
+        )
+        result = evaluate_plan(node, running_example_db)
+        assert len(result) == 0
+
+    def test_natural_join_keeps_one_copy(self, running_example_db):
+        node = natural_join(
+            scan(running_example_db, "parts"), scan(running_example_db, "devices_parts")
+        )
+        result = evaluate_plan(node, running_example_db)
+        assert result.columns == ("pid", "price", "did")
+        assert len(result) == 3
+
+    def test_natural_join_requires_shared_columns(self, running_example_db):
+        with pytest.raises(PlanError):
+            natural_join(
+                scan(running_example_db, "parts"),
+                rename(scan(running_example_db, "devices"), {"did": "x", "category": "y"}),
+            )
+
+    def test_evaluation_counts_base_accesses(self, running_example_db, view_v):
+        running_example_db.counters.reset()
+        evaluate_plan(view_v, running_example_db)
+        # 2 parts + 3 devices_parts + 3 devices rows scanned
+        assert running_example_db.counters.total.tuple_reads == 8

@@ -1,0 +1,100 @@
+"""Tests for the benchmark harness and reporting helpers."""
+
+from repro.bench import (
+    SweepPoint,
+    SystemResult,
+    format_comparison,
+    format_sweep,
+    format_table,
+    run_system,
+    speedup,
+)
+from repro.baselines import TupleIvmEngine
+from repro.core import IdIvmEngine
+from repro.storage import Database
+from tests.conftest import build_view_v
+
+
+def _db_factory():
+    db = Database()
+    db.create_table("devices", ("did", "category"), ("did",))
+    db.create_table("parts", ("pid", "price"), ("pid",))
+    db.create_table("devices_parts", ("did", "pid"), ("did", "pid"))
+    db.table("devices").load([("D1", "phone"), ("D2", "phone"), ("D3", "tablet")])
+    db.table("parts").load([("P1", 10), ("P2", 20)])
+    db.table("devices_parts").load([("D1", "P1"), ("D2", "P1"), ("D1", "P2")])
+    return db
+
+
+def _mods(engine, db):
+    engine.log.update("parts", ("P1",), {"price": 11})
+
+
+class TestRunSystem:
+    def test_collects_costs_and_correctness(self):
+        result = run_system(
+            "idIVM", _db_factory, IdIvmEngine, build_view_v, _mods
+        )
+        assert result.correct
+        assert result.total_cost == 3
+        assert result.phase("view_update") == 3
+        assert result.wall_seconds >= 0
+
+    def test_phase_breakdown_sums_to_total(self):
+        result = run_system(
+            "tuple", _db_factory, TupleIvmEngine, build_view_v, _mods
+        )
+        assert sum(result.phase_costs.values()) == result.total_cost
+        assert result.lookups + result.reads + result.writes == result.total_cost
+
+    def test_speedup(self):
+        id_result = run_system("id", _db_factory, IdIvmEngine, build_view_v, _mods)
+        tuple_result = run_system(
+            "tuple", _db_factory, TupleIvmEngine, build_view_v, _mods
+        )
+        assert speedup(tuple_result, id_result) > 1.0
+
+    def test_zero_cost_speedup(self):
+        a = SystemResult("a", total_cost=10)
+        b = SystemResult("b", total_cost=0)
+        assert speedup(a, b) == float("inf")
+        assert speedup(b, b) == 1.0
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(("name", "value"), [("x", 1), ("longer", 22.5)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "22.50" in lines[-1]
+
+    def test_format_comparison(self):
+        result = SystemResult(
+            "idIVM", total_cost=10, phase_costs={"view_update": 10},
+            lookups=4, reads=0, writes=6,
+        )
+        text = format_comparison("title", {"idIVM": result})
+        assert "== title ==" in text
+        assert "idIVM" in text
+        assert "yes" in text
+
+    def test_format_sweep(self):
+        point = SweepPoint(
+            parameter=5,
+            results={
+                "idIVM": SystemResult("idIVM", total_cost=10),
+                "tuple": SystemResult("tuple", total_cost=40),
+            },
+        )
+        text = format_sweep("s", "f", [point], systems=("idIVM", "tuple"))
+        assert "4.00" in text  # the speedup column
+
+    def test_sweep_point_speedup(self):
+        point = SweepPoint(
+            parameter=1,
+            results={
+                "idIVM": SystemResult("idIVM", total_cost=5),
+                "tuple": SystemResult("tuple", total_cost=50),
+            },
+        )
+        assert point.speedup() == 10.0

@@ -1,0 +1,86 @@
+"""Multi-round integration over the BSMA workload: all eight views on
+one engine, several maintenance rounds with mixed modifications beyond
+the benchmark's pure-update stream."""
+
+import random
+
+import pytest
+
+from repro.algebra import Relation, evaluate_plan
+from repro.core import IdIvmEngine
+from repro.workloads import BSMA_QUERIES, BsmaConfig, build_bsma_database
+
+CONFIG = BsmaConfig(n_users=200, friends_per_user=5, n_tweets=600)
+
+
+@pytest.fixture(scope="module")
+def maintained_engine():
+    db = build_bsma_database(CONFIG)
+    engine = IdIvmEngine(db)
+    views = {
+        name: engine.define_view(name, build(db, CONFIG))
+        for name, build in BSMA_QUERIES.items()
+    }
+    rng = random.Random(77)
+    next_mid = CONFIG.n_tweets
+    next_rwid = CONFIG.n_retweets
+    for round_number in range(3):
+        # Profile updates (the benchmark stream) ...
+        for _ in range(20):
+            uid = rng.randrange(CONFIG.n_users)
+            row = db.table("users").get_uncounted((uid,))
+            engine.log.update(
+                "users", (uid,),
+                {"tweetsnum": row[2] + 1, "favornum": row[3] + rng.randint(0, 2)},
+            )
+        # ... plus tweets, retweets and the occasional take-down.
+        for _ in range(10):
+            engine.log.insert(
+                "microblog",
+                (next_mid, rng.randrange(CONFIG.n_users),
+                 rng.randrange(0, 1000), rng.randrange(CONFIG.n_topics)),
+            )
+            next_mid += 1
+        for _ in range(6):
+            engine.log.insert(
+                "retweets",
+                (next_rwid, rng.randrange(next_mid),
+                 rng.randrange(CONFIG.n_users), rng.randrange(0, 1000)),
+            )
+            next_rwid += 1
+        live_mentions = [r[0] for r in db.table("mentions").rows_uncounted()]
+        for mnid in rng.sample(live_mentions, 3):
+            engine.log.delete("mentions", (mnid,))
+        engine.maintain()
+    return engine, views, db
+
+
+@pytest.mark.parametrize("name", list(BSMA_QUERIES))
+def test_view_exact_after_rounds(maintained_engine, name):
+    _engine, views, db = maintained_engine
+    view = views[name]
+    expected = evaluate_plan(view.plan, db).as_set()
+    assert view.table.as_set() == expected
+
+
+def test_caches_consistent_after_rounds(maintained_engine):
+    from repro.core import node_by_id
+
+    _engine, views, db = maintained_engine
+    for name, view in views.items():
+        for node_id, cache in view.caches.items():
+            if node_id == view.plan.node_id:
+                continue
+            node = node_by_id(view.plan, node_id)
+            expected = evaluate_plan(node, db).as_set()
+            assert cache.as_set() == expected, (name, node.label())
+
+
+def test_relation_pretty_renders(maintained_engine):
+    _engine, views, _db = maintained_engine
+    view = views["Q7"]
+    rel = Relation(view.table.schema.columns, view.table.rows_uncounted())
+    text = rel.pretty(limit=5)
+    assert "uid" in text.splitlines()[0]
+    if len(rel) > 5:
+        assert "more rows" in text.splitlines()[-1]

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Initial view" in out
+        assert "APPLY" in out
+        assert "maintenance cost" in out
+
+
+class TestExplain:
+    def test_explain_shows_plan_and_script(self, capsys):
+        code = main(
+            ["explain", "--sql", "SELECT pid, price FROM parts WHERE price > 15"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SCAN parts" in out
+        assert "ids:" in out
+        assert "∆-script" in out
+
+    def test_no_minimize_flag_keeps_probes(self, capsys):
+        sql = "SELECT pid, price FROM parts WHERE price > 15"
+        main(["explain", "--sql", sql])
+        minimized = capsys.readouterr().out
+        main(["explain", "--sql", sql, "--no-minimize"])
+        naive = capsys.readouterr().out
+        assert naive.count("Subview") > minimized.count("Subview")
+
+    def test_bad_sql_raises(self):
+        from repro.errors import SqlError
+
+        with pytest.raises(SqlError):
+            main(["explain", "--sql", "SELECT FROM WHERE"])
+
+
+class TestSweep:
+    def test_sweep_prints_table(self, capsys):
+        code = main(
+            ["sweep", "--param", "f", "--values", "4", "--parts", "80"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "idIVM" in out
+
+    def test_join_sweep_disables_selection(self, capsys):
+        code = main(
+            ["sweep", "--param", "j", "--values", "2,3", "--parts", "60"]
+        )
+        assert code == 0
+        lines = [
+            l for l in capsys.readouterr().out.splitlines() if l[:1].isdigit()
+        ]
+        assert len(lines) == 2
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--param", "zzz", "--values", "1"])
+
+
+class TestBsma:
+    def test_bsma_small(self, capsys):
+        code = main(["bsma", "--users", "120", "--updates", "10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Q10" in out
+        assert "speedup" in out
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

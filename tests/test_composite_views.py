@@ -1,0 +1,215 @@
+"""Deeply composed views: operator stacks the template pool doesn't cover.
+
+Each view nests three or more operator layers (aggregates under unions,
+antijoins over aggregates, selections over grouped semijoins, ...) and is
+maintained through several mixed modification rounds against the
+recomputation oracle.
+"""
+
+import pytest
+
+from repro.algebra import (
+    AntiJoin,
+    Project,
+    SemiJoin,
+    UnionAll,
+    equi_join,
+    evaluate_plan,
+    group_by,
+    project_columns,
+    rename,
+    scan,
+    where,
+)
+from repro.core import IdIvmEngine
+from repro.expr import col, lit
+from repro.storage import Database
+
+
+def make_db() -> Database:
+    db = Database()
+    db.create_table("emp", ("eid", "dept", "salary"), ("eid",))
+    db.create_table("dept", ("did", "region"), ("did",))
+    db.create_table("bonus", ("bid", "b_eid", "amount"), ("bid",))
+    db.table("emp").load(
+        [
+            (1, "eng", 100),
+            (2, "eng", 120),
+            (3, "sales", 90),
+            (4, "sales", 80),
+            (5, "hr", 70),
+        ]
+    )
+    db.table("dept").load([("eng", "west"), ("sales", "east"), ("hr", "west")])
+    db.table("bonus").load([(1, 1, 10), (2, 3, 5), (3, 3, 7)])
+    return db
+
+
+def union_of_aggregates(db):
+    """Payroll per department from two salary bands, unioned."""
+    low = group_by(
+        where(scan(db, "emp"), col("salary").lt(lit(100))),
+        ("dept",),
+        [("sum", col("salary"), "payroll"), ("count", None, "heads")],
+    )
+    high = group_by(
+        where(scan(db, "emp"), col("salary").ge(lit(100))),
+        ("dept",),
+        [("sum", col("salary"), "payroll"), ("count", None, "heads")],
+    )
+    return UnionAll(low, high)
+
+
+def antijoin_over_aggregate(db):
+    """Departments whose payroll has no employee earning a bonus."""
+    payroll = group_by(
+        scan(db, "emp"), ("dept",), [("sum", col("salary"), "payroll")]
+    )
+    bonused = project_columns(
+        equi_join(
+            scan(db, "bonus"),
+            rename(scan(db, "emp"), {"eid": "e_eid", "dept": "e_dept", "salary": "e_sal"}),
+            [("b_eid", "e_eid")],
+        ),
+        ("bid", "e_dept"),
+    )
+    return AntiJoin(payroll, bonused, col("dept").eq(col("e_dept")))
+
+
+def selection_over_grouped_semijoin(db):
+    """Well-paid bonused employees' departments, large groups only."""
+    bonus_ref = rename(scan(db, "bonus"), {"b_eid": "ref_eid"})
+    bonused_emps = SemiJoin(
+        scan(db, "emp"), bonus_ref, col("eid").eq(col("ref_eid"))
+    )
+    grouped = group_by(
+        bonused_emps, ("dept",), [("sum", col("salary"), "paid")]
+    )
+    return where(grouped, col("paid").gt(lit(50)))
+
+
+def join_of_two_aggregates(db):
+    """Department payroll next to department bonus totals."""
+    payroll = group_by(
+        scan(db, "emp"), ("dept",), [("sum", col("salary"), "payroll")]
+    )
+    bonus_by_dept = group_by(
+        project_columns(
+            equi_join(
+                scan(db, "bonus"),
+                rename(scan(db, "emp"), {"eid": "e2_eid", "dept": "e2_dept", "salary": "e2_sal"}),
+                [("b_eid", "e2_eid")],
+            ),
+            ("bid", "amount", "e2_dept"),
+        ),
+        ("e2_dept",),
+        [("sum", col("amount"), "bonus_total")],
+    )
+    return equi_join(payroll, bonus_by_dept, [("dept", "e2_dept")])
+
+
+def projected_region_rollup(db):
+    """Three levels: join, aggregate, computed projection."""
+    staffed = equi_join(
+        scan(db, "emp"),
+        rename(scan(db, "dept"), {"did": "d_id"}),
+        [("dept", "d_id")],
+    )
+    by_region = group_by(
+        staffed, ("region",), [("sum", col("salary"), "total"), ("count", None, "n")]
+    )
+    return Project(
+        by_region,
+        [
+            ("region", col("region")),
+            ("avg_cost", col("total") / col("n")),
+        ],
+    )
+
+
+COMPOSITES = [
+    union_of_aggregates,
+    antijoin_over_aggregate,
+    selection_over_grouped_semijoin,
+    join_of_two_aggregates,
+    projected_region_rollup,
+]
+
+ROUNDS = [
+    [
+        ("update", "emp", (1,), {"salary": 130}),
+        ("insert", "emp", (6, "eng", 95), None),
+        ("insert", "bonus", (4, 2, 12), None),
+    ],
+    [
+        ("delete", "bonus", (2,), None),
+        ("update", "emp", (3,), {"dept": "hr"}),
+        ("update", "dept", ("hr",), {"region": "east"}),
+    ],
+    [
+        ("delete", "emp", (4,), None),
+        ("insert", "dept", ("ops", "north"), None),
+        ("insert", "emp", (7, "ops", 60), None),
+        ("update", "emp", (7,), {"salary": 65}),
+    ],
+]
+
+
+@pytest.mark.parametrize("build", COMPOSITES, ids=lambda f: f.__name__)
+def test_composite_view_maintained(build):
+    db = make_db()
+    engine = IdIvmEngine(db)
+    view = engine.define_view("V", build(db))
+    for batch in ROUNDS:
+        for kind, table, payload, changes in batch:
+            if kind == "update":
+                engine.log.update(table, payload, changes)
+            elif kind == "insert":
+                engine.log.insert(table, payload)
+            else:
+                engine.log.delete(table, payload)
+        engine.maintain()
+        expected = evaluate_plan(view.plan, db).as_set()
+        assert view.table.as_set() == expected
+
+
+@pytest.mark.parametrize("build", COMPOSITES, ids=lambda f: f.__name__)
+def test_composite_view_tuple_baseline(build):
+    from repro.baselines import TupleIvmEngine
+
+    db = make_db()
+    engine = TupleIvmEngine(db)
+    view = engine.define_view("V", build(db))
+    for batch in ROUNDS:
+        for kind, table, payload, changes in batch:
+            if kind == "update":
+                engine.log.update(table, payload, changes)
+            elif kind == "insert":
+                engine.log.insert(table, payload)
+            else:
+                engine.log.delete(table, payload)
+        engine.maintain()
+        expected = evaluate_plan(view.plan, db).as_set()
+        assert view.table.as_set() == expected
+
+
+def test_all_composites_in_one_engine():
+    """All five composites share one engine and one log."""
+    db = make_db()
+    engine = IdIvmEngine(db)
+    views = {
+        build.__name__: engine.define_view(build.__name__, build(db))
+        for build in COMPOSITES
+    }
+    for batch in ROUNDS:
+        for kind, table, payload, changes in batch:
+            if kind == "update":
+                engine.log.update(table, payload, changes)
+            elif kind == "insert":
+                engine.log.insert(table, payload)
+            else:
+                engine.log.delete(table, payload)
+        engine.maintain()
+        for name, view in views.items():
+            expected = evaluate_plan(view.plan, db).as_set()
+            assert view.table.as_set() == expected, name

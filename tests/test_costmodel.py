@@ -1,0 +1,102 @@
+"""Tests for the Section 6 analytical cost model."""
+
+import pytest
+
+from repro.costmodel import (
+    AggCosts,
+    SpjCosts,
+    agg_general_speedup_bound,
+    agg_insert_speedup,
+    agg_update_speedup,
+    estimate_a_for_chain,
+    estimate_p_for_chain,
+    spj_general_speedup_bound,
+    spj_update_speedup,
+    tuple_based_break_even_a,
+)
+
+
+class TestEquation1:
+    def test_figure2_parameters(self):
+        """The running example's P1 update: p = 2, a >= 3 (two joins)."""
+        assert spj_update_speedup(a=6, p=2) == pytest.approx(10 / 3)
+
+    def test_speedup_grows_with_a(self):
+        values = [spj_update_speedup(a, 2.0) for a in (2, 5, 10, 50)]
+        assert values == sorted(values)
+
+    def test_parity_when_a_equals_one_minus_p(self):
+        """The break-even boundary a = 1 - p (Section 6.1 corner case)."""
+        p = 0.25
+        a = tuple_based_break_even_a(p)
+        assert spj_update_speedup(a, p) == pytest.approx(1.0)
+
+    def test_tuple_based_wins_only_in_corner(self):
+        # a < 1 requires shared join values; p << 1 requires severe
+        # overestimation: only then does the ratio dip below 1.
+        assert spj_update_speedup(a=0.2, p=0.1) < 1.0
+        assert spj_update_speedup(a=1.0, p=0.1) > 1.0
+
+    def test_general_bound_capped_at_one(self):
+        assert spj_general_speedup_bound(a=50, p=2) == 1.0
+        assert spj_general_speedup_bound(a=0.2, p=0.1) < 1.0
+
+    def test_rejects_negative_parameters(self):
+        with pytest.raises(ValueError):
+            spj_update_speedup(-1, 2)
+
+
+class TestEquation2:
+    def test_never_below_parity(self):
+        """Appendix A.2.1: a >= 1 + p, so the ratio is always >= 1."""
+        for p in (0.5, 1, 2, 5):
+            for extra in (0, 1, 5, 20):
+                a = 1 + p + extra
+                assert agg_update_speedup(a, p) >= 1.0
+
+    def test_longer_chains_raise_speedup(self):
+        p = 2.0
+        values = [agg_update_speedup(1 + p + joins * 2 * p, p) for joins in range(1, 5)]
+        assert values == sorted(values)
+
+    def test_insert_regime_below_parity_but_bounded(self):
+        s = agg_insert_speedup(a=5, p=2, g=1, k=3)
+        assert s < 1.0
+        # The loss is bounded: at most 1 extra access per inserted row.
+        assert s >= 5 / (5 + 3 + 4)
+
+    def test_general_bound(self):
+        assert agg_general_speedup_bound(a=5, p=2, g=1, k=3) == pytest.approx(
+            agg_insert_speedup(5, 2, 1, 3)
+        )
+
+
+class TestTableDataclasses:
+    def test_spj_costs(self):
+        costs = SpjCosts(diff_size=100, a=6, p=2)
+        assert costs.id_based == 300
+        assert costs.tuple_based == 1000
+        assert costs.speedup == pytest.approx(spj_update_speedup(6, 2))
+
+    def test_agg_costs(self):
+        costs = AggCosts(diff_size=100, a=6, p=2, g=0.5)
+        assert costs.id_based == 100 * (1 + 2 + 2)
+        assert costs.tuple_based == 100 * (6 + 2)
+        assert costs.speedup == pytest.approx(agg_update_speedup(6, 2, 0.5))
+
+
+class TestChainEstimators:
+    def test_single_join(self):
+        # One join with fanout f: 1 lookup + f reads.
+        assert estimate_a_for_chain([4]) == 5
+
+    def test_chain_accumulates(self):
+        # f1=4 then f2=1: 1+4 then 1+4 = 10.
+        assert estimate_a_for_chain([4, 1]) == 10
+
+    def test_p_estimate(self):
+        assert estimate_p_for_chain([4, 1], selectivity=0.5) == pytest.approx(2.0)
+
+    def test_matches_devices_defaults(self):
+        """Fig. 11 defaults: f=10, s=20% -> p = 2 per updated part."""
+        assert estimate_p_for_chain([10, 1], 0.2) == pytest.approx(2.0)

@@ -1,0 +1,175 @@
+"""Unit tests for the diff-driven (index-backed) plan evaluator."""
+
+import pytest
+
+from repro.algebra import (
+    Bindings,
+    GroupBy,
+    UnionAll,
+    evaluate_plan,
+    fetch,
+    group_by,
+    natural_join,
+    project_columns,
+    rename,
+    scan,
+    where,
+)
+from repro.algebra.plan import AntiJoin, Project
+from repro.errors import PlanError
+from repro.expr import col, lit
+from repro.storage import Table, TableSchema
+
+
+class TestBindings:
+    def test_dedupes_preserving_order(self):
+        b = Bindings(("x",), [(1,), (2,), (1,)])
+        assert b.values == [(1,), (2,)]
+
+    def test_project(self):
+        b = Bindings(("x", "y"), [(1, "a"), (2, "b"), (1, "c")])
+        assert b.project(("x",)).values == [(1,), (2,)]
+
+    def test_empty(self):
+        assert Bindings(("x",), []).is_empty()
+
+
+class TestFetchScan:
+    def test_pk_binding_uses_pk_index(self, running_example_db):
+        node = scan(running_example_db, "parts")
+        running_example_db.counters.reset()
+        rel = fetch(node, running_example_db, Bindings(("pid",), [("P1",)]))
+        assert rel.as_set() == {("P1", 10)}
+        counts = running_example_db.counters.total
+        assert counts.index_lookups == 1
+        assert counts.tuple_reads == 1
+
+    def test_secondary_binding(self, running_example_db):
+        node = scan(running_example_db, "devices_parts")
+        rel = fetch(node, running_example_db, Bindings(("pid",), [("P1",)]))
+        assert rel.as_set() == {("D1", "P1"), ("D2", "P1")}
+
+    def test_no_bindings_scans(self, running_example_db):
+        node = scan(running_example_db, "parts")
+        running_example_db.counters.reset()
+        rel = fetch(node, running_example_db)
+        assert len(rel) == 2
+        assert running_example_db.counters.total.tuple_reads == 2
+
+    def test_empty_bindings_free(self, running_example_db):
+        node = scan(running_example_db, "parts")
+        running_example_db.counters.reset()
+        rel = fetch(node, running_example_db, Bindings(("pid",), []))
+        assert len(rel) == 0
+        assert running_example_db.counters.total.total == 0
+
+
+class TestFetchOperators:
+    def test_select_filters(self, running_example_db):
+        node = where(scan(running_example_db, "devices"), col("category").eq(lit("phone")))
+        rel = fetch(node, running_example_db, Bindings(("did",), [("D1",), ("D3",)]))
+        assert rel.as_set() == {("D1", "phone")}
+
+    def test_project_passthrough_pushdown(self, running_example_db):
+        node = rename(scan(running_example_db, "parts"), {"price": "cost"})
+        running_example_db.counters.reset()
+        rel = fetch(node, running_example_db, Bindings(("pid",), [("P2",)]))
+        assert rel.as_set() == {("P2", 20)}
+        assert running_example_db.counters.total.index_lookups == 1
+
+    def test_project_computed_falls_back(self, running_example_db):
+        node = Project(
+            scan(running_example_db, "parts"),
+            [("pid2", col("pid") + lit("")), ("price", col("price"))],
+        )
+        rel = fetch(node, running_example_db, Bindings(("pid2",), [("P1",)]))
+        assert rel.as_set() == {("P1", 10)}
+
+    def test_join_binding_on_left(self, running_example_db, view_v):
+        rel = fetch(view_v, running_example_db, Bindings(("pid",), [("P1",)]))
+        assert rel.as_set() == {("D1", "P1", 10), ("D2", "P1", 10)}
+
+    def test_join_binding_on_right_side(self, running_example_db, view_v):
+        rel = fetch(view_v, running_example_db, Bindings(("did",), [("D1",)]))
+        assert rel.as_set() == {("D1", "P1", 10), ("D1", "P2", 20)}
+
+    def test_join_binding_spanning_both_sides(self, running_example_db, view_v):
+        rel = fetch(
+            view_v, running_example_db, Bindings(("did", "pid"), [("D1", "P2")])
+        )
+        assert rel.as_set() == {("D1", "P2", 20)}
+
+    def test_join_probe_is_index_driven(self, running_example_db, view_v):
+        # Fetching P1's view rows should not scan the devices table.
+        running_example_db.counters.reset()
+        fetch(view_v, running_example_db, Bindings(("pid",), [("P1",)]))
+        counts = running_example_db.counters.total
+        # parts(1 lookup + 1 read), dp by pid (1 lookup + 2 reads),
+        # devices by did (2 lookups + 2 reads) = 4 lookups, 5 reads.
+        assert counts.index_lookups == 4
+        assert counts.tuple_reads == 5
+
+    def test_unknown_binding_column_raises(self, running_example_db, view_v):
+        with pytest.raises(PlanError):
+            fetch(view_v, running_example_db, Bindings(("nope",), [(1,)]))
+
+    def test_antijoin_with_bindings(self, running_example_db):
+        devices = scan(running_example_db, "devices")
+        dp = rename(
+            scan(running_example_db, "devices_parts"), {"did": "dp_did", "pid": "dp_pid"}
+        )
+        node = AntiJoin(devices, dp, col("did").eq(col("dp_did")))
+        rel = fetch(node, running_example_db, Bindings(("did",), [("D1",), ("D3",)]))
+        assert rel.as_set() == {("D3", "tablet")}
+
+    def test_union_routes_branch_bindings(self, running_example_db):
+        phones = where(scan(running_example_db, "devices"), col("category").eq(lit("phone")))
+        tablets = where(scan(running_example_db, "devices"), col("category").eq(lit("tablet")))
+        node = UnionAll(phones, tablets)
+        rel = fetch(node, running_example_db, Bindings(("did", "b"), [("D1", 0), ("D3", 1)]))
+        assert rel.as_set() == {("D1", "phone", 0), ("D3", "tablet", 1)}
+
+    def test_union_without_branch_binding(self, running_example_db):
+        phones = where(scan(running_example_db, "devices"), col("category").eq(lit("phone")))
+        tablets = where(scan(running_example_db, "devices"), col("category").eq(lit("tablet")))
+        node = UnionAll(phones, tablets)
+        rel = fetch(node, running_example_db, Bindings(("did",), [("D3",)]))
+        assert rel.as_set() == {("D3", "tablet", 1)}
+
+    def test_groupby_binding_on_keys(self, running_example_db, view_v_prime):
+        rel = fetch(view_v_prime, running_example_db, Bindings(("did",), [("D1",)]))
+        assert rel.as_set() == {("D1", 30)}
+
+    def test_groupby_binding_on_agg_falls_back(self, running_example_db, view_v_prime):
+        rel = fetch(view_v_prime, running_example_db, Bindings(("cost",), [(10,)]))
+        assert rel.as_set() == {("D2", 10)}
+
+    def test_matches_full_evaluation(self, running_example_db, view_v):
+        full = evaluate_plan(view_v, running_example_db).as_set()
+        fetched = fetch(view_v, running_example_db).as_set()
+        assert full == fetched
+
+
+class TestFetchWithCaches:
+    def test_cache_shortcuts_recomputation(self, running_example_db, view_v):
+        from repro.core.idinfer import annotate_plan
+
+        annotated = annotate_plan(view_v)
+        cache = Table(
+            TableSchema("cache_v", ("did", "pid", "price"), ("did", "pid")),
+            counters=running_example_db.counters,
+        )
+        cache.load([("D1", "P1", 10), ("D2", "P1", 10), ("D1", "P2", 20)])
+        caches = {annotated.node_id: cache}
+        running_example_db.counters.reset()
+        rel = fetch(
+            annotated,
+            running_example_db,
+            Bindings(("pid",), [("P1",)]),
+            caches=caches,
+        )
+        assert rel.as_set() == {("D1", "P1", 10), ("D2", "P1", 10)}
+        counts = running_example_db.counters.total
+        # One secondary-index lookup on the cache, two reads; no base access.
+        assert counts.index_lookups == 1
+        assert counts.tuple_reads == 2

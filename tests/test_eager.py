@@ -1,0 +1,102 @@
+"""Tests for eager maintenance mode (paper Section 3)."""
+
+from repro.algebra import evaluate_plan
+from repro.core import IdIvmEngine
+from repro.core.eager import EagerIvmEngine
+from repro.storage import Database
+from tests.conftest import build_view_v, build_view_v_prime
+
+
+def make_db() -> Database:
+    db = Database()
+    db.create_table("devices", ("did", "category"), ("did",))
+    db.create_table("parts", ("pid", "price"), ("pid",))
+    db.create_table("devices_parts", ("did", "pid"), ("did", "pid"))
+    db.table("devices").load([("D1", "phone"), ("D2", "phone"), ("D3", "tablet")])
+    db.table("parts").load([("P1", 10), ("P2", 20)])
+    db.table("devices_parts").load([("D1", "P1"), ("D2", "P1"), ("D1", "P2")])
+    return db
+
+
+class TestEagerMode:
+    def test_view_fresh_after_every_modification(self):
+        db = make_db()
+        engine = EagerIvmEngine(db)
+        view = engine.define_view("V", build_view_v(db))
+        engine.update("parts", ("P1",), {"price": 11})
+        assert ("D1", "P1", 11) in view.table.as_set()
+        engine.insert("parts", ("P3", 5))
+        engine.insert("devices_parts", ("D2", "P3"))
+        assert ("D2", "P3", 5) in view.table.as_set()
+        engine.delete("devices_parts", ("D1", "P2"))
+        assert all(row[1] != "P2" for row in view.table.as_set())
+        assert view.table.as_set() == evaluate_plan(view.plan, db).as_set()
+        assert len(engine.rounds) == 4
+
+    def test_transaction_defers_to_one_round(self):
+        db = make_db()
+        engine = EagerIvmEngine(db)
+        view = engine.define_view("V", build_view_v(db))
+        with engine.transaction():
+            engine.update("parts", ("P1",), {"price": 11})
+            engine.update("parts", ("P1",), {"price": 12})
+            # Not maintained yet inside the block.
+            assert ("D1", "P1", 10) in view.table.as_set()
+        assert ("D1", "P1", 12) in view.table.as_set()
+        assert len(engine.rounds) == 1
+
+    def test_folding_makes_deferred_cheaper(self):
+        """n updates of the same tuple: eager pays n rounds, deferred
+        folds them into one effective change (Section 5)."""
+        def run(eager: bool) -> int:
+            db = make_db()
+            engine = EagerIvmEngine(db)
+            engine.define_view("Vp", build_view_v_prime(db))
+            if eager:
+                for price in (11, 12, 13, 14):
+                    engine.update("parts", ("P1",), {"price": price})
+            else:
+                with engine.transaction():
+                    for price in (11, 12, 13, 14):
+                        engine.update("parts", ("P1",), {"price": price})
+            return engine.total_cost()
+
+        assert run(eager=False) < run(eager=True)
+
+    def test_matches_deferred_engine_final_state(self):
+        db_eager = make_db()
+        eager = EagerIvmEngine(db_eager)
+        v_eager = eager.define_view("Vp", build_view_v_prime(db_eager))
+        db_deferred = make_db()
+        deferred = IdIvmEngine(db_deferred)
+        v_deferred = deferred.define_view("Vp", build_view_v_prime(db_deferred))
+
+        mods = [
+            ("update", "parts", ("P1",), {"price": 11}),
+            ("insert", "parts", ("P3", 7), None),
+            ("insert", "devices_parts", ("D1", "P3"), None),
+            ("update", "devices", ("D3",), {"category": "phone"}),
+            ("delete", "devices_parts", ("D2", "P1"), None),
+        ]
+        for kind, table, payload, changes in mods:
+            if kind == "update":
+                eager.update(table, payload, changes)
+                deferred.log.update(table, payload, changes)
+            elif kind == "insert":
+                eager.insert(table, payload)
+                deferred.log.insert(table, payload)
+            else:
+                eager.delete(table, payload)
+                deferred.log.delete(table, payload)
+        deferred.maintain()
+        assert v_eager.table.as_set() == v_deferred.table.as_set()
+
+    def test_phase_totals_accumulate(self):
+        db = make_db()
+        engine = EagerIvmEngine(db)
+        engine.define_view("Vp", build_view_v_prime(db))
+        engine.update("parts", ("P1",), {"price": 11})
+        engine.update("parts", ("P2",), {"price": 21})
+        totals = engine.phase_totals()
+        assert totals["cache_update"].total > 0
+        assert totals["view_update"].total > 0

@@ -1,0 +1,27 @@
+"""Smoke tests: every example script runs to completion."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    p for p in (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys, monkeypatch):
+    # Examples self-verify against recomputation; scale is kept small
+    # enough that each finishes in seconds.
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.stem} produced no output"
+
+
+def test_examples_directory_has_quickstart():
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 3

@@ -1,0 +1,135 @@
+"""Unit tests for the expression language."""
+
+import pytest
+
+from repro.errors import ExpressionError, UnknownColumnError
+from repro.expr import (
+    FALSE,
+    TRUE,
+    And,
+    Call,
+    Cmp,
+    Not,
+    Or,
+    all_of,
+    any_of,
+    col,
+    columns_of,
+    conjuncts_of,
+    equi_join_pairs,
+    evaluate,
+    lit,
+    matches,
+    rename_columns,
+)
+
+POS = {"a": 0, "b": 1, "c": 2}
+ROW = (3, 4, "x")
+
+
+class TestEvaluation:
+    def test_column_and_literal(self):
+        assert evaluate(col("a"), POS, ROW) == 3
+        assert evaluate(lit(7), POS, ROW) == 7
+
+    def test_arithmetic(self):
+        assert evaluate(col("a") + col("b"), POS, ROW) == 7
+        assert evaluate(col("b") - col("a"), POS, ROW) == 1
+        assert evaluate(col("a") * lit(2), POS, ROW) == 6
+        assert evaluate(col("b") / lit(2), POS, ROW) == 2.0
+        assert evaluate(-col("a"), POS, ROW) == -3
+        assert evaluate(1 + col("a"), POS, ROW) == 4
+
+    def test_comparisons(self):
+        assert evaluate(col("a").lt(col("b")), POS, ROW) is True
+        assert evaluate(col("a").ge(col("b")), POS, ROW) is False
+        assert evaluate(col("c").eq(lit("x")), POS, ROW) is True
+        assert evaluate(col("c").ne(lit("x")), POS, ROW) is False
+        assert evaluate(col("a").le(lit(3)), POS, ROW) is True
+        assert evaluate(col("b").gt(lit(10)), POS, ROW) is False
+
+    def test_boolean_connectives(self):
+        expr = col("a").lt(col("b")) & col("c").eq(lit("x"))
+        assert evaluate(expr, POS, ROW) is True
+        expr = col("a").gt(col("b")) | col("c").eq(lit("x"))
+        assert evaluate(expr, POS, ROW) is True
+        assert evaluate(~col("a").lt(col("b")), POS, ROW) is False
+
+    def test_in_list(self):
+        assert evaluate(col("c").isin(["x", "y"]), POS, ROW) is True
+        assert evaluate(col("a").isin([1, 2]), POS, ROW) is False
+
+    def test_null_propagation(self):
+        row = (None, 4, "x")
+        assert evaluate(col("a") + lit(1), POS, row) is None
+        assert evaluate(col("a").eq(lit(3)), POS, row) is None
+        assert matches(col("a").eq(lit(3)), POS, row) is False
+
+    def test_three_valued_and_or(self):
+        row = (None, 4, "x")
+        # None AND False = False; None OR True = True
+        assert evaluate(col("a").eq(lit(1)) & FALSE, POS, row) is False
+        assert evaluate(col("a").eq(lit(1)) | TRUE, POS, row) is True
+        assert evaluate(col("a").eq(lit(1)) & TRUE, POS, row) is None
+        assert evaluate(Not(col("a").eq(lit(1))), POS, row) is None
+
+    def test_scalar_functions(self):
+        assert evaluate(Call("abs", [lit(-5)]), POS, ROW) == 5
+        assert evaluate(Call("concat", [col("c"), lit("!")]), POS, ROW) == "x!"
+        assert evaluate(Call("mod", [col("b"), lit(3)]), POS, ROW) == 1
+        assert evaluate(Call("coalesce", [lit(None), col("a")]), POS, ROW) == 3
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ExpressionError):
+            Call("nope", [lit(1)])
+
+    def test_unknown_column(self):
+        with pytest.raises(UnknownColumnError):
+            evaluate(col("zzz"), POS, ROW)
+
+
+class TestAnalysis:
+    def test_columns_of(self):
+        expr = (col("a") + col("b")).lt(Call("abs", [col("c")]))
+        assert columns_of(expr) == {"a", "b", "c"}
+        assert columns_of(lit(3)) == frozenset()
+
+    def test_conjuncts_flatten(self):
+        expr = And([col("a").eq(lit(1)), And([col("b").eq(lit(2)), col("c").eq(lit(3))])])
+        assert len(conjuncts_of(expr)) == 3
+
+    def test_conjuncts_of_non_and(self):
+        expr = col("a").eq(lit(1)) | col("b").eq(lit(2))
+        assert conjuncts_of(expr) == (expr,)
+
+    def test_rename(self):
+        expr = col("a").eq(col("b")) & col("c").gt(lit(1))
+        renamed = rename_columns(expr, {"a": "a__post", "c": "c__post"})
+        assert columns_of(renamed) == {"a__post", "b", "c__post"}
+
+    def test_equi_join_pairs(self):
+        cond = col("x").eq(col("y")) & col("p").gt(col("q"))
+        pairs, residual = equi_join_pairs(cond, ["x", "p"], ["y", "q"])
+        assert pairs == [("x", "y")]
+        assert columns_of(residual) == {"p", "q"}
+
+    def test_equi_join_pairs_reversed_sides(self):
+        cond = col("y").eq(col("x"))
+        pairs, residual = equi_join_pairs(cond, ["x"], ["y"])
+        assert pairs == [("x", "y")]
+        assert residual == TRUE
+
+    def test_all_any_of(self):
+        assert all_of() == TRUE
+        assert any_of() == FALSE
+        single = col("a").eq(lit(1))
+        assert all_of(single) == single
+        assert isinstance(all_of(single, col("b").eq(lit(2))), And)
+        assert isinstance(any_of(single, col("b").eq(lit(2))), Or)
+
+    def test_expressions_are_hashable_and_equal(self):
+        assert col("a") == col("a")
+        assert {col("a"), col("a")} == {col("a")}
+        assert col("a").eq(lit(1)) == col("a").eq(lit(1))
+        assert hash(col("a") + lit(1)) == hash(col("a") + lit(1))
+        assert col("a") != col("b")

@@ -1,0 +1,117 @@
+"""Tests for Pass 1: ID inference (Table 1) and plan extension."""
+
+import pytest
+
+from repro.algebra import (
+    AntiJoin,
+    GroupBy,
+    Join,
+    Project,
+    Scan,
+    Select,
+    UnionAll,
+    group_by,
+    project_columns,
+    rename,
+    scan,
+    where,
+)
+from repro.core.idinfer import annotate_plan, node_by_id
+from repro.errors import PlanError
+from repro.expr import col, lit
+
+
+class TestIdRules:
+    def test_scan_ids_are_table_key(self, running_example_db):
+        node = annotate_plan(scan(running_example_db, "devices_parts"))
+        assert node.ids == ("did", "pid")
+
+    def test_select_preserves_ids(self, running_example_db):
+        node = annotate_plan(
+            where(scan(running_example_db, "devices"), col("category").eq(lit("phone")))
+        )
+        assert node.ids == ("did",)
+
+    def test_join_ids_union(self, running_example_db):
+        parts = scan(running_example_db, "parts")
+        devices = rename(scan(running_example_db, "devices"), {"did": "d", "category": "c"})
+        node = annotate_plan(Join(parts, devices, None))
+        assert node.ids == ("pid", "d")
+
+    def test_equi_join_ids_pruned(self, running_example_db, view_v):
+        """The running example's view has IDs exactly {did, pid} (Ex. 2.1)."""
+        node = annotate_plan(view_v)
+        assert set(node.ids) == {"did", "pid"}
+        assert node.columns == ("did", "pid", "price")
+
+    def test_antijoin_keeps_left_ids(self, running_example_db):
+        devices = scan(running_example_db, "devices")
+        dp = rename(scan(running_example_db, "devices_parts"), {"did": "dd", "pid": "dp"})
+        node = annotate_plan(AntiJoin(devices, dp, col("did").eq(col("dd"))))
+        assert node.ids == ("did",)
+
+    def test_union_ids_include_branch(self, running_example_db):
+        phones = where(scan(running_example_db, "devices"), col("category").eq(lit("phone")))
+        tablets = where(scan(running_example_db, "devices"), col("category").eq(lit("tablet")))
+        node = annotate_plan(UnionAll(phones, tablets))
+        assert node.ids == ("did", "b")
+
+    def test_groupby_ids_are_keys(self, running_example_db, view_v_prime):
+        node = annotate_plan(view_v_prime)
+        assert node.ids == ("did",)
+
+    def test_projection_extended_with_missing_ids(self, running_example_db):
+        # Project away the key; Pass 1 must add it back.
+        node = project_columns(scan(running_example_db, "parts"), ("price",))
+        annotated = annotate_plan(node)
+        assert annotated.ids == ("pid",)
+        assert "pid" in annotated.columns
+
+    def test_projection_rename_tracks_ids(self, running_example_db):
+        node = rename(scan(running_example_db, "parts"), {"pid": "part_id"})
+        annotated = annotate_plan(node)
+        assert annotated.ids == ("part_id",)
+
+    def test_extension_conflict_raises(self, running_example_db):
+        # A computed column steals the ID's name -> extension impossible.
+        node = Project(
+            scan(running_example_db, "parts"),
+            [("pid", col("price") * lit(2))],
+        )
+        with pytest.raises(PlanError):
+            annotate_plan(node)
+
+    def test_extension_preserves_results_modulo_projection(
+        self, running_example_db
+    ):
+        """Extending with IDs only widens the view (Section 4, Pass 1)."""
+        from repro.algebra import evaluate_plan
+
+        node = project_columns(scan(running_example_db, "parts"), ("price",))
+        annotated = annotate_plan(node)
+        original = evaluate_plan(node, running_example_db)
+        extended = evaluate_plan(annotated, running_example_db)
+        assert len(original) == len(extended)
+        price_idx = extended.position("price")
+        assert sorted(r[price_idx] for r in extended.rows) == sorted(
+            r[0] for r in original.rows
+        )
+
+
+class TestNodeNumbering:
+    def test_preorder_numbering(self, running_example_db, view_v_prime):
+        annotated = annotate_plan(view_v_prime)
+        ids = [n.node_id for n in annotated.walk()]
+        assert ids == list(range(len(ids)))
+
+    def test_node_by_id(self, running_example_db, view_v_prime):
+        annotated = annotate_plan(view_v_prime)
+        assert node_by_id(annotated, 0) is annotated
+        with pytest.raises(PlanError):
+            node_by_id(annotated, 999)
+
+    def test_groupby_child_carries_its_ids(self, running_example_db, view_v_prime):
+        """Invariant: every annotated node's output contains its IDs."""
+        annotated = annotate_plan(view_v_prime)
+        for node in annotated.walk():
+            assert set(node.ids) <= set(node.columns), node

@@ -1,0 +1,175 @@
+"""Tests for the diff-query IR and its executor."""
+
+import pytest
+
+from repro.algebra import AggSpec, scan
+from repro.core.apply import apply_diff
+from repro.core.diffs import DELETE, INSERT, UPDATE, Diff, DiffSchema
+from repro.core.idinfer import annotate_plan
+from repro.core.ir import (
+    AppliedSource,
+    Compute,
+    DiffSource,
+    Distinct,
+    Empty,
+    Filter,
+    GroupAgg,
+    ProbeJoin,
+    ProbeSemi,
+    SubviewSource,
+    UnionRows,
+)
+from repro.core.ir_exec import IrContext, run_ir
+from repro.errors import ScriptError
+from repro.expr import col, lit
+from repro.storage import Table, TableSchema
+
+
+@pytest.fixture
+def ctx(running_example_db):
+    return IrContext(running_example_db, running_example_db)
+
+
+@pytest.fixture
+def parts_update():
+    schema = DiffSchema(UPDATE, "n0", ("pid",), ("price",), ("price",))
+    return schema, Diff(schema, [("P1", 10, 11), ("P2", 20, 22)])
+
+
+class TestSources:
+    def test_diff_source(self, ctx, parts_update):
+        schema, diff = parts_update
+        ctx.diffs["d"] = diff
+        rel = run_ir(DiffSource("d", schema), ctx)
+        assert rel.columns == ("pid", "price__pre", "price__post")
+        assert len(rel) == 2
+
+    def test_missing_diff_raises(self, ctx, parts_update):
+        schema, _ = parts_update
+        with pytest.raises(ScriptError):
+            run_ir(DiffSource("nope", schema), ctx)
+
+    def test_subview_source(self, ctx, running_example_db):
+        node = annotate_plan(scan(running_example_db, "parts"))
+        rel = run_ir(SubviewSource(node, "post"), ctx)
+        assert rel.as_set() == {("P1", 10), ("P2", 20)}
+
+    def test_applied_source_returns_expansion(self, ctx, running_example_db):
+        table = Table(TableSchema("V", ("did", "pid", "price"), ("did", "pid")))
+        table.load([("D1", "P1", 10), ("D2", "P1", 10)])
+        schema = DiffSchema(UPDATE, "V", ("pid",), ("price",), ("price",))
+        applied = apply_diff(table, Diff(schema, [("P1", 10, 11)]))
+        ctx.expansions["ret"] = applied
+        rel = run_ir(AppliedSource("ret", ("did", "pid"), ("price",)), ctx)
+        assert rel.as_set() == {("D1", "P1", 10, 11), ("D2", "P1", 10, 11)}
+
+    def test_empty(self, ctx):
+        rel = run_ir(Empty(("a", "b")), ctx)
+        assert rel.columns == ("a", "b") and len(rel) == 0
+
+
+class TestTransforms:
+    def test_filter_and_compute(self, ctx, parts_update):
+        schema, diff = parts_update
+        ctx.diffs["d"] = diff
+        ir = Compute(
+            Filter(DiffSource("d", schema), col("price__pre").gt(lit(15))),
+            [("pid", col("pid")), ("bump", col("price__post") - col("price__pre"))],
+        )
+        rel = run_ir(ir, ctx)
+        assert rel.as_set() == {("P2", 2)}
+
+    def test_distinct(self, ctx, parts_update):
+        schema, diff = parts_update
+        ctx.diffs["d"] = diff
+        ir = Distinct(Compute(DiffSource("d", schema), [("k", lit(1))]))
+        assert len(run_ir(ir, ctx)) == 1
+
+    def test_union_rows(self, ctx, parts_update):
+        schema, diff = parts_update
+        ctx.diffs["d"] = diff
+        source = DiffSource("d", schema)
+        assert len(run_ir(UnionRows([source, source]), ctx)) == 4
+
+    def test_group_agg(self, ctx, parts_update):
+        schema, diff = parts_update
+        ctx.diffs["d"] = diff
+        ir = GroupAgg(
+            Compute(DiffSource("d", schema), [("k", lit("all")), ("v", col("price__post"))]),
+            ("k",),
+            (AggSpec("sum", col("v"), "total"),),
+        )
+        assert run_ir(ir, ctx).as_set() == {("all", 33)}
+
+
+class TestProbes:
+    def test_probe_join_fetches_matches(self, ctx, running_example_db, parts_update):
+        schema, diff = parts_update
+        ctx.diffs["d"] = diff
+        dp = annotate_plan(scan(running_example_db, "devices_parts"))
+        ir = ProbeJoin(
+            DiffSource("d", schema), dp, "post",
+            on=[("pid", "pid")], keep=[("did", "did")],
+        )
+        rel = run_ir(ir, ctx)
+        dids = {(r[0], r[3]) for r in rel.rows}
+        assert dids == {("P1", "D1"), ("P1", "D2"), ("P2", "D1")}
+
+    def test_probe_join_residual(self, ctx, running_example_db, parts_update):
+        schema, diff = parts_update
+        ctx.diffs["d"] = diff
+        dp = annotate_plan(scan(running_example_db, "devices_parts"))
+        ir = ProbeJoin(
+            DiffSource("d", schema), dp, "post",
+            on=[("pid", "pid")], keep=[("did", "did")],
+            residual=col("did").eq(lit("D1")),
+        )
+        assert len(run_ir(ir, ctx)) == 2
+
+    def test_probe_semi_positive_and_negated(self, ctx, running_example_db, parts_update):
+        schema, diff = parts_update
+        ctx.diffs["d"] = diff
+        dp = annotate_plan(scan(running_example_db, "devices_parts"))
+        semi = ProbeSemi(DiffSource("d", schema), dp, "post", on=[("pid", "pid")])
+        assert len(run_ir(semi, ctx)) == 2
+        anti = ProbeSemi(
+            DiffSource("d", schema), dp, "post", on=[("pid", "pid")], negated=True
+        )
+        assert len(run_ir(anti, ctx)) == 0
+
+    def test_probe_semi_residual_over_sub_columns(
+        self, ctx, running_example_db, parts_update
+    ):
+        schema, diff = parts_update
+        ctx.diffs["d"] = diff
+        dp = annotate_plan(scan(running_example_db, "devices_parts"))
+        semi = ProbeSemi(
+            DiffSource("d", schema), dp, "post", on=[("pid", "pid")],
+            residual=col("sub__did").eq(lit("D2")),
+        )
+        rel = run_ir(semi, ctx)
+        assert {r[0] for r in rel.rows} == {"P1"}
+
+
+class TestCacheStates:
+    def test_cache_read_matches_state(self, ctx, running_example_db):
+        node = annotate_plan(scan(running_example_db, "parts"))
+        cache = Table(
+            TableSchema("cache", ("pid", "price"), ("pid",)),
+            counters=running_example_db.counters,
+        )
+        cache.load([("P1", 999)])  # deliberately different content
+        ctx.caches[node.node_id] = cache
+        ctx.cache_state[node.node_id] = "pre"
+        # Pre-state read hits the cache; post recomputes from the table.
+        pre = run_ir(SubviewSource(node, "pre"), ctx)
+        assert pre.as_set() == {("P1", 999)}
+        post = run_ir(SubviewSource(node, "post"), ctx)
+        assert post.as_set() == {("P1", 10), ("P2", 20)}
+        ctx.mark_cache_updated(node.node_id)
+        post2 = run_ir(SubviewSource(node, "post"), ctx)
+        assert post2.as_set() == {("P1", 999)}
+
+    def test_mark_unknown_cache_raises(self, ctx):
+        with pytest.raises(ScriptError):
+            ctx.mark_cache_updated(12345)

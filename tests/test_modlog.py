@@ -1,0 +1,185 @@
+"""Tests for the modification logger and i-diff instance generator
+(paper Section 5)."""
+
+import pytest
+
+from repro.core.diffs import DELETE, INSERT, UPDATE
+from repro.core.modlog import (
+    ModificationLog,
+    fold_log,
+    populate_instances,
+    schema_instance_name,
+)
+from repro.core.schema_gen import generate_base_schemas
+from repro.errors import WorkloadError
+from repro.storage import Database
+from tests.conftest import build_view_v
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("r", ("k", "a", "b"), ("k",))
+    database.table("r").load([(1, 10, "x"), (2, 20, "y")])
+    return database
+
+
+class TestLogging:
+    def test_modifications_hit_the_live_db(self, db):
+        log = ModificationLog(db)
+        log.insert("r", (3, 30, "z"))
+        log.update("r", (1,), {"a": 11})
+        log.delete("r", (2,))
+        assert db.table("r").as_set() == {(1, 11, "x"), (3, 30, "z")}
+        assert len(log.entries) == 3
+
+    def test_logging_is_uncounted(self, db):
+        log = ModificationLog(db)
+        db.counters.reset()
+        log.update("r", (1,), {"a": 99})
+        assert db.counters.total.total == 0
+
+    def test_update_captures_pre_row(self, db):
+        log = ModificationLog(db)
+        log.update("r", (1,), {"a": 11})
+        assert log.entries[0].row == (1, 10, "x")
+
+    def test_bad_operations_rejected(self, db):
+        log = ModificationLog(db)
+        with pytest.raises(WorkloadError):
+            log.delete("r", (99,))
+        with pytest.raises(WorkloadError):
+            log.update("r", (99,), {"a": 1})
+        with pytest.raises(WorkloadError):
+            log.update("r", (1,), {"k": 5})
+
+    def test_take_drains(self, db):
+        log = ModificationLog(db)
+        log.update("r", (1,), {"a": 11})
+        assert len(log.take()) == 1
+        assert log.take() == []
+
+
+class TestFolding:
+    def test_update_then_update_merges(self, db):
+        log = ModificationLog(db)
+        log.update("r", (1,), {"a": 11})
+        log.update("r", (1,), {"b": "q"})
+        net = fold_log(log.take(), db)["r"]
+        change = net[(1,)]
+        assert change.kind == UPDATE
+        assert change.pre_row == (1, 10, "x")
+        assert change.post_row == (1, 11, "q")
+
+    def test_insert_then_update_is_insert(self, db):
+        log = ModificationLog(db)
+        log.insert("r", (3, 30, "z"))
+        log.update("r", (3,), {"a": 31})
+        net = fold_log(log.take(), db)["r"]
+        change = net[(3,)]
+        assert change.kind == INSERT
+        assert change.post_row == (3, 31, "z")
+
+    def test_insert_then_delete_vanishes(self, db):
+        log = ModificationLog(db)
+        log.insert("r", (3, 30, "z"))
+        log.delete("r", (3,))
+        net = fold_log(log.take(), db)
+        assert (3,) not in net.get("r", {})
+
+    def test_update_then_delete_is_delete_with_original_pre(self, db):
+        log = ModificationLog(db)
+        log.update("r", (1,), {"a": 11})
+        log.delete("r", (1,))
+        change = fold_log(log.take(), db)["r"][(1,)]
+        assert change.kind == DELETE
+        assert change.pre_row == (1, 10, "x")
+
+    def test_delete_then_reinsert_is_update(self, db):
+        log = ModificationLog(db)
+        log.delete("r", (1,))
+        log.insert("r", (1, 99, "x"))
+        change = fold_log(log.take(), db)["r"][(1,)]
+        assert change.kind == UPDATE
+        assert change.pre_row == (1, 10, "x")
+        assert change.post_row == (1, 99, "x")
+
+    def test_delete_then_identical_reinsert_vanishes(self, db):
+        log = ModificationLog(db)
+        log.delete("r", (1,))
+        log.insert("r", (1, 10, "x"))
+        net = fold_log(log.take(), db)
+        assert (1,) not in net.get("r", {})
+
+    def test_noop_update_vanishes(self, db):
+        log = ModificationLog(db)
+        log.update("r", (1,), {"a": 10})
+        net = fold_log(log.take(), db)
+        assert (1,) not in net.get("r", {})
+
+    def test_update_cycle_vanishes(self, db):
+        log = ModificationLog(db)
+        log.update("r", (1,), {"a": 11})
+        log.update("r", (1,), {"a": 10})
+        net = fold_log(log.take(), db)
+        assert (1,) not in net.get("r", {})
+
+
+class TestInstanceGeneration:
+    def test_routing_into_schemas(self, running_example_db):
+        plan = build_view_v(running_example_db)
+        from repro.core import annotate_plan
+
+        schemas = generate_base_schemas(annotate_plan(plan), running_example_db)
+        log = ModificationLog(running_example_db)
+        log.update("parts", ("P1",), {"price": 11})
+        log.insert("devices", ("D4", "phone"))
+        log.delete("devices_parts", ("D1", "P2"))
+        instances = populate_instances(schemas, log.take(), running_example_db)
+        non_empty = {name for name, diff in instances.items() if len(diff)}
+        assert "base_u_parts__price" in non_empty
+        assert "base_ins_devices" in non_empty
+        assert "base_del_devices_parts" in non_empty
+        # Every schema gets an (often empty) instance.
+        assert len(instances) == len(schemas)
+
+    def test_update_routed_to_minimal_covering_schema(self, db):
+        """Each net tuple-update lands in exactly ONE schema: the
+        smallest whose post attributes cover the modified set (splitting
+        a change across instances would entangle them)."""
+        from repro.core.diffs import update_schema_for
+
+        schema_a = update_schema_for(db.table("r").schema, ("a",))
+        schema_b = update_schema_for(db.table("r").schema, ("b",))
+        schema_ab = update_schema_for(db.table("r").schema, ("a", "b"))
+        log = ModificationLog(db)
+        log.update("r", (1,), {"a": 11})
+        log.update("r", (2,), {"a": 21, "b": "q"})
+        instances = populate_instances(
+            [schema_a, schema_b, schema_ab], log.take(), db
+        )
+        assert len(instances[schema_instance_name(schema_a)]) == 1
+        assert len(instances[schema_instance_name(schema_b)]) == 0
+        assert len(instances[schema_instance_name(schema_ab)]) == 1
+
+    def test_uncovered_update_raises(self, db):
+        from repro.core.diffs import update_schema_for
+        from repro.errors import DiffError
+
+        schema_a = update_schema_for(db.table("r").schema, ("a",))
+        log = ModificationLog(db)
+        log.update("r", (1,), {"b": "zzz"})
+        import pytest as _pytest
+
+        with _pytest.raises(DiffError):
+            populate_instances([schema_a], log.take(), db)
+
+    def test_instance_names_are_stable(self, db):
+        from repro.core.diffs import delete_schema_for, insert_schema_for
+
+        assert schema_instance_name(insert_schema_for(db.table("r").schema)) == (
+            "base_ins_r"
+        )
+        assert schema_instance_name(delete_schema_for(db.table("r").schema)) == (
+            "base_del_r"
+        )

@@ -1,0 +1,178 @@
+"""Rule-level tests for join propagation (paper Tables 4 and 10)."""
+
+import pytest
+
+from repro.algebra import Join, rename, scan
+from repro.core.diffs import DELETE, INSERT, UPDATE, Diff, DiffSchema
+from repro.core.idinfer import annotate_plan
+from repro.core.ir import DiffSource
+from repro.core.ir_exec import IrContext, run_ir
+from repro.core.minimize import estimate_probe_count, minimize_ir
+from repro.core.rules.join import propagate_join
+from repro.expr import col, lit
+from repro.storage import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("orders", ("oid", "sku", "qty"), ("oid",))
+    database.create_table("products", ("p_sku", "price"), ("p_sku",))
+    database.table("orders").load([(1, "A", 2), (2, "A", 1), (3, "B", 5)])
+    database.table("products").load([("A", 10), ("B", 20), ("C", 30)])
+    return database
+
+
+@pytest.fixture
+def plan(db):
+    return annotate_plan(
+        Join(scan(db, "orders"), scan(db, "products"), col("sku").eq(col("p_sku")))
+    )
+
+
+def run_rule(db, plan, side, in_schema, rows):
+    ctx = IrContext(db, db)
+    ctx.diffs["in"] = Diff(in_schema, rows)
+    outputs = propagate_join(plan, DiffSource("in", in_schema), in_schema, side)
+    return [
+        (schema, Diff.from_relation(schema, run_ir(minimize_ir(ir), ctx)))
+        for schema, ir in outputs
+    ]
+
+
+def left_schema(plan, kind, **kwargs):
+    return DiffSchema(kind, f"n{plan.left.node_id}", ("oid",), **kwargs)
+
+
+def right_schema(plan, kind, **kwargs):
+    return DiffSchema(kind, f"n{plan.right.node_id}", ("p_sku",), **kwargs)
+
+
+class TestInsertRules:
+    def test_left_insert_joins_with_right_post(self, db, plan):
+        schema = left_schema(plan, INSERT, post_attrs=("sku", "qty"))
+        db.table("orders").insert_uncounted((9, "B", 4))
+        [(out_schema, diff)] = run_rule(db, plan, 0, schema, [(9, "B", 4)])
+        assert out_schema.kind == INSERT
+        assert diff.rows == [(9, "B", 4, "B", 20)]
+
+    def test_right_insert_joins_with_left_post(self, db, plan):
+        schema = right_schema(plan, INSERT, post_attrs=("price",))
+        db.table("products").insert_uncounted(("D", 40))
+        [(_, diff)] = run_rule(db, plan, 1, schema, [("D", 40)])
+        assert len(diff) == 0  # no order references D
+
+    def test_insert_fanning_out(self, db, plan):
+        """A new product matched by several orders yields one insert per
+        combination (full output IDs keep them distinct)."""
+        db.table("products").delete_uncounted(("A",))
+        schema = right_schema(plan, INSERT, post_attrs=("price",))
+        db.table("products").insert_uncounted(("A", 11))
+        [(_, diff)] = run_rule(db, plan, 1, schema, [("A", 11)])
+        assert len(diff) == 2
+
+
+class TestDeleteRules:
+    def test_left_delete_passes_through_without_probe(self, db, plan):
+        schema = left_schema(plan, DELETE, pre_attrs=("sku", "qty"))
+        ctx = IrContext(db, db)
+        ctx.diffs["in"] = Diff(schema, [(1, "A", 2)])
+        outputs = propagate_join(plan, DiffSource("in", schema), schema, 0)
+        [(out_schema, ir)] = outputs
+        assert out_schema.kind == DELETE
+        assert estimate_probe_count(minimize_ir(ir)) == 0
+        diff = Diff.from_relation(out_schema, run_ir(minimize_ir(ir), ctx))
+        assert diff.id_of(diff.rows[0]) == (1,)
+
+    def test_right_delete_keyed_by_right_ids(self, db, plan):
+        """Deleting a product kills all its combinations through the
+        product-side ID alone — the i-diff compression at work."""
+        schema = right_schema(plan, DELETE, pre_attrs=("price",))
+        [(out_schema, diff)] = run_rule(db, plan, 1, schema, [("A", 10)])
+        assert out_schema.kind == DELETE
+        assert out_schema.id_attrs == ("sku",)  # canonical equated column
+        assert len(diff) == 1
+
+
+class TestUpdateNonConditional:
+    def test_pass_through(self, db, plan):
+        schema = right_schema(
+            plan, UPDATE, pre_attrs=("price",), post_attrs=("price",)
+        )
+        ctx = IrContext(db, db)
+        ctx.diffs["in"] = Diff(schema, [("A", 10, 11)])
+        outputs = propagate_join(plan, DiffSource("in", schema), schema, 1)
+        assert len(outputs) == 1
+        out_schema, ir = outputs[0]
+        assert out_schema.kind == UPDATE
+        assert estimate_probe_count(minimize_ir(ir)) == 0
+        diff = Diff.from_relation(out_schema, run_ir(minimize_ir(ir), ctx))
+        # One diff row still stands for both A-orders (p = 2).
+        assert len(diff) == 1
+
+
+class TestUpdateOnJoinAttribute:
+    def _schema(self, plan):
+        return left_schema(plan, UPDATE, pre_attrs=("sku", "qty"), post_attrs=("sku",))
+
+    def test_lowered_to_delete_plus_insert(self, db, plan):
+        """sku is equated to the product key, so it is a join-output ID;
+        updating it is a key update lowered to delete + insert."""
+        db.table("orders").update_uncounted((1,), {"sku": "B"})
+        outputs = run_rule(db, plan, 0, self._schema(plan), [(1, "A", 2, "B")])
+        kinds = {s.kind for s, _ in outputs}
+        assert kinds == {DELETE, INSERT}
+        by_kind = {s.kind: (s, d) for s, d in outputs}
+        # The old combination disappears through the order's ID alone.
+        delete_schema, delete_diff = by_kind[DELETE]
+        assert delete_schema.id_attrs == ("oid",)
+        assert delete_diff.rows[0][0] == 1
+        # New combo (1, B) inserted with the full row.
+        _, insert_diff = by_kind[INSERT]
+        assert insert_diff.rows == [(1, "B", 2, "B", 20)]
+
+    def test_no_new_match_means_no_insert_rows(self, db, plan):
+        db.table("orders").update_uncounted((1,), {"sku": "Z"})
+        outputs = run_rule(db, plan, 0, self._schema(plan), [(1, "A", 2, "Z")])
+        by_kind = {s.kind: d for s, d in outputs}
+        assert len(by_kind[INSERT]) == 0
+        assert len(by_kind[DELETE]) == 1
+
+
+class TestCrossProduct:
+    def test_insert_pairs_with_everything(self, db):
+        left = annotate_plan(
+            Join(
+                scan(db, "orders"),
+                rename(scan(db, "products"), {"p_sku": "ps", "price": "pr"}),
+                None,
+            )
+        )
+        schema = DiffSchema(
+            INSERT, f"n{left.left.node_id}", ("oid",), post_attrs=("sku", "qty")
+        )
+        db.table("orders").insert_uncounted((9, "Q", 1))
+        ctx = IrContext(db, db)
+        ctx.diffs["in"] = Diff(schema, [(9, "Q", 1)])
+        outputs = propagate_join(left, DiffSource("in", schema), schema, 0)
+        [(out_schema, ir)] = outputs
+        diff = Diff.from_relation(out_schema, run_ir(minimize_ir(ir), ctx))
+        assert len(diff) == 3  # one per product
+
+    def test_update_passes_through_cross(self, db):
+        plan = annotate_plan(
+            Join(
+                scan(db, "orders"),
+                rename(scan(db, "products"), {"p_sku": "ps", "price": "pr"}),
+                None,
+            )
+        )
+        schema = DiffSchema(
+            UPDATE, f"n{plan.left.node_id}", ("oid",),
+            pre_attrs=("qty",), post_attrs=("qty",),
+        )
+        ctx = IrContext(db, db)
+        ctx.diffs["in"] = Diff(schema, [(1, 2, 3)])
+        outputs = propagate_join(plan, DiffSource("in", schema), schema, 0)
+        assert len(outputs) == 1
+        assert outputs[0][0].kind == UPDATE

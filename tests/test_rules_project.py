@@ -1,0 +1,178 @@
+"""Rule-level tests for generalized projection propagation (Table 8)."""
+
+import pytest
+
+from repro.algebra import Project, scan
+from repro.core.diffs import DELETE, INSERT, UPDATE, Diff, DiffSchema
+from repro.core.idinfer import annotate_plan
+from repro.core.ir import DiffSource
+from repro.core.ir_exec import IrContext, run_ir
+from repro.core.minimize import estimate_probe_count, minimize_ir
+from repro.core.rules.project import propagate_project
+from repro.expr import Call, col, lit
+from repro.storage import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("r", ("k", "a", "b"), ("k",))
+    database.table("r").load([(1, 5, 2), (2, 9, 4)])
+    return database
+
+
+@pytest.fixture
+def plan(db):
+    """π(key renamed, computed column, passthrough)."""
+    return annotate_plan(
+        Project(
+            scan(db, "r"),
+            [
+                ("key", col("k")),
+                ("total", col("a") + col("b")),
+                ("a", col("a")),
+            ],
+        )
+    )
+
+
+def run_rule(db, plan, in_schema, rows, db_pre=None):
+    ctx = IrContext(db_pre if db_pre is not None else db, db)
+    ctx.diffs["in"] = Diff(in_schema, rows)
+    outputs = propagate_project(plan, DiffSource("in", in_schema), in_schema)
+    return [
+        (schema, Diff.from_relation(schema, run_ir(minimize_ir(ir), ctx)))
+        for schema, ir in outputs
+    ]
+
+
+def in_schema(plan, kind, **kwargs):
+    return DiffSchema(kind, f"n{plan.child.node_id}", ("k",), **kwargs)
+
+
+class TestInsertRule:
+    def test_outputs_computed(self, db, plan):
+        schema = in_schema(plan, INSERT, post_attrs=("a", "b"))
+        [(out_schema, diff)] = run_rule(db, plan, schema, [(9, 1, 2)])
+        assert out_schema.kind == INSERT
+        assert out_schema.id_attrs == ("key",)
+        assert diff.rows == [(9, 3, 1)]
+
+
+class TestDeleteRule:
+    def test_ids_renamed_and_pres_computed(self, db, plan):
+        schema = in_schema(plan, DELETE, pre_attrs=("a", "b"))
+        [(out_schema, diff)] = run_rule(db, plan, schema, [(1, 5, 2)])
+        assert out_schema.kind == DELETE
+        assert out_schema.id_attrs == ("key",)
+        assert set(out_schema.pre_attrs) == {"total", "a"}
+        assert diff.rows[0][0] == 1
+
+    def test_delete_without_pres_keeps_ids_only(self, db, plan):
+        schema = in_schema(plan, DELETE)
+        [(out_schema, diff)] = run_rule(db, plan, schema, [(1,)])
+        assert out_schema.pre_attrs == ()
+        assert diff.rows == [(1,)]
+
+
+class TestUpdateRule:
+    def test_affected_outputs_recomputed(self, db, plan):
+        schema = in_schema(plan, UPDATE, pre_attrs=("a", "b"), post_attrs=("a",))
+        [(out_schema, diff)] = run_rule(db, plan, schema, [(1, 5, 2, 6)])
+        assert out_schema.kind == UPDATE
+        assert set(out_schema.post_attrs) == {"total", "a"}
+        row = diff.rows[0]
+        assert diff.post_value(row, "total") == 8  # 6 + 2
+        assert diff.post_value(row, "a") == 6
+
+    def test_rule_minimizes_to_zero_probes(self, db, plan):
+        schema = in_schema(plan, UPDATE, pre_attrs=("a", "b"), post_attrs=("a",))
+        ctx = IrContext(db, db)
+        outputs = propagate_project(plan, DiffSource("in", schema), schema)
+        [(_, ir)] = outputs
+        assert estimate_probe_count(minimize_ir(ir)) == 0
+
+    def test_untouched_outputs_not_triggered(self, db):
+        """An update on a dropped attribute yields no output diff."""
+        plan = annotate_plan(
+            Project(scan(db, "r"), [("key", col("k")), ("a", col("a"))])
+        )
+        schema = DiffSchema(
+            UPDATE, f"n{plan.child.node_id}", ("k",),
+            pre_attrs=("a", "b"), post_attrs=("b",),
+        )
+        ctx = IrContext(db, db)
+        ctx.diffs["in"] = Diff(schema, [(1, 5, 2, 3)])
+        assert propagate_project(plan, DiffSource("in", schema), schema) == []
+
+    def test_isupd_filters_noop_rows(self, db, plan):
+        """σ_isupd: a row whose recomputed outputs are unchanged drops."""
+        schema = in_schema(plan, UPDATE, pre_attrs=("a", "b"), post_attrs=("a",))
+        # a: 5 -> 5 (no-op): total and a both unchanged.
+        [(_, diff)] = run_rule(db, plan, schema, [(1, 5, 2, 5)])
+        assert len(diff) == 0
+
+    def test_scalar_function_items(self, db):
+        plan = annotate_plan(
+            Project(
+                scan(db, "r"),
+                [("key", col("k")), ("mag", Call("abs", [col("a") - lit(7)]))],
+            )
+        )
+        schema = DiffSchema(
+            UPDATE, f"n{plan.child.node_id}", ("k",),
+            pre_attrs=("a", "b"), post_attrs=("a",),
+        )
+        ctx = IrContext(db, db)
+        ctx.diffs["in"] = Diff(schema, [(1, 5, 2, 10)])
+        outputs = propagate_project(plan, DiffSource("in", schema), schema)
+        [(out_schema, ir)] = outputs
+        diff = Diff.from_relation(out_schema, run_ir(minimize_ir(ir), ctx))
+        assert diff.post_value(diff.rows[0], "mag") == 3
+
+
+class TestFdExpansion:
+    """Updates whose recomputed outputs depend on attributes outside the
+    diff: the output diff must re-key by the full child IDs."""
+
+    @pytest.fixture
+    def join_plan(self, db):
+        from repro.algebra import equi_join, rename
+
+        db.create_table("s", ("sid", "k_ref", "qty"), ("sid",))
+        db.table("s").load([(10, 1, 3), (11, 1, 4), (12, 2, 5)])
+        joined = equi_join(
+            scan(db, "s"), rename(scan(db, "r"), {"k": "rk"}), [("k_ref", "rk")]
+        )
+        return annotate_plan(
+            Project(
+                joined,
+                [
+                    ("sid", col("sid")),
+                    ("rk", col("rk")),
+                    ("weight", col("a") * col("qty")),
+                ],
+            )
+        )
+
+    def test_expanded_diff_keyed_by_full_ids(self, db, join_plan):
+        # Update r.a: weight = a * qty needs qty (outside the diff).
+        child = join_plan.child
+        schema = DiffSchema(
+            UPDATE, f"n{child.node_id}", ("rk",),
+            pre_attrs=("a", "b"), post_attrs=("a",),
+        )
+        db.table("r").update_uncounted((1,), {"a": 6})
+        ctx = IrContext(db, db)
+        ctx.diffs["in"] = Diff(schema, [(1, 5, 2, 6)])
+        outputs = propagate_project(join_plan, DiffSource("in", schema), schema)
+        [(out_schema, ir)] = outputs
+        # Full child IDs: sid plus the canonical join key k_ref (which
+        # Pass 1 added to the projection).
+        assert set(out_schema.id_attrs) == {"sid", "k_ref"}
+        assert out_schema.pre_attrs == ()  # cross-branch pres are unsound
+        diff = Diff.from_relation(out_schema, run_ir(minimize_ir(ir), ctx))
+        weights = {
+            diff.id_of(r): diff.post_value(r, "weight") for r in diff.rows
+        }
+        assert weights == {(10, 1): 18, (11, 1): 24}

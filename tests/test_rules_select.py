@@ -1,0 +1,153 @@
+"""Rule-level tests for selection propagation (paper Table 6).
+
+These drive single rules in isolation: craft an input diff, instantiate
+the rule against a tiny plan, execute the resulting IR, and check the
+emitted diff schemas and rows against the table's equations.
+"""
+
+import pytest
+
+from repro.algebra import Select, scan
+from repro.core.diffs import DELETE, INSERT, UPDATE, Diff, DiffSchema
+from repro.core.idinfer import annotate_plan
+from repro.core.ir import DiffSource
+from repro.core.ir_exec import IrContext, run_ir
+from repro.core.minimize import minimize_ir
+from repro.core.rules.select import propagate_select
+from repro.expr import col, lit
+from repro.storage import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("r", ("k", "a", "b"), ("k",))
+    database.table("r").load([(1, 5, "x"), (2, 9, "y"), (3, 2, "z")])
+    return database
+
+
+@pytest.fixture
+def plan(db):
+    return annotate_plan(Select(scan(db, "r"), col("a").gt(lit(4))))
+
+
+def run_rule(db, plan, in_schema, rows):
+    """Instantiate the σ rules for one input diff and execute them."""
+    ctx = IrContext(db, db)
+    ctx.diffs["in"] = Diff(in_schema, rows)
+    source = DiffSource("in", in_schema)
+    outputs = propagate_select(plan, source, in_schema)
+    results = []
+    for schema, ir in outputs:
+        rel = run_ir(minimize_ir(ir), ctx)
+        results.append((schema, Diff.from_relation(schema, rel)))
+    return results
+
+
+def child_schema(plan, kind, **kwargs):
+    return DiffSchema(kind, f"n{plan.child.node_id}", ("k",), **kwargs)
+
+
+class TestInsertRule:
+    def test_filters_by_post_values(self, db, plan):
+        schema = child_schema(plan, INSERT, post_attrs=("a", "b"))
+        [(out_schema, diff)] = run_rule(
+            db, plan, schema, [(10, 7, "n"), (11, 1, "m")]
+        )
+        assert out_schema.kind == INSERT
+        assert diff.rows == [(10, 7, "n")]
+
+
+class TestDeleteRule:
+    def test_filters_by_pre_values_when_available(self, db, plan):
+        schema = child_schema(plan, DELETE, pre_attrs=("a", "b"))
+        [(out_schema, diff)] = run_rule(
+            db, plan, schema, [(1, 5, "x"), (3, 2, "z")]
+        )
+        assert out_schema.kind == DELETE
+        assert [r[0] for r in diff.rows] == [1]
+
+    def test_passes_through_without_pre(self, db, plan):
+        """Example 4.8: overestimated deletes are allowed."""
+        schema = child_schema(plan, DELETE)
+        [(_, diff)] = run_rule(db, plan, schema, [(1,), (3,)])
+        assert len(diff) == 2
+
+
+class TestUpdateRuleUntouchedCondition:
+    def test_single_update_branch(self, db, plan):
+        schema = child_schema(plan, UPDATE, pre_attrs=("a", "b"), post_attrs=("b",))
+        outputs = run_rule(db, plan, schema, [(1, 5, "x", "q"), (3, 2, "z", "w")])
+        assert len(outputs) == 1
+        out_schema, diff = outputs[0]
+        assert out_schema.kind == UPDATE
+        # Row 3 fails φ(pre) -> filtered; row 1 passes.
+        assert [r[0] for r in diff.rows] == [1]
+
+
+class TestUpdateRuleConditionCrossing:
+    def _schema(self, plan):
+        return child_schema(plan, UPDATE, pre_attrs=("a", "b"), post_attrs=("a",))
+
+    def test_three_branches_emitted(self, db, plan):
+        outputs = run_rule(db, plan, self._schema(plan), [])
+        kinds = sorted(s.kind for s, _ in outputs)
+        assert kinds == sorted([UPDATE, INSERT, DELETE])
+
+    def test_stays_satisfying(self, db, plan):
+        # k=2: a 9 -> 8, satisfies before and after: pure update.
+        outputs = run_rule(db, plan, self._schema(plan), [(2, 9, "y", 8)])
+        by_kind = {s.kind: d for s, d in outputs}
+        assert len(by_kind[UPDATE]) == 1
+        assert len(by_kind[INSERT]) == 0
+        assert len(by_kind[DELETE]) == 0
+
+    def test_transition_in_becomes_insert(self, db, plan):
+        # k=3: a 2 -> 9 enters the selection; but the live table still
+        # has a=2 (the diff describes a hypothetical batch), so simulate
+        # the post state first.
+        db.table("r").update_uncounted((3,), {"a": 9})
+        outputs = run_rule(db, plan, self._schema(plan), [(3, 2, "z", 9)])
+        by_kind = {s.kind: d for s, d in outputs}
+        assert len(by_kind[INSERT]) == 1
+        insert_row = by_kind[INSERT].rows[0]
+        assert insert_row[0] == 3
+        assert len(by_kind[DELETE]) == 0
+        # The update branch keeps it only if σφ(pre) passed — it did not.
+        assert len(by_kind[UPDATE]) == 0
+
+    def test_transition_out_becomes_delete(self, db, plan):
+        db.table("r").update_uncounted((1,), {"a": 0})
+        outputs = run_rule(db, plan, self._schema(plan), [(1, 5, "x", 0)])
+        by_kind = {s.kind: d for s, d in outputs}
+        assert len(by_kind[DELETE]) == 1
+        assert by_kind[DELETE].rows[0][0] == 1
+        assert len(by_kind[INSERT]) == 0
+        assert len(by_kind[UPDATE]) == 0
+
+    def test_never_satisfying_row_everywhere_dummy(self, db, plan):
+        db.table("r").update_uncounted((3,), {"a": 3})
+        outputs = run_rule(db, plan, self._schema(plan), [(3, 2, "z", 3)])
+        for _schema, diff in outputs:
+            assert len(diff) == 0
+
+    def test_insert_branch_carries_full_tuples(self, db, plan):
+        db.table("r").update_uncounted((3,), {"a": 9})
+        outputs = run_rule(db, plan, self._schema(plan), [(3, 2, "z", 9)])
+        by_kind = {s.kind: (s, d) for s, d in outputs}
+        schema, diff = by_kind[INSERT]
+        assert set(schema.post_attrs) == {"a", "b"}
+        assert diff.rows[0] == (3, 9, "z")
+
+
+class TestUpdateWithoutPre:
+    def test_overestimates_but_covers(self, db, plan):
+        """Without pre values the rule cannot filter φ(pre): the update
+        branch keeps everything (overestimation) and the insert branch
+        still probes the post state."""
+        schema = child_schema(plan, UPDATE, post_attrs=("a",))
+        db.table("r").update_uncounted((3,), {"a": 9})
+        outputs = run_rule(db, plan, schema, [(3, 9)])
+        by_kind = {s.kind: d for s, d in outputs}
+        assert len(by_kind[UPDATE]) == 1  # dummy, absorbed by APPLY
+        assert len(by_kind[INSERT]) == 1

@@ -1,0 +1,207 @@
+"""Rule-level tests for union-all (Table 5) and the blocking aggregate
+steps (Tables 7, 9, 11, 12)."""
+
+import pytest
+
+from repro.algebra import UnionAll, group_by, scan, where
+from repro.core.diffs import DELETE, INSERT, UPDATE, Diff, DiffSchema
+from repro.core.idinfer import annotate_plan
+from repro.core.ir import DiffSource
+from repro.core.ir_exec import IrContext, run_ir
+from repro.core.minimize import minimize_ir
+from repro.core.rules.aggregate import (
+    AssociativeAggregateStep,
+    GeneralAggregateStep,
+    OpCacheSpec,
+)
+from repro.core.rules.union import propagate_union
+from repro.algebra.evaluate import evaluate_plan, materialize
+from repro.expr import col, lit
+from repro.storage import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("m", ("k", "g", "v"), ("k",))
+    database.table("m").load([(1, "a", 5), (2, "a", 7), (3, "b", 2)])
+    return database
+
+
+class TestUnionRule:
+    @pytest.fixture
+    def plan(self, db):
+        low = where(scan(db, "m"), col("v").le(lit(4)))
+        high = where(scan(db, "m"), col("v").gt(lit(4)))
+        return annotate_plan(UnionAll(low, high))
+
+    def test_branch_tag_appended_as_id(self, db, plan):
+        schema = DiffSchema(
+            DELETE, f"n{plan.children[1].node_id}", ("k",), pre_attrs=("g", "v")
+        )
+        ctx = IrContext(db, db)
+        ctx.diffs["in"] = Diff(schema, [(1, "a", 5)])
+        [(out_schema, ir)] = propagate_union(
+            plan, DiffSource("in", schema), schema, 1
+        )
+        assert out_schema.id_attrs == ("k", "b")
+        diff = Diff.from_relation(out_schema, run_ir(minimize_ir(ir), ctx))
+        assert diff.rows[0][:2] == (1, 1)  # right branch -> b = 1
+
+    def test_left_branch_tag_zero(self, db, plan):
+        schema = DiffSchema(
+            INSERT, f"n{plan.children[0].node_id}", ("k",), post_attrs=("g", "v")
+        )
+        ctx = IrContext(db, db)
+        ctx.diffs["in"] = Diff(schema, [(9, "c", 1)])
+        [(out_schema, ir)] = propagate_union(
+            plan, DiffSource("in", schema), schema, 0
+        )
+        diff = Diff.from_relation(out_schema, run_ir(minimize_ir(ir), ctx))
+        assert diff.rows[0][1] == 0
+
+
+def _setup_aggregate(db, aggs):
+    plan = annotate_plan(group_by(scan(db, "m"), ("g",), aggs))
+    out_table = materialize(plan, db, "OUT")
+    spec = OpCacheSpec(plan, "opc")
+    opcache = spec.build(evaluate_plan(plan.child, db), db.counters)
+    return plan, out_table, opcache
+
+
+def _run_step(db_pre, db_post, plan, out_table, opcache, diffs, associative=True):
+    ctx = IrContext(db_pre, db_post)
+    ctx.caches[plan.node_id] = out_table
+    ctx.operator_caches[plan.node_id] = opcache
+    inputs = []
+    for i, diff in enumerate(diffs):
+        name = f"in{i}"
+        ctx.diffs[name] = diff
+        inputs.append(("diff", name))
+    step_cls = AssociativeAggregateStep if associative else GeneralAggregateStep
+    if associative:
+        step = step_cls(plan, inputs, "opc", "emit", "view_update")
+    else:
+        step = step_cls(plan, inputs, "emit", "view_update")
+    step.run(ctx)
+    return ctx
+
+
+class TestAssociativeStep:
+    def test_update_shifts_sum(self, db):
+        plan, out, opc = _setup_aggregate(db, [("sum", col("v"), "s")])
+        schema = DiffSchema(
+            UPDATE, f"n{plan.child.node_id}", ("k",),
+            pre_attrs=("g", "v"), post_attrs=("v",),
+        )
+        db_pre = db.copy()
+        db.table("m").update_uncounted((1,), {"v": 8})
+        _run_step(db_pre, db, plan, out, opc, [Diff(schema, [(1, "a", 5, 8)])])
+        assert out.as_set() == {("a", 15), ("b", 2)}
+
+    def test_insert_creates_group(self, db):
+        plan, out, opc = _setup_aggregate(db, [("sum", col("v"), "s")])
+        schema = DiffSchema(
+            INSERT, f"n{plan.child.node_id}", ("k",), post_attrs=("g", "v")
+        )
+        db_pre = db.copy()
+        db.table("m").insert_uncounted((9, "c", 4))
+        ctx = _run_step(db_pre, db, plan, out, opc, [Diff(schema, [(9, "c", 4)])])
+        assert ("c", 4) in out.as_set()
+        assert len(ctx.diffs["emit_ins"]) == 1
+
+    def test_delete_empties_group(self, db):
+        plan, out, opc = _setup_aggregate(db, [("sum", col("v"), "s")])
+        schema = DiffSchema(
+            DELETE, f"n{plan.child.node_id}", ("k",), pre_attrs=("g", "v")
+        )
+        db_pre = db.copy()
+        db.table("m").delete_uncounted((3,))
+        ctx = _run_step(db_pre, db, plan, out, opc, [Diff(schema, [(3, "b", 2)])])
+        assert out.as_set() == {("a", 12)}
+        assert len(ctx.diffs["emit_del"]) == 1
+
+    def test_avg_uses_operator_cache(self, db):
+        plan, out, opc = _setup_aggregate(db, [("avg", col("v"), "mean")])
+        assert "__sum_mean" in opc.schema.columns
+        schema = DiffSchema(
+            UPDATE, f"n{plan.child.node_id}", ("k",),
+            pre_attrs=("g", "v"), post_attrs=("v",),
+        )
+        db_pre = db.copy()
+        db.table("m").update_uncounted((2,), {"v": 9})
+        _run_step(db_pre, db, plan, out, opc, [Diff(schema, [(2, "a", 7, 9)])])
+        assert out.as_set() == {("a", 7.0), ("b", 2.0)}
+
+    def test_sum_to_null_when_all_values_null(self, db):
+        plan, out, opc = _setup_aggregate(db, [("sum", col("v"), "s")])
+        schema = DiffSchema(
+            UPDATE, f"n{plan.child.node_id}", ("k",),
+            pre_attrs=("g", "v"), post_attrs=("v",),
+        )
+        db_pre = db.copy()
+        db.table("m").update_uncounted((3,), {"v": None})
+        _run_step(db_pre, db, plan, out, opc, [Diff(schema, [(3, "b", 2, None)])])
+        assert ("b", None) in out.as_set()
+
+    def test_zero_delta_costs_nothing(self, db):
+        plan, out, opc = _setup_aggregate(db, [("sum", col("v"), "s")])
+        schema = DiffSchema(
+            UPDATE, f"n{plan.child.node_id}", ("k",),
+            pre_attrs=("g", "v"), post_attrs=("v",),
+        )
+        db.counters.reset()
+        before = db.counters.total.total
+        _run_step(db, db, plan, out, opc, [Diff(schema, [(1, "a", 5, 5)])])
+        # The probe of Input_pre costs, but no output writes happen.
+        assert out.as_set() == {("a", 12), ("b", 2)}
+        assert db.counters.total.tuple_writes == before
+
+    def test_blocking_combines_branches(self, db):
+        """Two branches' deltas on the same group combine before the
+        single output write (Example 4.4's blocking behaviour)."""
+        plan, out, opc = _setup_aggregate(db, [("sum", col("v"), "s")])
+        upd = DiffSchema(
+            UPDATE, f"n{plan.child.node_id}", ("k",),
+            pre_attrs=("g", "v"), post_attrs=("v",),
+        )
+        db_pre = db.copy()
+        db.table("m").update_uncounted((1,), {"v": 6})
+        db.table("m").update_uncounted((2,), {"v": 8})
+        _run_step(
+            db_pre, db, plan, out, opc,
+            [Diff(upd, [(1, "a", 5, 6)]), Diff(upd, [(2, "a", 7, 8)])],
+        )
+        assert ("a", 14) in out.as_set()
+
+
+class TestGeneralStep:
+    def test_minmax_recompute(self, db):
+        plan, out, opc = _setup_aggregate(
+            db, [("min", col("v"), "lo"), ("max", col("v"), "hi")]
+        )
+        schema = DiffSchema(
+            UPDATE, f"n{plan.child.node_id}", ("k",),
+            pre_attrs=("g", "v"), post_attrs=("v",),
+        )
+        db_pre = db.copy()
+        db.table("m").update_uncounted((2,), {"v": 1})
+        _run_step(
+            db_pre, db, plan, out, opc,
+            [Diff(schema, [(2, "a", 7, 1)])], associative=False,
+        )
+        assert out.as_set() == {("a", 1, 5), ("b", 2, 2)}
+
+    def test_group_deletion_via_recompute(self, db):
+        plan, out, opc = _setup_aggregate(db, [("max", col("v"), "hi")])
+        schema = DiffSchema(
+            DELETE, f"n{plan.child.node_id}", ("k",), pre_attrs=("g", "v")
+        )
+        db_pre = db.copy()
+        db.table("m").delete_uncounted((3,))
+        ctx = _run_step(
+            db_pre, db, plan, out, opc,
+            [Diff(schema, [(3, "b", 2)])], associative=False,
+        )
+        assert out.as_set() == {("a", 7)}
+        assert len(ctx.diffs["emit_del"]) == 1

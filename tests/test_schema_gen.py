@@ -1,0 +1,121 @@
+"""Tests for the base-table i-diff schema generator (paper Section 5)."""
+
+from repro.core import annotate_plan, generate_base_schemas
+from repro.core.diffs import DELETE, INSERT, UPDATE
+from repro.core.schema_gen import conditional_attribute_groups
+from repro.algebra import equi_join, group_by, rename, scan, where
+from repro.expr import col, lit
+from tests.conftest import build_view_v, build_view_v_prime
+
+
+class TestConditionalGroups:
+    def test_selection_attribute_is_conditional(self, running_example_db):
+        plan = annotate_plan(build_view_v(running_example_db))
+        groups = conditional_attribute_groups(plan)
+        assert ("category",) in groups["devices"]
+
+    def test_join_keys_not_conditional_for_updates(self, running_example_db):
+        """Key attributes are immutable (footnote 7), so the natural-join
+        equalities contribute no *update* schemas."""
+        plan = annotate_plan(build_view_v(running_example_db))
+        schemas = generate_base_schemas(plan, running_example_db)
+        update_targets = [
+            (s.target, s.post_attrs) for s in schemas if s.kind == UPDATE
+        ]
+        assert ("parts", ("price",)) in update_targets
+        assert ("devices", ("category",)) in update_targets
+        # devices_parts has no non-key attributes: no update schema.
+        assert all(t != "devices_parts" for t, _ in update_targets)
+
+    def test_non_key_join_attribute_is_conditional(self, running_example_db):
+        db = running_example_db
+        db.create_table("s", ("sid", "ref"), ("sid",))
+        plan = annotate_plan(
+            equi_join(
+                scan(db, "s"),
+                rename(scan(db, "parts"), {"pid": "p_pid"}),
+                [("ref", "p_pid")],
+            )
+        )
+        groups = conditional_attribute_groups(plan)
+        assert ("ref",) in groups["s"]
+
+
+class TestGeneratedSchemas:
+    def test_one_insert_and_delete_per_table(self, running_example_db):
+        plan = annotate_plan(build_view_v(running_example_db))
+        schemas = generate_base_schemas(plan, running_example_db)
+        inserts = [s for s in schemas if s.kind == INSERT]
+        deletes = [s for s in schemas if s.kind == DELETE]
+        assert {s.target for s in inserts} == {"devices", "parts", "devices_parts"}
+        assert {s.target for s in deletes} == {"devices", "parts", "devices_parts"}
+
+    def test_insert_schema_has_all_attrs_post(self, running_example_db):
+        plan = annotate_plan(build_view_v(running_example_db))
+        schemas = generate_base_schemas(plan, running_example_db)
+        parts_insert = next(
+            s for s in schemas if s.kind == INSERT and s.target == "parts"
+        )
+        assert parts_insert.id_attrs == ("pid",)
+        assert parts_insert.post_attrs == ("price",)
+
+    def test_delete_schema_has_all_attrs_pre(self, running_example_db):
+        """Pre-state values only ever help (Section 5)."""
+        plan = annotate_plan(build_view_v(running_example_db))
+        schemas = generate_base_schemas(plan, running_example_db)
+        devices_delete = next(
+            s for s in schemas if s.kind == DELETE and s.target == "devices"
+        )
+        assert devices_delete.pre_attrs == ("category",)
+
+    def test_update_schemas_have_full_pre(self, running_example_db):
+        plan = annotate_plan(build_view_v(running_example_db))
+        schemas = generate_base_schemas(plan, running_example_db)
+        for schema in schemas:
+            if schema.kind == UPDATE:
+                table = running_example_db.table(schema.target).schema
+                assert schema.pre_attrs == table.non_key_columns
+
+    def test_nc_group_for_unconditioned_attrs(self, running_example_db):
+        """parts.price is non-conditional in V: one NC update schema."""
+        plan = annotate_plan(build_view_v(running_example_db))
+        schemas = generate_base_schemas(plan, running_example_db)
+        parts_updates = [
+            s for s in schemas if s.kind == UPDATE and s.target == "parts"
+        ]
+        assert [s.post_attrs for s in parts_updates] == [("price",)]
+
+    def test_conditional_and_nc_groups_split(self, running_example_db):
+        """In V', price feeds the aggregate but no condition; category is
+        conditional — two separate update schemas for devices/parts."""
+        db = running_example_db
+        plan = annotate_plan(
+            where(
+                scan(db, "devices"),
+                col("category").eq(lit("phone")),
+            )
+        )
+        schemas = generate_base_schemas(plan, db)
+        updates = [s for s in schemas if s.kind == UPDATE]
+        assert [s.post_attrs for s in updates] == [("category",)]
+
+    def test_multi_condition_table_gets_group_per_condition(self, running_example_db):
+        db = running_example_db
+        db.create_table("wide", ("k", "a", "b", "c"), ("k",))
+        plan = annotate_plan(
+            where(
+                where(scan(db, "wide"), col("a").gt(lit(0))),
+                col("b").lt(lit(9)),
+            )
+        )
+        schemas = generate_base_schemas(plan, db)
+        updates = {s.post_attrs for s in schemas if s.kind == UPDATE}
+        # Per-condition groups, the NC rest, and the catch-all for
+        # folded updates spanning groups.
+        assert updates == {("a",), ("b",), ("c",), ("a", "b", "c")}
+
+    def test_schemas_deduplicated(self, running_example_db):
+        plan = annotate_plan(build_view_v_prime(running_example_db))
+        schemas = generate_base_schemas(plan, running_example_db)
+        signatures = [s.signature() for s in schemas]
+        assert len(signatures) == len(set(signatures))

@@ -1,0 +1,173 @@
+"""The semijoin operator — the worked extensibility example.
+
+Exercises the full pipeline for an operator added after the fact:
+ID inference, rule instantiation, script generation, maintenance, and
+agreement with the tuple-based baseline and recomputation.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import SemiJoin, evaluate_plan, group_by, rename, scan
+from repro.baselines import TupleIvmEngine
+from repro.core import IdIvmEngine, annotate_plan
+from repro.expr import col
+from repro.storage import Database
+
+
+def make_db(products=None, orders=None) -> Database:
+    db = Database()
+    db.create_table("products", ("sku", "price"), ("sku",))
+    db.create_table("orders", ("oid", "o_sku"), ("oid",))
+    db.table("products").load(
+        products if products is not None else [("A", 10), ("B", 20), ("C", 30)]
+    )
+    db.table("orders").load(
+        orders if orders is not None else [(1, "A"), (2, "A"), (3, "B")]
+    )
+    return db
+
+
+def ordered_products(db):
+    """Products with at least one order."""
+    return SemiJoin(
+        scan(db, "products"),
+        rename(scan(db, "orders"), {"oid": "o_oid"}),
+        col("sku").eq(col("o_sku")),
+    )
+
+
+class TestSemijoinBasics:
+    def test_evaluation(self):
+        db = make_db()
+        result = evaluate_plan(ordered_products(db), db)
+        assert result.as_set() == {("A", 10), ("B", 20)}
+
+    def test_id_inference(self):
+        db = make_db()
+        annotated = annotate_plan(ordered_products(db))
+        assert annotated.ids == ("sku",)
+
+    def test_explain_renders(self):
+        from repro.algebra import explain_plan
+
+        db = make_db()
+        text = explain_plan(annotate_plan(ordered_products(db)))
+        assert "⋉" in text
+
+
+class TestSemijoinMaintenance:
+    def test_left_updates_pass_through(self):
+        db = make_db()
+        engine = IdIvmEngine(db)
+        view = engine.define_view("V", ordered_products(db))
+        engine.log.update("products", ("A",), {"price": 11})
+        report = engine.maintain()["V"]
+        assert view.table.as_set() == {("A", 11), ("B", 20)}
+        # Non-conditional update: no base access for the diff.
+        assert report.cost_of("view_diff") == 0
+
+    def test_right_insert_adds_left_row(self):
+        db = make_db()
+        engine = IdIvmEngine(db)
+        view = engine.define_view("V", ordered_products(db))
+        engine.log.insert("orders", (9, "C"))
+        engine.maintain()
+        assert ("C", 30) in view.table.as_set()
+
+    def test_right_delete_removes_left_row(self):
+        db = make_db()
+        engine = IdIvmEngine(db)
+        view = engine.define_view("V", ordered_products(db))
+        engine.log.delete("orders", (3,))  # B's only order
+        engine.maintain()
+        assert view.table.as_set() == {("A", 10)}
+
+    def test_right_delete_with_surviving_match(self):
+        db = make_db()
+        engine = IdIvmEngine(db)
+        view = engine.define_view("V", ordered_products(db))
+        engine.log.delete("orders", (1,))  # A still ordered via order 2
+        engine.maintain()
+        assert view.table.as_set() == {("A", 10), ("B", 20)}
+
+    def test_right_update_moves_membership(self):
+        db = make_db()
+        engine = IdIvmEngine(db)
+        view = engine.define_view("V", ordered_products(db))
+        engine.log.update("orders", (3,), {"o_sku": "C"})
+        engine.maintain()
+        assert view.table.as_set() == {("A", 10), ("C", 30)}
+
+    def test_aggregate_over_semijoin(self):
+        db = make_db()
+        engine = IdIvmEngine(db)
+        plan = group_by(
+            ordered_products(db), ("sku",), [("sum", col("price"), "p")]
+        )
+        view = engine.define_view("V", plan)
+        engine.log.update("orders", (3,), {"o_sku": "C"})
+        engine.log.update("products", ("C",), {"price": 31})
+        engine.maintain()
+        assert view.table.as_set() == evaluate_plan(view.plan, db).as_set()
+
+
+@settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    products=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 9)), max_size=8
+    ).map(lambda rows: [(f"S{k}", v) for k, v in {r[0]: r for r in rows}.values()]),
+    orders=st.lists(
+        st.tuples(st.integers(0, 30), st.integers(0, 15)), max_size=10
+    ).map(lambda rows: list({r[0]: (r[0], f"S{r[1]}") for r in rows}.values())),
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["ins_o", "del_o", "upd_o", "upd_p", "del_p", "ins_p"]),
+            st.integers(0, 1000),
+            st.integers(0, 15),
+        ),
+        max_size=8,
+    ),
+)
+def test_semijoin_property(products, orders, ops):
+    """Random modifications: ID engine == tuple engine == recompute."""
+    db_id = make_db(products, orders)
+    db_tuple = make_db(products, orders)
+    engines = [IdIvmEngine(db_id), TupleIvmEngine(db_tuple)]
+    views = [e.define_view("V", ordered_products(e.db)) for e in engines]
+    for i, (kind, seed, v) in enumerate(ops):
+        for engine in engines:
+            db = engine.db
+            if kind == "ins_o":
+                engine.log.insert("orders", (5000 + i, f"S{v}"))
+            elif kind == "ins_p":
+                key = f"SN{i}"
+                if db.table("products").get_uncounted((key,)) is None:
+                    engine.log.insert("products", (key, v))
+            elif kind in ("del_o", "upd_o"):
+                keys = sorted(k for (k,) in db.table("orders")._rows)
+                if not keys:
+                    continue
+                key = keys[seed % len(keys)]
+                if kind == "del_o":
+                    engine.log.delete("orders", (key,))
+                else:
+                    engine.log.update("orders", (key,), {"o_sku": f"S{v}"})
+            else:
+                keys = sorted(k for (k,) in db.table("products")._rows)
+                if not keys:
+                    continue
+                key = keys[seed % len(keys)]
+                if kind == "del_p":
+                    engine.log.delete("products", (key,))
+                else:
+                    engine.log.update("products", (key,), {"price": v})
+    for engine, view in zip(engines, views):
+        engine.maintain()
+        expected = evaluate_plan(view.plan, engine.db).as_set()
+        assert view.table.as_set() == expected, type(engine).__name__

@@ -1,0 +1,70 @@
+"""Tests for database snapshots and the ad-hoc query API."""
+
+import pytest
+
+from repro import query
+from repro.errors import SchemaError
+from repro.storage import (
+    database_from_dict,
+    database_to_dict,
+    load_database,
+    save_database,
+)
+
+
+class TestSnapshot:
+    def test_round_trip(self, running_example_db, tmp_path):
+        path = tmp_path / "db.json"
+        save_database(running_example_db, path)
+        restored = load_database(path)
+        assert restored.table_names() == running_example_db.table_names()
+        for name in restored.table_names():
+            assert (
+                restored.table(name).as_set()
+                == running_example_db.table(name).as_set()
+            )
+            assert (
+                restored.table(name).schema
+                == running_example_db.table(name).schema
+            )
+        assert len(restored.foreign_keys) == len(running_example_db.foreign_keys)
+
+    def test_restored_database_maintains_views(self, running_example_db, tmp_path):
+        from repro.core import IdIvmEngine
+        from tests.conftest import build_view_v_prime
+
+        path = tmp_path / "db.json"
+        save_database(running_example_db, path)
+        db = load_database(path)
+        engine = IdIvmEngine(db)
+        view = engine.define_view("Vp", build_view_v_prime(db))
+        engine.log.update("parts", ("P1",), {"price": 11})
+        engine.maintain()
+        assert view.table.as_set() == {("D1", 31), ("D2", 11)}
+
+    def test_rows_restored_as_tuples(self, running_example_db):
+        payload = database_to_dict(running_example_db)
+        restored = database_from_dict(payload)
+        row = next(iter(restored.table("parts").rows_uncounted()))
+        assert isinstance(row, tuple)
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(SchemaError):
+            database_from_dict({"format": 99, "tables": []})
+
+
+class TestAdHocQuery:
+    def test_query_returns_relation(self, running_example_db):
+        result = query(
+            running_example_db,
+            "SELECT did, SUM(price) AS cost FROM parts NATURAL JOIN "
+            "devices_parts NATURAL JOIN devices WHERE category = 'phone' "
+            "GROUP BY did",
+        )
+        assert result.columns == ("did", "cost")
+        assert result.as_set() == {("D1", 30), ("D2", 10)}
+
+    def test_query_counts_accesses(self, running_example_db):
+        running_example_db.counters.reset()
+        query(running_example_db, "SELECT * FROM parts")
+        assert running_example_db.counters.total.tuple_reads == 2

@@ -1,0 +1,246 @@
+"""Tests for the SQL subset front-end."""
+
+import pytest
+
+from repro.algebra import evaluate_plan
+from repro.errors import SqlError
+from repro.sql import parse, sql_to_plan, tokenize
+
+
+class TestLexer:
+    def test_keywords_and_idents(self):
+        tokens = tokenize("SELECT did FROM devices")
+        assert [t.kind for t in tokens] == ["KEYWORD", "IDENT", "KEYWORD", "IDENT", "EOF"]
+
+    def test_case_insensitive_keywords(self):
+        tokens = tokenize("select x from t")
+        assert tokens[0].value == "SELECT"
+
+    def test_strings_and_numbers(self):
+        tokens = tokenize("WHERE name = 'phone' AND price >= 10.5")
+        values = [t.value for t in tokens if t.kind in ("STRING", "NUMBER")]
+        assert values == ["phone", "10.5"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT x -- trailing comment\nFROM t")
+        assert len([t for t in tokens if t.kind != "EOF"]) == 4
+
+    def test_neq_variants(self):
+        tokens = tokenize("a <> b AND c != d")
+        puncts = [t.value for t in tokens if t.kind == "PUNCT"]
+        assert puncts == ["<>", "<>"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlError):
+            tokenize("WHERE name = 'oops")
+
+    def test_bad_character(self):
+        with pytest.raises(SqlError):
+            tokenize("SELECT x ; DROP TABLE t")
+
+
+class TestParser:
+    def test_simple_select(self):
+        stmt = parse("SELECT a, b FROM t WHERE a > 3")
+        assert len(stmt.items) == 2
+        assert stmt.base.name == "t"
+        assert stmt.where is not None
+
+    def test_group_by(self):
+        stmt = parse("SELECT g, SUM(x) AS s FROM t GROUP BY g")
+        assert [r.name for r in stmt.group_by] == ["g"]
+
+    def test_count_star(self):
+        stmt = parse("SELECT g, COUNT(*) AS n FROM t GROUP BY g")
+        agg = stmt.items[1].expr
+        assert agg.func == "count" and agg.arg is None
+
+    def test_joins(self):
+        stmt = parse(
+            "SELECT * FROM a NATURAL JOIN b JOIN c ON a.x = c.y, d"
+        )
+        assert [j.kind for j in stmt.joins] == ["natural", "on", "cross"]
+
+    def test_union_all_and_except(self):
+        node = parse("SELECT a FROM t UNION ALL SELECT a FROM s EXCEPT SELECT a FROM u")
+        assert node.op == "except"
+        assert node.left.op == "union_all"
+
+    def test_between_desugars(self):
+        stmt = parse("SELECT a FROM t WHERE a BETWEEN 1 AND 5")
+        assert stmt.where.op == "AND"
+
+    def test_in_list(self):
+        stmt = parse("SELECT a FROM t WHERE a IN (1, 2, 3)")
+        assert stmt.where.values == [1, 2, 3]
+
+    def test_not_in(self):
+        stmt = parse("SELECT a FROM t WHERE a NOT IN (1, 2)")
+        assert type(stmt.where).__name__ == "NotOp"
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlError):
+            parse("SELECT a FROM t WHERE")
+
+    def test_table_alias(self):
+        stmt = parse("SELECT u1.a FROM t AS u1")
+        assert stmt.base.alias == "u1"
+
+
+class TestTranslation:
+    def test_running_example_flat(self, running_example_db):
+        plan = sql_to_plan(
+            running_example_db,
+            "SELECT did, pid, price FROM parts NATURAL JOIN devices_parts "
+            "NATURAL JOIN devices WHERE category = 'phone'",
+        )
+        result = evaluate_plan(plan, running_example_db)
+        assert result.as_set() == {
+            ("D1", "P1", 10),
+            ("D2", "P1", 10),
+            ("D1", "P2", 20),
+        }
+
+    def test_running_example_aggregate(self, running_example_db):
+        plan = sql_to_plan(
+            running_example_db,
+            "SELECT did, SUM(price) AS cost FROM parts NATURAL JOIN "
+            "devices_parts NATURAL JOIN devices WHERE category = 'phone' "
+            "GROUP BY did",
+        )
+        assert evaluate_plan(plan, running_example_db).as_set() == {
+            ("D1", 30),
+            ("D2", 10),
+        }
+
+    def test_aliased_self_join(self, running_example_db):
+        plan = sql_to_plan(
+            running_example_db,
+            "SELECT p1.pid AS a, p2.pid AS b FROM parts p1 "
+            "JOIN parts p2 ON p1.price < p2.price",
+        )
+        assert evaluate_plan(plan, running_example_db).as_set() == {("P1", "P2")}
+
+    def test_select_star(self, running_example_db):
+        plan = sql_to_plan(running_example_db, "SELECT * FROM parts")
+        assert evaluate_plan(plan, running_example_db).as_set() == {
+            ("P1", 10),
+            ("P2", 20),
+        }
+
+    def test_computed_column_requires_alias(self, running_example_db):
+        with pytest.raises(SqlError):
+            sql_to_plan(running_example_db, "SELECT price * 2 FROM parts")
+        plan = sql_to_plan(
+            running_example_db, "SELECT pid, price * 2 AS double FROM parts"
+        )
+        assert ("P1", 20) in evaluate_plan(plan, running_example_db).as_set()
+
+    def test_scalar_function(self, running_example_db):
+        plan = sql_to_plan(
+            running_example_db, "SELECT pid, abs(price - 15) AS d FROM parts"
+        )
+        assert evaluate_plan(plan, running_example_db).as_set() == {
+            ("P1", 5),
+            ("P2", 5),
+        }
+
+    def test_union_all(self, running_example_db):
+        plan = sql_to_plan(
+            running_example_db,
+            "SELECT did FROM devices WHERE category = 'phone' "
+            "UNION ALL SELECT did FROM devices WHERE category = 'tablet'",
+        )
+        result = evaluate_plan(plan, running_example_db)
+        assert result.columns == ("did", "b")
+        assert ("D3", 1) in result.as_set()
+
+    def test_except(self, running_example_db):
+        plan = sql_to_plan(
+            running_example_db,
+            "SELECT did FROM devices EXCEPT SELECT did FROM devices "
+            "WHERE category = 'phone'",
+        )
+        assert evaluate_plan(plan, running_example_db).as_set() == {("D3",)}
+
+    def test_group_requires_keys(self, running_example_db):
+        with pytest.raises(SqlError):
+            sql_to_plan(running_example_db, "SELECT SUM(price) AS s FROM parts")
+
+    def test_non_grouped_column_rejected(self, running_example_db):
+        with pytest.raises(SqlError):
+            sql_to_plan(
+                running_example_db,
+                "SELECT pid, SUM(price) AS s FROM parts GROUP BY price",
+            )
+
+    def test_ambiguous_column_rejected(self, running_example_db):
+        with pytest.raises(SqlError):
+            sql_to_plan(
+                running_example_db,
+                "SELECT pid FROM parts p1, parts p2",
+            )
+
+    def test_shared_columns_need_alias(self, running_example_db):
+        with pytest.raises(SqlError):
+            sql_to_plan(
+                running_example_db,
+                "SELECT pid FROM parts JOIN parts ON price = price",
+            )
+
+    def test_unknown_column(self, running_example_db):
+        with pytest.raises(SqlError):
+            sql_to_plan(running_example_db, "SELECT nope FROM parts")
+
+    def test_having_filters_groups(self, running_example_db):
+        plan = sql_to_plan(
+            running_example_db,
+            "SELECT did, SUM(price) AS cost FROM parts NATURAL JOIN "
+            "devices_parts NATURAL JOIN devices GROUP BY did "
+            "HAVING cost > 15",
+        )
+        assert evaluate_plan(plan, running_example_db).as_set() == {("D1", 30)}
+
+    def test_having_maintained_incrementally(self, running_example_db):
+        from repro.core import IdIvmEngine
+
+        engine = IdIvmEngine(running_example_db)
+        view = engine.define_view(
+            "V",
+            sql_to_plan(
+                running_example_db,
+                "SELECT did, SUM(price) AS cost FROM parts NATURAL JOIN "
+                "devices_parts NATURAL JOIN devices GROUP BY did "
+                "HAVING cost > 15",
+            ),
+        )
+        assert view.table.as_set() == {("D1", 30)}
+        # D2's group crosses the HAVING threshold.
+        engine.log.update("parts", ("P1",), {"price": 16})
+        engine.maintain()
+        assert view.table.as_set() == {("D1", 36), ("D2", 16)}
+
+    def test_having_on_group_key_combination(self, running_example_db):
+        plan = sql_to_plan(
+            running_example_db,
+            "SELECT category, COUNT(*) AS n FROM devices "
+            "GROUP BY category HAVING n >= 2 AND category <> 'tablet'",
+        )
+        assert evaluate_plan(plan, running_example_db).as_set() == {("phone", 2)}
+
+    def test_end_to_end_ivm_from_sql(self, running_example_db):
+        from repro.core import IdIvmEngine
+
+        engine = IdIvmEngine(running_example_db)
+        view = engine.define_view(
+            "V",
+            sql_to_plan(
+                running_example_db,
+                "SELECT did, SUM(price) AS cost FROM parts NATURAL JOIN "
+                "devices_parts NATURAL JOIN devices WHERE category = 'phone' "
+                "GROUP BY did",
+            ),
+        )
+        engine.log.update("parts", ("P1",), {"price": 11})
+        engine.maintain()
+        assert view.table.as_set() == {("D1", 31), ("D2", 11)}

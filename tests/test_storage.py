@@ -1,0 +1,237 @@
+"""Unit tests for the storage substrate (tables, indexes, counters)."""
+
+import pytest
+
+from repro.errors import IntegrityError, SchemaError, UnknownColumnError, UnknownTableError
+from repro.storage import CounterSet, Database, Table, TableSchema
+
+
+@pytest.fixture
+def parts() -> Table:
+    table = Table(TableSchema("parts", ("pid", "price"), ("pid",)))
+    table.load([("P1", 10), ("P2", 20), ("P3", 30)])
+    return table
+
+
+class TestTableSchema:
+    def test_positions_and_key(self):
+        schema = TableSchema("r", ("a", "b", "c"), ("a", "b"))
+        assert schema.position("c") == 2
+        assert schema.key_of((1, 2, 3)) == (1, 2)
+        assert schema.non_key_columns == ("c",)
+
+    def test_rejects_missing_key_column(self):
+        with pytest.raises(SchemaError):
+            TableSchema("r", ("a",), ("b",))
+
+    def test_rejects_duplicate_columns(self):
+        with pytest.raises(SchemaError):
+            TableSchema("r", ("a", "a"), ("a",))
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(SchemaError):
+            TableSchema("r", ("a",), ())
+
+    def test_unknown_column(self):
+        schema = TableSchema("r", ("a",), ("a",))
+        with pytest.raises(UnknownColumnError):
+            schema.position("zzz")
+
+    def test_project(self):
+        schema = TableSchema("r", ("a", "b", "c"), ("a",))
+        assert schema.project((1, 2, 3), ("c", "a")) == (3, 1)
+
+
+class TestTableBasics:
+    def test_insert_get(self, parts):
+        assert parts.get(("P1",)) == ("P1", 10)
+        assert parts.get(("P9",)) is None
+        assert len(parts) == 3
+
+    def test_duplicate_key_rejected(self, parts):
+        with pytest.raises(IntegrityError):
+            parts.insert(("P1", 99))
+
+    def test_update(self, parts):
+        old = parts.update_key(("P1",), {"price": 11})
+        assert old == ("P1", 10)
+        assert parts.get(("P1",)) == ("P1", 11)
+
+    def test_update_missing_key_returns_none(self, parts):
+        assert parts.update_key(("P9",), {"price": 1}) is None
+
+    def test_update_key_column_rejected(self, parts):
+        with pytest.raises(SchemaError):
+            parts.update_key(("P1",), {"pid": "P9"})
+
+    def test_delete(self, parts):
+        assert parts.delete_key(("P2",)) == ("P2", 20)
+        assert parts.get(("P2",)) is None
+        assert parts.delete_key(("P2",)) is None
+
+    def test_scan(self, parts):
+        assert sorted(parts.scan()) == [("P1", 10), ("P2", 20), ("P3", 30)]
+
+    def test_wrong_arity_rejected(self, parts):
+        with pytest.raises(SchemaError):
+            parts.insert(("P9",))
+
+
+class TestSecondaryIndexes:
+    def test_lookup_via_secondary_index(self):
+        table = Table(TableSchema("dp", ("did", "pid"), ("did", "pid")))
+        table.load([("D1", "P1"), ("D2", "P1"), ("D1", "P2")])
+        table.create_index(("pid",))
+        rows = table.lookup(("pid",), ("P1",))
+        assert sorted(rows) == [("D1", "P1"), ("D2", "P1")]
+
+    def test_auto_index_creation(self):
+        table = Table(TableSchema("dp", ("did", "pid"), ("did", "pid")), auto_index=True)
+        table.load([("D1", "P1"), ("D2", "P1")])
+        assert not table.has_index(("pid",))
+        assert len(table.lookup(("pid",), ("P1",))) == 2
+        assert table.has_index(("pid",))
+
+    def test_no_auto_index_falls_back_to_scan(self):
+        counters = CounterSet()
+        table = Table(
+            TableSchema("dp", ("did", "pid"), ("did", "pid")),
+            counters=counters,
+            auto_index=False,
+        )
+        table.load([("D1", "P1"), ("D2", "P1"), ("D3", "P2")])
+        rows = table.lookup(("pid",), ("P1",))
+        assert len(rows) == 2
+        assert counters.total.tuple_reads == 3  # full scan
+        assert counters.total.index_lookups == 0
+
+    def test_index_maintained_across_writes(self):
+        table = Table(TableSchema("dp", ("did", "pid"), ("did", "pid")))
+        table.create_index(("pid",))
+        table.insert(("D1", "P1"))
+        table.insert(("D2", "P1"))
+        table.delete_key(("D1", "P1"))
+        assert table.lookup(("pid",), ("P1",)) == [("D2", "P1")]
+
+    def test_index_maintained_across_updates(self):
+        table = Table(TableSchema("parts", ("pid", "cat"), ("pid",)))
+        table.create_index(("cat",))
+        table.insert(("P1", "phone"))
+        table.update_key(("P1",), {"cat": "tablet"})
+        assert table.lookup(("cat",), ("phone",)) == []
+        assert table.lookup(("cat",), ("tablet",)) == [("P1", "tablet")]
+
+
+class TestCounters:
+    def test_pk_lookup_costs(self, parts):
+        parts.counters.reset()
+        parts.get(("P1",))
+        assert parts.counters.total.index_lookups == 1
+        assert parts.counters.total.tuple_reads == 1
+
+    def test_miss_costs_one_lookup(self, parts):
+        parts.counters.reset()
+        parts.get(("P9",))
+        assert parts.counters.total.index_lookups == 1
+        assert parts.counters.total.tuple_reads == 0
+
+    def test_secondary_lookup_costs_one_plus_m(self):
+        table = Table(TableSchema("dp", ("did", "pid"), ("did", "pid")))
+        table.load([("D1", "P1"), ("D2", "P1"), ("D1", "P2")])
+        table.create_index(("pid",))
+        table.counters.reset()
+        table.lookup(("pid",), ("P1",))
+        assert table.counters.total.index_lookups == 1
+        assert table.counters.total.tuple_reads == 2
+
+    def test_scan_costs_n_reads(self, parts):
+        parts.counters.reset()
+        list(parts.scan())
+        assert parts.counters.total.tuple_reads == 3
+        assert parts.counters.total.index_lookups == 0
+
+    def test_write_costs(self, parts):
+        parts.counters.reset()
+        parts.insert(("P4", 40))
+        parts.update_key(("P1",), {"price": 11})
+        parts.delete_key(("P2",))
+        assert parts.counters.total.tuple_writes == 3
+        assert parts.counters.total.index_lookups == 3
+
+    def test_phases(self, parts):
+        parts.counters.reset()
+        with parts.counters.phase("view_update"):
+            parts.get(("P1",))
+        parts.get(("P2",))
+        snap = parts.counters.snapshot()
+        assert snap["view_update"].index_lookups == 1
+        assert snap["default"].index_lookups == 1
+        assert snap["__total__"].index_lookups == 2
+
+    def test_nested_phases_attribute_to_innermost(self, parts):
+        parts.counters.reset()
+        with parts.counters.phase("outer"):
+            with parts.counters.phase("inner"):
+                parts.get(("P1",))
+        snap = parts.counters.snapshot()
+        assert snap["inner"].index_lookups == 1
+        assert "outer" not in snap
+
+    def test_uncounted_helpers(self, parts):
+        parts.counters.reset()
+        parts.rows_uncounted()
+        parts.get_uncounted(("P1",))
+        assert parts.counters.total.total == 0
+
+
+class TestDatabase:
+    def test_create_and_fetch(self):
+        db = Database()
+        db.create_table("r", ("a", "b"), ("a",))
+        assert db.table("r").schema.columns == ("a", "b")
+        assert db.has_table("r")
+        with pytest.raises(UnknownTableError):
+            db.table("zzz")
+
+    def test_duplicate_table_rejected(self):
+        db = Database()
+        db.create_table("r", ("a",), ("a",))
+        with pytest.raises(SchemaError):
+            db.create_table("r", ("a",), ("a",))
+
+    def test_shared_counters(self):
+        db = Database()
+        r = db.create_table("r", ("a",), ("a",))
+        s = db.create_table("s", ("a",), ("a",))
+        r.load([(1,)])
+        s.load([(2,)])
+        r.get((1,))
+        s.get((2,))
+        assert db.counters.total.index_lookups == 2
+
+    def test_copy_is_independent(self):
+        db = Database()
+        r = db.create_table("r", ("a", "b"), ("a",))
+        r.load([(1, 10)])
+        clone = db.copy()
+        clone.table("r").update_key((1,), {"b": 99})
+        assert db.table("r").get_uncounted((1,)) == (1, 10)
+        assert clone.table("r").get_uncounted((1,)) == (1, 99)
+
+    def test_copy_does_not_count(self):
+        db = Database()
+        r = db.create_table("r", ("a",), ("a",))
+        r.load([(i,) for i in range(100)])
+        db.counters.reset()
+        db.copy()
+        assert db.counters.total.total == 0
+
+    def test_foreign_keys(self):
+        db = Database()
+        db.create_table("parent", ("id",), ("id",))
+        db.create_table("child", ("cid", "pid"), ("cid",))
+        db.add_foreign_key("child", ("pid",), "parent")
+        fks = db.foreign_keys_of("child")
+        assert len(fks) == 1
+        assert fks[0].parent_table == "parent"
+        assert db.foreign_keys_of("parent") == []

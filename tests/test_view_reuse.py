@@ -1,0 +1,175 @@
+"""Tests for the Section 9 extension: insert i-diffs answered from the
+view, with dynamic run-time fallback."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import Join, equi_join, evaluate_plan, project_columns, rename, scan
+from repro.core import IdIvmEngine
+from repro.expr import col
+from repro.storage import Database
+
+
+def make_db() -> Database:
+    """Orders joining a bushy product+stock subtree — the shape where
+    view reuse saves multi-hop probes."""
+    db = Database()
+    db.create_table("orders", ("oid", "sku"), ("oid",))
+    db.create_table("products", ("p_sku", "price"), ("p_sku",))
+    db.create_table("stock", ("s_sku", "qty"), ("s_sku",))
+    db.table("orders").load([(1, "A"), (2, "B")])
+    db.table("products").load([("A", 10), ("B", 20), ("C", 30)])
+    db.table("stock").load([("A", 5), ("B", 6), ("C", 7)])
+    return db
+
+
+def bushy_view(db: Database):
+    """orders ⋈ (products ⋈ stock): the join's right side is a subtree,
+    so a base probe costs two hops but a view hit costs one."""
+    product_info = equi_join(
+        scan(db, "products"),
+        rename(scan(db, "stock"), {"s_sku": "st_sku"}),
+        [("p_sku", "st_sku")],
+    )
+    return Join(scan(db, "orders"), product_info, col("sku").eq(col("p_sku")))
+
+
+class TestHintAttachment:
+    def test_hint_attached_for_bushy_probe(self):
+        from repro.core import ScriptGenerator, generate_base_schemas
+        from repro.core.ir import ProbeJoin
+        from repro.core.script import ComputeDiffStep
+
+        db = make_db()
+        generator = ScriptGenerator("V", bushy_view(db), view_reuse=True)
+        generated = generator.generate(
+            generate_base_schemas(generator.plan, db)
+        )
+        hinted = [
+            ir_node
+            for step in generated.script.steps
+            if isinstance(step, ComputeDiffStep)
+            for ir_node in step.ir.walk()
+            if isinstance(ir_node, ProbeJoin) and ir_node.via_output is not None
+        ]
+        assert hinted, "expected at least one view-reuse hint"
+        for probe in hinted:
+            assert probe.via_output.mat_node_id == generated.plan.node_id
+            assert set(probe.via_output.guard_tables) <= {
+                "orders", "products", "stock"
+            }
+
+    def test_no_hints_without_flag(self):
+        from repro.core import ScriptGenerator, generate_base_schemas
+        from repro.core.ir import ProbeJoin
+        from repro.core.script import ComputeDiffStep
+
+        db = make_db()
+        generator = ScriptGenerator("V", bushy_view(db))
+        generated = generator.generate(generate_base_schemas(generator.plan, db))
+        assert all(
+            ir_node.via_output is None
+            for step in generated.script.steps
+            if isinstance(step, ComputeDiffStep)
+            for ir_node in step.ir.walk()
+            if isinstance(ir_node, ProbeJoin)
+        )
+
+
+class TestRuntimeBehaviour:
+    def test_insert_answered_from_view(self):
+        """A new order for an already-viewed product hits the view."""
+        db = make_db()
+        engine = IdIvmEngine(db, view_reuse=True)
+        view = engine.define_view("V", bushy_view(db))
+        engine.log.insert("orders", (9, "A"))
+        report = engine.maintain()["V"]
+        expected = evaluate_plan(view.plan, db).as_set()
+        assert view.table.as_set() == expected
+        # One view-index hit instead of the two-hop base probe: the
+        # products and stock tables are never read.
+        baseline = self._cost_without_reuse([(9, "A")])
+        assert report.total_cost < baseline
+
+    def test_miss_falls_back_to_base_probe(self):
+        """A new order for product C (absent from the view) still joins
+        correctly via the fallback."""
+        db = make_db()
+        engine = IdIvmEngine(db, view_reuse=True)
+        view = engine.define_view("V", bushy_view(db))
+        engine.log.insert("orders", (9, "C"))
+        engine.maintain()
+        expected = evaluate_plan(view.plan, db).as_set()
+        assert view.table.as_set() == expected
+        assert any(row[1] == "C" for row in view.table.as_set())
+
+    def test_reuse_disabled_when_guard_tables_change(self):
+        """If the probed tables changed in the same batch the hint must
+        not fire (the view is stale for them)."""
+        db = make_db()
+        engine = IdIvmEngine(db, view_reuse=True)
+        view = engine.define_view("V", bushy_view(db))
+        engine.log.update("products", ("A",), {"price": 11})
+        engine.log.insert("orders", (9, "A"))
+        engine.maintain()
+        expected = evaluate_plan(view.plan, db).as_set()
+        assert view.table.as_set() == expected
+        assert (9, "A", "A", 11, "A", 5) in view.table.as_set()
+
+    @staticmethod
+    def _cost_without_reuse(new_orders) -> int:
+        db = make_db()
+        engine = IdIvmEngine(db, view_reuse=False)
+        engine.define_view("V", bushy_view(db))
+        for oid, sku in new_orders:
+            engine.log.insert("orders", (oid, sku))
+        return engine.maintain()["V"].total_cost
+
+
+@settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(
+    orders=st.lists(
+        st.tuples(st.integers(0, 20), st.sampled_from("ABC")), max_size=6
+    ).map(lambda rows: list({r[0]: r for r in rows}.values())),
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["ins_o", "del_o", "upd_p", "upd_s", "ins_o2"]),
+            st.integers(0, 100),
+            st.integers(0, 50),
+        ),
+        max_size=8,
+    ),
+)
+def test_view_reuse_property(orders, ops):
+    """With and without reuse, results equal recomputation."""
+    views = []
+    engines = []
+    for reuse in (True, False):
+        db = make_db()
+        for row in orders:
+            if db.table("orders").get_uncounted((row[0],)) is None:
+                db.table("orders").insert_uncounted(row)
+        engine = IdIvmEngine(db, view_reuse=reuse)
+        engines.append(engine)
+        views.append(engine.define_view("V", bushy_view(db)))
+    for i, (kind, seed, v) in enumerate(ops):
+        for engine in engines:
+            db = engine.db
+            if kind in ("ins_o", "ins_o2"):
+                engine.log.insert("orders", (500 + i, "ABC"[v % 3]))
+            elif kind == "del_o":
+                keys = sorted(k for (k,) in db.table("orders")._rows)
+                if keys:
+                    engine.log.delete("orders", (keys[seed % len(keys)],))
+            elif kind == "upd_p":
+                engine.log.update("products", ("ABC"[v % 3],), {"price": v})
+            else:
+                engine.log.update("stock", ("ABC"[v % 3],), {"qty": v})
+    for engine, view in zip(engines, views):
+        engine.maintain()
+        expected = evaluate_plan(view.plan, engine.db).as_set()
+        assert view.table.as_set() == expected, f"reuse={engine.view_reuse}"
+    assert views[0].table.as_set() == views[1].table.as_set()

@@ -1,0 +1,144 @@
+"""Tests for the benchmark workload generators (Figures 9 and 11)."""
+
+import pytest
+
+from repro.algebra import evaluate_plan
+from repro.core import IdIvmEngine
+from repro.errors import WorkloadError
+from repro.workloads import (
+    BSMA_QUERIES,
+    BsmaConfig,
+    DevicesConfig,
+    apply_price_updates,
+    build_aggregate_view,
+    build_bsma_database,
+    build_devices_database,
+    build_flat_view,
+    log_batch,
+    mixed_modification_batch,
+    user_update_batch,
+)
+
+
+@pytest.fixture(scope="module")
+def small_devices():
+    config = DevicesConfig(n_parts=100, n_devices=100, diff_size=10, fanout=4)
+    return config, build_devices_database(config)
+
+
+@pytest.fixture(scope="module")
+def small_bsma():
+    config = BsmaConfig(n_users=120, friends_per_user=4, n_tweets=400)
+    return config, build_bsma_database(config)
+
+
+class TestDevicesWorkload:
+    def test_figure11_ratios(self, small_devices):
+        config, db = small_devices
+        assert len(db.table("parts")) == config.n_parts
+        assert len(db.table("devices")) == config.n_devices
+        assert len(db.table("devices_parts")) == config.n_parts * config.fanout
+
+    def test_selectivity_respected(self, small_devices):
+        config, db = small_devices
+        phones = sum(
+            1 for _d, c in db.table("devices").rows_uncounted() if c == "phone"
+        )
+        assert phones == round(config.n_devices * config.selectivity)
+
+    def test_fanout_exact(self, small_devices):
+        config, db = small_devices
+        per_part: dict[str, int] = {}
+        for _did, pid in db.table("devices_parts").rows_uncounted():
+            per_part[pid] = per_part.get(pid, 0) + 1
+        assert set(per_part.values()) == {config.fanout}
+
+    def test_deterministic_generation(self):
+        config = DevicesConfig(n_parts=50, n_devices=50, diff_size=5, fanout=3)
+        a = build_devices_database(config)
+        b = build_devices_database(config)
+        for name in ("parts", "devices", "devices_parts"):
+            assert a.table(name).as_set() == b.table(name).as_set()
+
+    def test_extra_join_tables(self):
+        config = DevicesConfig(
+            n_parts=50, n_devices=50, diff_size=5, fanout=3, joins=4
+        )
+        db = build_devices_database(config)
+        assert db.has_table("r1") and db.has_table("r2")
+        assert len(db.table("r1")) == len(db.table("devices_parts"))
+
+    def test_views_evaluate(self, small_devices):
+        config, db = small_devices
+        flat = evaluate_plan(build_flat_view(db, config), db)
+        agg = evaluate_plan(build_aggregate_view(db, config), db)
+        assert len(flat) > 0
+        assert len(agg) > 0
+        assert len(agg) <= len(flat)
+
+    def test_price_updates_are_real_changes(self, small_devices):
+        config, db = small_devices
+        engine = IdIvmEngine(db.copy())
+        engine.db.counters = engine.db.counters  # fresh counters ok
+        view = engine.define_view("V", build_aggregate_view(engine.db, config))
+        n = apply_price_updates(engine, engine.db, config)
+        assert n == config.diff_size
+        report = engine.maintain()["V"]
+        assert report.total_cost > 0
+        assert view.table.as_set() == evaluate_plan(view.plan, engine.db).as_set()
+
+    def test_mixed_batch_maintains_correctly(self):
+        config = DevicesConfig(n_parts=60, n_devices=60, diff_size=5, fanout=3)
+        db = build_devices_database(config)
+        engine = IdIvmEngine(db)
+        view = engine.define_view("V", build_aggregate_view(db, config))
+        batch = mixed_modification_batch(db, config, updates=4, inserts=3, deletes=2)
+        log_batch(engine, batch)
+        engine.maintain()
+        assert view.table.as_set() == evaluate_plan(view.plan, db).as_set()
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(WorkloadError):
+            DevicesConfig(selectivity=0)
+        with pytest.raises(WorkloadError):
+            DevicesConfig(joins=1)
+        with pytest.raises(WorkloadError):
+            DevicesConfig(fanout=0)
+        with pytest.raises(WorkloadError):
+            DevicesConfig(n_parts=10, diff_size=20)
+
+
+class TestBsmaWorkload:
+    def test_figure9_ratios(self, small_bsma):
+        config, db = small_bsma
+        assert len(db.table("users")) == config.n_users
+        assert len(db.table("microblog")) == config.n_tweets
+        assert len(db.table("retweets")) == config.n_retweets
+        assert len(db.table("mentions")) == config.n_mentions
+        assert len(db.table("rel_event_microblog")) == config.n_event_links
+
+    def test_all_queries_evaluate_nonempty(self, small_bsma):
+        config, db = small_bsma
+        for name, build in BSMA_QUERIES.items():
+            result = evaluate_plan(build(db, config), db)
+            assert len(result) > 0, name
+
+    def test_updates_touch_existing_users(self, small_bsma):
+        config, db = small_bsma
+        batch = user_update_batch(db, config, n_updates=20)
+        assert len(batch) == 20
+        for (uid,), changes in batch:
+            assert db.table("users").get_uncounted((uid,)) is not None
+            assert set(changes) == {"tweetsnum", "favornum"}
+
+    def test_each_query_maintainable(self, small_bsma):
+        config, _ = small_bsma
+        for name, build in BSMA_QUERIES.items():
+            db = build_bsma_database(config)
+            engine = IdIvmEngine(db)
+            view = engine.define_view(name, build(db, config))
+            for (uid,), changes in user_update_batch(db, config, 10):
+                engine.log.update("users", (uid,), changes)
+            engine.maintain()
+            expected = evaluate_plan(view.plan, db).as_set()
+            assert view.table.as_set() == expected, name
