@@ -1,0 +1,14 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test smoke bench
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+smoke:
+	$(PYTHON) -m repro demo --trace /tmp/repro_trace.jsonl
+	$(PYTHON) -m repro.obs.trace /tmp/repro_trace.jsonl
+
+bench:
+	$(PYTHON) -m pytest benchmarks --benchmark-disable -q

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from functools import lru_cache
 
+from conftest import write_bench_json
+
 from repro.bench import format_table, run_system
 from repro.core import IdIvmEngine
 from repro.workloads import (
@@ -85,4 +87,7 @@ def test_cache_policy_ablation(benchmark):
     assert fof["equi"].total_cost < fof["fk"].total_cost
     assert fof["fk"].total_cost == fof["never"].total_cost
 
+    write_bench_json(
+        "ablation_cache_policy", {"devices": devices, "fof_qstar1": fof}
+    )
     benchmark.pedantic(devices_results, rounds=1, iterations=1)

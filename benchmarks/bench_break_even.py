@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from functools import lru_cache
 
-from conftest import SYSTEMS
+from conftest import SYSTEMS, write_bench_json
 
 from repro.baselines import RecomputeEngine
 from repro.bench import format_table, run_system
@@ -82,4 +82,11 @@ def test_break_even(benchmark):
     # IVM costs grow with the diff; recomputation is flat in it.
     id_costs = [i for _f, i, _t, _r in rows]
     assert id_costs == sorted(id_costs)
+    write_bench_json(
+        "break_even",
+        {
+            "columns": ["updated_pct", "idIVM", "tuple", "recompute"],
+            "rows": rows,
+        },
+    )
     benchmark.pedantic(sweep, rounds=1, iterations=1)

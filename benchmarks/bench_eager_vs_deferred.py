@@ -12,6 +12,8 @@ from functools import lru_cache
 
 import random
 
+from conftest import write_bench_json
+
 from repro.bench import format_table
 from repro.core.eager import EagerIvmEngine
 from repro.workloads import DevicesConfig, build_aggregate_view, build_devices_database
@@ -57,4 +59,11 @@ def test_eager_vs_deferred(benchmark):
     # Deferred folding collapses ~4 touches per part into one diff row.
     assert results["deferred"] < results["eager"]
     assert results["eager"] / results["deferred"] > 2.0
+    write_bench_json(
+        "eager_vs_deferred",
+        {
+            "accesses": results,
+            "folding_benefit": results["eager"] / results["deferred"],
+        },
+    )
     benchmark.pedantic(lambda: _run(False), rounds=1, iterations=1)

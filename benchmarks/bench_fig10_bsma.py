@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from functools import lru_cache
 
+from conftest import write_bench_json
+
 from repro.algebra import evaluate_plan
 from repro.baselines import TupleIvmEngine
 from repro.bench import format_table
@@ -76,6 +78,13 @@ def _assert_shape():
 def test_fig10_workload(benchmark):
     _print_table()
     _assert_shape()
+    write_bench_json(
+        "fig10_bsma",
+        {
+            "columns": ["query", "id_cost", "tuple_cost", "speedup"],
+            "rows": run_workload(),
+        },
+    )
 
     def target():
         db = build_bsma_database(CONFIG)

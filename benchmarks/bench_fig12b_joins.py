@@ -12,7 +12,13 @@ from __future__ import annotations
 
 from functools import lru_cache
 
-from conftest import BASE_CONFIG, SYSTEMS, run_devices_point, timing_subject
+from conftest import (
+    BASE_CONFIG,
+    SYSTEMS,
+    run_devices_point,
+    timing_subject,
+    write_bench_json,
+)
 
 from repro.bench import format_sweep
 from repro.workloads import DevicesConfig
@@ -63,6 +69,7 @@ def _assert_shape():
 def test_fig12b_id_based(benchmark, timing_config):
     _print_table()
     _assert_shape()
+    write_bench_json("fig12b_joins", {"parameter": "j", "points": sweep()})
     config = DevicesConfig(
         n_parts=300, n_devices=300, diff_size=60, joins=4, with_selection=False
     )

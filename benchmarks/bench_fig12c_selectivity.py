@@ -10,7 +10,13 @@ from __future__ import annotations
 
 from functools import lru_cache
 
-from conftest import BASE_CONFIG, SYSTEMS, run_devices_point, timing_subject
+from conftest import (
+    BASE_CONFIG,
+    SYSTEMS,
+    run_devices_point,
+    timing_subject,
+    write_bench_json,
+)
 
 from repro.bench import format_sweep
 from repro.workloads import DevicesConfig
@@ -58,6 +64,9 @@ def _assert_shape():
 def test_fig12c_id_based(benchmark, timing_config):
     _print_table()
     _assert_shape()
+    write_bench_json(
+        "fig12c_selectivity", {"parameter": "s_pct", "points": sweep()}
+    )
     setup, target = timing_subject(timing_config, SYSTEMS["idIVM"])
     benchmark.pedantic(target, setup=setup, rounds=3)
 

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from functools import lru_cache
 
+from conftest import write_bench_json
+
 from repro.bench import format_table, run_system
 from repro.core import IdIvmEngine
 from repro.workloads import (
@@ -58,6 +60,7 @@ def test_minimization_benefit(benchmark):
     # "improving in some cases performance by more than 50%"
     assert naive >= 2.0 * minimized, (naive, minimized)
 
+    write_bench_json("minimization", {"scripts": results})
     benchmark.pedantic(measurements, rounds=1, iterations=1)
 
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from functools import lru_cache
 
-from conftest import SYSTEMS
+from conftest import SYSTEMS, write_bench_json
 
 from repro.bench import format_table, run_system
 from repro.costmodel import agg_update_speedup, spj_update_speedup
@@ -82,6 +82,10 @@ def test_speedup_model_spj(benchmark):
     print(format_table(("f", "a", "p", "predicted", "measured"), rows))
     for f, a, p, predicted, observed in rows:
         assert abs(predicted - observed) / observed < 0.05, (f, predicted, observed)
+    write_bench_json(
+        "speedup_model_spj",
+        {"columns": ["f", "a", "p", "predicted", "measured"], "rows": rows},
+    )
     benchmark.pedantic(spj_points, rounds=1, iterations=1)
 
 
@@ -93,4 +97,8 @@ def test_speedup_model_agg(benchmark):
     for f, a, p, predicted, observed in rows:
         assert abs(predicted - observed) / observed < 0.05, (f, predicted, observed)
         assert observed >= 1.0  # Section 6.2: tuple-based can never win here
+    write_bench_json(
+        "speedup_model_agg",
+        {"columns": ["f", "a", "p", "predicted", "measured"], "rows": rows},
+    )
     benchmark.pedantic(agg_points, rounds=1, iterations=1)

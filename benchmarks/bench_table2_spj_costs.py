@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from functools import lru_cache
 
-from conftest import SYSTEMS
+from conftest import SYSTEMS, write_bench_json
 
 from repro.bench import format_table, run_system
 from repro.workloads import (
@@ -81,4 +81,8 @@ def test_table2_costs(benchmark):
     observed = tuple_result.total_cost / id_result.total_cost
     assert abs(predicted - observed) / observed < 0.05, (predicted, observed)
 
+    write_bench_json(
+        "table2_spj_costs",
+        {"diff_size": d, "view_rows_touched": touched, "systems": results},
+    )
     benchmark.pedantic(measurements, rounds=1, iterations=1)

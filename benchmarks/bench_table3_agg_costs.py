@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from functools import lru_cache
 
-from conftest import SYSTEMS
+from conftest import SYSTEMS, write_bench_json
 
 from repro.bench import format_table, run_system
 from repro.workloads import (
@@ -86,4 +86,7 @@ def test_table3_costs(benchmark):
     assert abs(predicted - observed) / observed < 0.05, (predicted, observed)
     assert observed > 1.0
 
+    write_bench_json(
+        "table3_agg_costs", {"diff_size": d, "systems": results}
+    )
     benchmark.pedantic(measurements, rounds=1, iterations=1)

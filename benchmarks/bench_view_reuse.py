@@ -14,6 +14,8 @@ from __future__ import annotations
 import random
 from functools import lru_cache
 
+from conftest import write_bench_json
+
 from repro.algebra import Join, equi_join, evaluate_plan, rename, scan
 from repro.bench import format_table
 from repro.core import IdIvmEngine
@@ -92,4 +94,11 @@ def test_view_reuse_benefit(benchmark):
     # view hit costs one.
     assert results["view reuse"] < results["base probes"]
     assert results["base probes"] / results["view reuse"] > 1.4
+    write_bench_json(
+        "view_reuse",
+        {
+            "accesses": results,
+            "saving": results["base probes"] / results["view reuse"],
+        },
+    )
     benchmark.pedantic(lambda: _run(True), rounds=1, iterations=1)

@@ -8,13 +8,22 @@ measures wall time with pytest-benchmark.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
 from typing import Callable, Sequence
 
 import pytest
 
 from repro.baselines import SdbtEngine, TupleIvmEngine
-from repro.bench import SweepPoint, SystemResult, run_system
+from repro.bench import (
+    SweepPoint,
+    SystemResult,
+    run_system,
+    sweep_point_to_dict,
+    system_result_to_dict,
+)
 from repro.core import IdIvmEngine
+from repro.storage import AccessCounts
 from repro.workloads import (
     DevicesConfig,
     apply_price_updates,
@@ -33,6 +42,44 @@ SYSTEMS: dict[str, Callable] = {
     "SDBT-fixed": lambda db: SdbtEngine(db, streamed_tables=["parts"]),
     "SDBT-streams": SdbtEngine,
 }
+
+
+#: Schema version of the ``BENCH_<name>.json`` envelope.
+BENCH_SCHEMA_VERSION = 1
+
+#: The repo root, where the ``BENCH_*.json`` files live.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _jsonable(obj: object) -> object:
+    if isinstance(obj, SystemResult):
+        return system_result_to_dict(obj)
+    if isinstance(obj, SweepPoint):
+        return sweep_point_to_dict(obj)
+    if isinstance(obj, AccessCounts):
+        return obj.as_dict()
+    raise TypeError(f"{type(obj).__name__} is not JSON-serializable")
+
+
+def write_bench_json(name: str, data: object) -> Path:
+    """Write ``BENCH_<name>.json`` at the repo root.
+
+    ``data`` may contain :class:`SystemResult`, :class:`SweepPoint` and
+    :class:`AccessCounts` values anywhere — they are serialized through
+    :func:`repro.bench.system_result_to_dict` and friends, so every file
+    carries the full per-phase access breakdown.  Benchmarks call this
+    after their assertions pass, so a file on disk is also a record that
+    the paper's qualitative finding held for that run.
+    """
+    payload = {
+        "schema": "repro.bench",
+        "version": BENCH_SCHEMA_VERSION,
+        "name": name,
+        "data": data,
+    }
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, default=_jsonable) + "\n")
+    return path
 
 
 def run_devices_point(

@@ -20,6 +20,7 @@ from typing import Mapping, Optional, Sequence
 from ..errors import PlanError
 from ..expr import equi_join_pairs, evaluate as eval_expr, matches
 from ..expr.ast import Col
+from ..obs import spans as obs
 from ..storage import Database, Table
 from .evaluate import aggregate_rows, project_rows
 from .plan import (
@@ -85,6 +86,29 @@ def fetch(
     Reads from *caches* (node_id -> materialized table) when available,
     otherwise recomputes through indexes on the base tables of *db*.
     """
+    recorder = obs.current_recorder()
+    if recorder is None:
+        return _fetch(node, db, bindings, caches)
+    with recorder.span(
+        f"fetch:{node.label()}",
+        kind="plan_op",
+        counters=db.counters,
+        op=type(node).__name__,
+        node_id=node.node_id,
+        cached=bool(caches and node.node_id in caches),
+        bindings=len(bindings) if bindings is not None else None,
+    ) as sp:
+        out = _fetch(node, db, bindings, caches)
+        sp.set(rows_out=len(out.rows))
+        return out
+
+
+def _fetch(
+    node: PlanNode,
+    db: Database,
+    bindings: Optional[Bindings] = None,
+    caches: Optional[CacheMap] = None,
+) -> Relation:
     if bindings is not None:
         unknown = set(bindings.attrs) - set(node.columns)
         if unknown:

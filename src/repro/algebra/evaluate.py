@@ -12,6 +12,7 @@ from typing import Iterable
 
 from ..errors import PlanError
 from ..expr import equi_join_pairs, evaluate as eval_expr, matches
+from ..obs import spans as obs
 from ..storage import Database, Table, TableSchema
 from .plan import (
     AggSpec,
@@ -29,7 +30,28 @@ from .relation import Relation
 
 
 def evaluate_plan(node: PlanNode, db: Database) -> Relation:
-    """Evaluate the subview rooted at *node* against *db*."""
+    """Evaluate the subview rooted at *node* against *db*.
+
+    With a span recorder installed, each plan operator gets a span with
+    its actual output row count and the (cumulative) access-count delta
+    it incurred — the raw material of ``explain --analyze``.
+    """
+    recorder = obs.current_recorder()
+    if recorder is None:
+        return _evaluate_plan(node, db)
+    with recorder.span(
+        node.label(),
+        kind="plan_op",
+        counters=db.counters,
+        op=type(node).__name__,
+        node_id=node.node_id,
+    ) as sp:
+        out = _evaluate_plan(node, db)
+        sp.set(rows_out=len(out.rows))
+        return out
+
+
+def _evaluate_plan(node: PlanNode, db: Database) -> Relation:
     if isinstance(node, Scan):
         table = db.table(node.table)
         return Relation(node.columns, list(table.scan()))

@@ -54,6 +54,7 @@ from ..core.modlog import ModificationLog, fold_log
 from ..core.rules.aggregate import OpCacheSpec
 from ..errors import PlanError, ScriptError
 from ..expr import columns_of, equi_join_pairs, evaluate as eval_expr, matches
+from ..obs import spans as obs
 from ..storage import Database, Table
 
 
@@ -162,30 +163,59 @@ class TupleIvmEngine:
         targets = [name] if name is not None else list(self.views)
         entries = self.log.take()
         db_post = self.db
-        db_pre = _reconstruct_pre(self.db, entries)
-        net = fold_log(entries, db_post)
-        reports: dict[str, MaintenanceReport] = {}
         counters = self.db.counters
-        for view_name in targets:
-            view = self.views[view_name]
-            before = counters.snapshot()
-            with counters.phase("view_diff"):
-                delta = _t_delta(view.plan, view, net, db_pre, db_post)
-            with counters.phase("view_update"):
-                _apply_delta(view.table, view.plan, delta)
-            after = counters.snapshot()
-            report = MaintenanceReport(view_name)
-            for phase, counts in after.items():
-                prior = before.get(phase)
-                report.phase_counts[phase] = (
-                    counts - prior if prior is not None else counts
-                )
-            report.diff_sizes = {
-                "D+": len(delta.inserts),
-                "D-": len(delta.deletes),
-                "Du": len(delta.updates),
-            }
-            reports[view_name] = report
+        with obs.span(
+            "maintain",
+            kind="engine",
+            counters=counters,
+            engine=type(self).__name__,
+            n_log_entries=len(entries),
+            views=",".join(targets),
+        ):
+            with obs.span("reconstruct_pre", kind="engine", counters=counters):
+                db_pre = _reconstruct_pre(self.db, entries)
+            net = fold_log(entries, db_post)
+            reports: dict[str, MaintenanceReport] = {}
+            for view_name in targets:
+                view = self.views[view_name]
+                with obs.span(
+                    f"view:{view_name}", kind="view", counters=counters,
+                    view=view_name,
+                ) as vsp:
+                    before = counters.snapshot()
+                    with counters.phase("view_diff"):
+                        with obs.span(
+                            "phase:view_diff", kind="phase", counters=counters,
+                            phase_of="view_diff", phase="view_diff",
+                        ):
+                            delta = _t_delta(view.plan, view, net, db_pre, db_post)
+                    with counters.phase("view_update"):
+                        with obs.span(
+                            "phase:view_update", kind="phase", counters=counters,
+                            phase_of="view_update", phase="view_update",
+                        ):
+                            _apply_delta(view.table, view.plan, delta)
+                    after = counters.snapshot()
+                    report = MaintenanceReport(view_name)
+                    for phase, counts in after.items():
+                        prior = before.get(phase)
+                        report.phase_counts[phase] = (
+                            counts - prior if prior is not None else counts
+                        )
+                    report.diff_sizes = {
+                        "D+": len(delta.inserts),
+                        "D-": len(delta.deletes),
+                        "Du": len(delta.updates),
+                    }
+                    reports[view_name] = report
+                    vsp.set(
+                        total_cost=report.total_cost,
+                        phase_counts={
+                            phase: counts.as_dict()
+                            for phase, counts in report.phase_counts.items()
+                            if phase != "__total__"
+                        },
+                    )
         return reports
 
 
@@ -554,7 +584,13 @@ def _groupby_delta_associative(node: GroupBy, view: TupleView, child: TDelta) ->
     out_table = _output_table(node, view)
     opcache = view.opcaches[node.node_id]
     with out_table.counters.phase("view_update"):
-        applied, kinds = apply_group_deltas(node, deltas, out_table, opcache)
+        # This re-phases nested work (we are inside the view_diff scope);
+        # the bucket-delta phase span keeps attribution exact either way.
+        with obs.span(
+            "phase:view_update", kind="phase", counters=out_table.counters,
+            phase_of="view_update", phase="view_update", op="GroupBy.apply",
+        ):
+            applied, kinds = apply_group_deltas(node, deltas, out_table, opcache)
     delta = TDelta()
     for change, kind in zip(applied, kinds):
         if kind == INSERT:

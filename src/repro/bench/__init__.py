@@ -1,7 +1,15 @@
 """Benchmark harness and paper-style reporting."""
 
 from .harness import SweepPoint, SystemResult, run_system, speedup
-from .report import format_comparison, format_figure10, format_sweep, format_table
+from .report import (
+    format_comparison,
+    format_figure10,
+    format_sweep,
+    format_table,
+    sweep_point_to_dict,
+    sweep_to_dict,
+    system_result_to_dict,
+)
 
 __all__ = [
     "SweepPoint",
@@ -12,4 +20,7 @@ __all__ = [
     "format_table",
     "run_system",
     "speedup",
+    "sweep_point_to_dict",
+    "sweep_to_dict",
+    "system_result_to_dict",
 ]

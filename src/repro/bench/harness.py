@@ -5,11 +5,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Optional
 
 from ..algebra.evaluate import evaluate_plan
 from ..core.engine import MaintenanceReport
-from ..storage import Database
+from ..obs import spans as obs
+from ..storage import AccessCounts, Database
 
 
 @dataclass
@@ -24,6 +25,12 @@ class SystemResult:
     lookups: int = 0
     reads: int = 0
     writes: int = 0
+    #: Full per-phase access breakdown (lookups/reads/writes per phase),
+    #: not just the totals of :attr:`phase_costs`.
+    phase_accesses: dict[str, AccessCounts] = field(default_factory=dict)
+    #: Nested span tree of the maintenance round (dict form), captured
+    #: when a span recorder was active during :func:`run_system`.
+    trace: Optional[dict] = None
 
     def phase(self, name: str) -> int:
         return self.phase_costs.get(name, 0)
@@ -39,17 +46,28 @@ def run_system(
     view_name: str = "V",
 ) -> SystemResult:
     """Build a fresh database, define the view, log the modification
-    batch, run one maintenance round and report its cost."""
+    batch, run one maintenance round and report its cost.
+
+    When tracing is enabled (``repro.obs``), the round runs inside a
+    ``system:<label>`` span and the resulting span tree is attached to
+    the returned :class:`SystemResult`.
+    """
     db = db_factory()
     engine = make_engine(db)
     view = engine.define_view(view_name, build_view(db))
     log_modifications(engine, db)
-    started = time.perf_counter()
-    reports = engine.maintain()
-    wall = time.perf_counter() - started
+    with obs.span(f"system:{label}", kind="system", system=label) as ssp:
+        started = time.perf_counter()
+        reports = engine.maintain()
+        wall = time.perf_counter() - started
     report: MaintenanceReport = reports[view_name]
     phase_costs = {
         name: counts.total
+        for name, counts in report.phase_counts.items()
+        if name != "__total__"
+    }
+    phase_accesses = {
+        name: counts.copy()
         for name, counts in report.phase_counts.items()
         if name != "__total__"
     }
@@ -67,6 +85,8 @@ def run_system(
         lookups=total.index_lookups if total else 0,
         reads=total.tuple_reads if total else 0,
         writes=total.tuple_writes if total else 0,
+        phase_accesses=phase_accesses,
+        trace=ssp.tree_dict() if obs.enabled() else None,
     )
 
 

@@ -1,4 +1,6 @@
-"""Plain-text rendering of benchmark results in the paper's shapes."""
+"""Rendering of benchmark results: paper-shaped plain text tables plus
+JSON-serializable dict forms carrying full per-phase access breakdowns
+(the machine-readable side of the perf trajectory, ``BENCH_*.json``)."""
 
 from __future__ import annotations
 
@@ -81,3 +83,53 @@ def format_figure10(rows: Sequence[tuple[str, float, float, float]]) -> str:
     """The Figure 10 shape: per-query speedup plus both IVM times."""
     headers = ["query", "ID-IVM cost", "Tuple-IVM cost", "speedup"]
     return format_table(headers, rows)
+
+
+# ----------------------------------------------------------------------
+# machine-readable forms (BENCH_*.json, trace attachments)
+# ----------------------------------------------------------------------
+def system_result_to_dict(result: SystemResult) -> dict:
+    """JSON-serializable form of one system's round, with the *full*
+    per-phase access breakdown (lookups/reads/writes per phase), not
+    just the phase totals."""
+    return {
+        "label": result.label,
+        "total_cost": result.total_cost,
+        "wall_seconds": result.wall_seconds,
+        "correct": result.correct,
+        "accesses": {
+            "index_lookups": result.lookups,
+            "tuple_reads": result.reads,
+            "tuple_writes": result.writes,
+        },
+        "phases": {
+            name: counts.as_dict()
+            for name, counts in sorted(result.phase_accesses.items())
+        },
+        "trace": result.trace,
+    }
+
+
+def sweep_point_to_dict(point: SweepPoint) -> dict:
+    """JSON-serializable form of one sweep x-axis point."""
+    out: dict = {
+        "parameter": point.parameter,
+        "systems": {
+            label: system_result_to_dict(result)
+            for label, result in point.results.items()
+        },
+    }
+    if "tuple" in point.results and "idIVM" in point.results:
+        out["speedup"] = point.speedup()
+    return out
+
+
+def sweep_to_dict(
+    title: str, parameter_name: str, points: Sequence[SweepPoint]
+) -> dict:
+    """JSON-serializable form of a whole Figure 12 style sweep."""
+    return {
+        "title": title,
+        "parameter": parameter_name,
+        "points": [sweep_point_to_dict(p) for p in points],
+    }

@@ -4,14 +4,19 @@ Commands
 --------
 ``demo``
     Run the paper's running example end to end (Figures 1–7).
-``explain --sql "SELECT ..."``
+``explain --sql "SELECT ..." [--analyze]``
     Parse a view over the demo devices schema, print the annotated plan
     (Pass 1's Figure 5a shape) and the generated ∆-script (Figure 7).
+    With ``--analyze``, also execute the plan and print per-operator
+    actual row counts and access costs.
 ``sweep --param {d,s,f,j} --values 100,200,...``
     Run a Figure 12 style sweep of the devices workload for the chosen
     parameter and print the paper-style table.
 ``bsma [--updates N]``
     Run the Figure 10 social-analytics comparison.
+
+``demo``, ``sweep`` and ``bsma`` accept ``--trace FILE.jsonl`` to record
+every maintenance round as a span tree (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -20,7 +25,8 @@ import argparse
 import sys
 from typing import Sequence
 
-from .algebra.explain import explain_plan
+from .algebra.explain import explain_analyze, explain_plan
+from .obs import recording, write_trace
 from .baselines import TupleIvmEngine
 from .bench import SweepPoint, SystemResult, format_figure10, format_sweep, run_system
 from .core import IdIvmEngine
@@ -86,6 +92,10 @@ def cmd_explain(args: argparse.Namespace) -> int:
     print()
     print("-- generated ∆-script " + "-" * 39)
     print(view.describe_script())
+    if args.analyze:
+        print()
+        print("-- EXPLAIN ANALYZE (actual rows / accesses) " + "-" * 17)
+        print(explain_analyze(view.plan, db))
     return 0
 
 
@@ -103,15 +113,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     values = [caster(v) for v in args.values.split(",")]
     points: list[SweepPoint] = []
     for value in values:
-        overrides = {field: value}
+        kwargs = {
+            "n_parts": args.parts,
+            "n_devices": args.parts,
+            "diff_size": min(200, max(1, args.parts // 5)),
+        }
         if args.param == "j":
-            overrides["with_selection"] = False
-        config = DevicesConfig(
-            n_parts=args.parts,
-            n_devices=args.parts,
-            diff_size=min(200, max(1, args.parts // 5)),
-            **overrides,
-        )
+            kwargs["with_selection"] = False
+        kwargs[field] = value  # the swept parameter wins (e.g. --param d)
+        config = DevicesConfig(**kwargs)
         results: dict[str, SystemResult] = {}
         for label, factory in (("idIVM", IdIvmEngine), ("tuple", TupleIvmEngine)):
             results[label] = run_system(
@@ -162,16 +172,20 @@ def build_parser() -> argparse.ArgumentParser:
         description="idIVM: ID-based incremental view maintenance "
         "(SIGMOD 2015 reproduction)",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    sub = parser.add_subparsers(dest="command")
 
-    sub.add_parser("demo", help="run the paper's running example").set_defaults(
-        handler=cmd_demo
-    )
+    demo = sub.add_parser("demo", help="run the paper's running example")
+    demo.set_defaults(handler=cmd_demo)
 
     explain = sub.add_parser("explain", help="show the plan and ∆-script of a view")
     explain.add_argument("--sql", required=True, help="view definition over the demo schema")
     explain.add_argument(
         "--no-minimize", action="store_true", help="skip Pass 4 (Figure 8 rewrites)"
+    )
+    explain.add_argument(
+        "--analyze",
+        action="store_true",
+        help="execute the plan and print per-operator actual rows and accesses",
     )
     explain.set_defaults(handler=cmd_explain)
 
@@ -185,13 +199,48 @@ def build_parser() -> argparse.ArgumentParser:
     bsma.add_argument("--users", type=int, default=400)
     bsma.add_argument("--updates", type=int, default=100)
     bsma.set_defaults(handler=cmd_bsma)
+
+    for traced in (demo, sweep, bsma):
+        traced.add_argument(
+            "--trace",
+            metavar="FILE.jsonl",
+            default=None,
+            help="record a JSONL span trace of every maintenance round",
+        )
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
-    return args.handler(args)
+    """CLI entry point; returns the process exit code.
+
+    Usage errors (no command, unknown command, bad flags) print the
+    argparse message and return a non-zero code instead of raising
+    ``SystemExit``, so embedding callers get a consistent contract.
+    """
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:  # argparse error (code 2) or --help (code 0)
+        code = exc.code
+        if code is None:
+            return 0
+        return code if isinstance(code, int) else 2
+    if getattr(args, "command", None) is None:
+        parser.print_usage(sys.stderr)
+        print(f"{parser.prog}: error: a command is required", file=sys.stderr)
+        return 2
+    trace_path = getattr(args, "trace", None)
+    if trace_path is None:
+        return args.handler(args)
+    with recording() as rec:
+        code = args.handler(args)
+    try:
+        n_spans = write_trace(rec, trace_path)
+    except OSError as exc:
+        print(f"{parser.prog}: error: cannot write trace: {exc}", file=sys.stderr)
+        return 1
+    print(f"[trace] wrote {n_spans} spans to {trace_path}", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,6 +22,8 @@ from typing import Optional
 from ..algebra.evaluate import evaluate_plan, materialize
 from ..algebra.plan import PlanNode
 from ..errors import ScriptError, UnknownTableError
+from ..obs import metrics
+from ..obs import spans as obs
 from ..storage import AccessCounts, Database, Table
 from .generator import GeneratedPlan, ScriptGenerator
 from .idinfer import node_by_id
@@ -151,31 +153,57 @@ class IdIvmEngine:
         targets = [name] if name is not None else list(self.views)
         entries = self.log.take()
         db_post = self.db
-        db_pre = _reconstruct_pre(self.db, entries)
-        reports: dict[str, MaintenanceReport] = {}
-        for view_name in targets:
-            view = self.views.get(view_name)
-            if view is None:
-                raise UnknownTableError(f"no view named {view_name!r}")
-            instances = populate_instances(
-                view.generated.base_schemas, entries, db_pre
-            )
-            ctx = IrContext(db_pre, db_post, diffs=instances, caches=view.caches)
-            ctx.operator_caches = view.operator_caches
-            modified = {entry.table for entry in entries}
-            ctx.unchanged_tables = set(self.db.table_names()) - modified
-            counters = self.db.counters
-            before = counters.snapshot()
-            execute_script(view.generated.script, ctx, counters)
-            after = counters.snapshot()
-            report = MaintenanceReport(view_name)
-            for phase, counts in after.items():
-                prior = before.get(phase)
-                report.phase_counts[phase] = (
-                    counts - prior if prior is not None else counts
-                )
-            report.diff_sizes = {k: len(v) for k, v in ctx.diffs.items()}
-            reports[view_name] = report
+        counters = self.db.counters
+        metrics.counter("engine.maintain_rounds").inc()
+        metrics.histogram("engine.log_entries").observe(len(entries))
+        with obs.span(
+            "maintain",
+            kind="engine",
+            counters=counters,
+            engine=type(self).__name__,
+            n_log_entries=len(entries),
+            views=",".join(targets),
+        ):
+            with obs.span("reconstruct_pre", kind="engine", counters=counters):
+                db_pre = _reconstruct_pre(self.db, entries)
+            reports: dict[str, MaintenanceReport] = {}
+            for view_name in targets:
+                view = self.views.get(view_name)
+                if view is None:
+                    raise UnknownTableError(f"no view named {view_name!r}")
+                with obs.span(
+                    f"view:{view_name}", kind="view", counters=counters,
+                    view=view_name,
+                ) as vsp:
+                    instances = populate_instances(
+                        view.generated.base_schemas, entries, db_pre
+                    )
+                    ctx = IrContext(
+                        db_pre, db_post, diffs=instances, caches=view.caches
+                    )
+                    ctx.operator_caches = view.operator_caches
+                    modified = {entry.table for entry in entries}
+                    ctx.unchanged_tables = set(self.db.table_names()) - modified
+                    before = counters.snapshot()
+                    execute_script(view.generated.script, ctx, counters)
+                    after = counters.snapshot()
+                    report = MaintenanceReport(view_name)
+                    for phase, counts in after.items():
+                        prior = before.get(phase)
+                        report.phase_counts[phase] = (
+                            counts - prior if prior is not None else counts
+                        )
+                    report.diff_sizes = {k: len(v) for k, v in ctx.diffs.items()}
+                    reports[view_name] = report
+                    vsp.set(
+                        total_cost=report.total_cost,
+                        phase_counts={
+                            phase: counts.as_dict()
+                            for phase, counts in report.phase_counts.items()
+                            if phase != "__total__"
+                        },
+                    )
+                metrics.histogram("engine.round_cost").observe(report.total_cost)
         return reports
 
 

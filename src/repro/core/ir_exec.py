@@ -10,6 +10,8 @@ from ..algebra.plan import PlanNode
 from ..algebra.relation import Relation
 from ..errors import ScriptError
 from ..expr import evaluate as eval_expr, matches
+from ..obs import metrics
+from ..obs import spans as obs
 from ..storage import Database, Table
 from .apply import AppliedChanges
 from .diffs import Diff
@@ -107,7 +109,33 @@ class IrContext:
 
 
 def run_ir(node: IrNode, ctx: IrContext) -> Relation:
-    """Evaluate an IR tree to a relation of diff-shaped rows."""
+    """Evaluate an IR tree to a relation of diff-shaped rows.
+
+    With a span recorder installed, every IR operator gets a span
+    recording its output (and, derived from its children, input) row
+    counts plus the access-count delta it incurred; with tracing off the
+    only overhead is one global read per node.
+    """
+    recorder = obs.current_recorder()
+    if recorder is None:
+        return _run_ir(node, ctx)
+    with recorder.span(
+        type(node).__name__,
+        kind="ir_op",
+        counters=ctx.db_post.counters,
+        op=type(node).__name__,
+    ) as sp:
+        out = _run_ir(node, ctx)
+        rows_in = sum(
+            child.attrs["rows_out"]
+            for child in sp.children
+            if "rows_out" in child.attrs
+        )
+        sp.set(rows_out=len(out.rows), rows_in=rows_in)
+        return out
+
+
+def _run_ir(node: IrNode, ctx: IrContext) -> Relation:
     if isinstance(node, DiffSource):
         diff = ctx.diffs.get(node.name)
         if diff is None:
@@ -232,6 +260,8 @@ def _resolve_probe(
             rows.append(tuple(mat_row[i] for i in mat_positions))
         else:
             missed.append(value)
+    metrics.counter("view_reuse.probe_hits").inc(len(rows))
+    metrics.counter("view_reuse.probe_misses").inc(len(missed))
     if missed:
         fallback = ctx.resolve_subview(
             node.node, node.state, Bindings(sub_attrs, missed)

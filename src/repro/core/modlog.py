@@ -19,6 +19,8 @@ from __future__ import annotations
 from typing import Mapping, Optional, Sequence
 
 from ..errors import DiffError, WorkloadError
+from ..obs import metrics
+from ..obs import spans as obs
 from ..storage import Database, Table
 from .diffs import DELETE, INSERT, UPDATE, Diff, DiffSchema
 
@@ -191,6 +193,29 @@ def populate_instances(
     DiffSource name) to the populated instance.  Every schema gets an
     instance (possibly empty) so scripts can reference all of them.
     """
+    with obs.span(
+        "log_to_idiffs", kind="engine", counters=db.counters,
+        n_log_entries=len(entries), n_schemas=len(schemas),
+    ) as sp:
+        out = _populate_instances(schemas, entries, db)
+        total_rows = sum(len(diff) for diff in out.values())
+        sp.set(
+            idiff_rows=total_rows,
+            nonempty_instances=sum(1 for diff in out.values() if diff),
+        )
+        metrics.histogram("modlog.idiff_rows_per_round").observe(total_rows)
+        if entries:
+            metrics.histogram("modlog.fold_ratio").observe(
+                total_rows / len(entries)
+            )
+        return out
+
+
+def _populate_instances(
+    schemas: Sequence[DiffSchema],
+    entries: Sequence[LoggedModification],
+    db: Database,
+) -> dict[str, Diff]:
     net = fold_log(entries, db)
     out: dict[str, Diff] = {}
     update_schemas: dict[str, list[DiffSchema]] = {}

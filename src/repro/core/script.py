@@ -22,6 +22,8 @@ from __future__ import annotations
 from typing import Optional
 
 from ..errors import ScriptError
+from ..obs import metrics
+from ..obs import spans as obs
 from ..storage import CounterSet
 from .apply import apply_diff
 from .diffs import Diff, DiffSchema
@@ -131,11 +133,86 @@ class DeltaScript:
         return len(self.steps)
 
 
+def _step_cardinality(step: Step, ctx: IrContext) -> Optional[int]:
+    """Diff rows produced/applied by *step*, where that is meaningful."""
+    if isinstance(step, ComputeDiffStep):
+        diff = ctx.diffs.get(step.name)
+        return len(diff) if diff is not None else None
+    if isinstance(step, ApplyDiffStep):
+        diff = ctx.diffs.get(step.diff_name)
+        return len(diff) if diff is not None else None
+    return None
+
+
 def execute_script(
     script: DeltaScript, ctx: IrContext, counters: CounterSet
 ) -> dict[str, Diff]:
     """Run every step under its phase label; returns the diff environment."""
-    for step in script.steps:
-        with counters.phase(step.phase):
-            step.run(ctx)
+    recorder = obs.current_recorder()
+    if recorder is None:
+        for step in script.steps:
+            with counters.phase(step.phase):
+                step.run(ctx)
+                cardinality = _step_cardinality(step, ctx)
+                if cardinality is not None:
+                    metrics.histogram("script.stmt_diff_rows").observe(cardinality)
+        return ctx.diffs
+    return _execute_script_traced(script, ctx, counters, recorder)
+
+
+def _execute_script_traced(
+    script: DeltaScript,
+    ctx: IrContext,
+    counters: CounterSet,
+    recorder: "obs.SpanRecorder",
+) -> dict[str, Diff]:
+    """Traced execution: one span per contiguous phase run, one per statement.
+
+    Each phase span's access-count delta equals exactly what the
+    counters attribute to that phase over the same statements, so
+    per-phase sums over a round's phase spans reconcile with the
+    engine's ``MaintenanceReport.phase_counts``.
+    """
+    from contextlib import ExitStack
+
+    stack = ExitStack()
+    open_phase: Optional[str] = None
+    try:
+        for i, step in enumerate(script.steps, start=1):
+            if step.phase != open_phase:
+                stack.close()
+                stack = ExitStack()
+                stack.enter_context(
+                    recorder.span(
+                        f"phase:{step.phase}",
+                        kind="phase",
+                        counters=counters,
+                        phase_of=step.phase,
+                        phase=step.phase,
+                    )
+                )
+                open_phase = step.phase
+            with counters.phase(step.phase):
+                label = (
+                    step.name
+                    if isinstance(step, ComputeDiffStep)
+                    else step.describe().splitlines()[0]
+                )
+                with recorder.span(
+                    f"stmt[{i}]",
+                    kind="stmt",
+                    counters=counters,
+                    phase=step.phase,
+                    step=type(step).__name__,
+                    stmt=label,
+                ) as sp:
+                    step.run(ctx)
+                    cardinality = _step_cardinality(step, ctx)
+                    if cardinality is not None:
+                        sp.set(diff_rows=cardinality)
+                        metrics.histogram("script.stmt_diff_rows").observe(
+                            cardinality
+                        )
+    finally:
+        stack.close()
     return ctx.diffs

@@ -1,0 +1,67 @@
+"""Observability: hierarchical spans, a metrics registry, trace export.
+
+The paper's empirical sections (Figures 10-12, Tables 2-3) attribute
+maintenance cost to phases and operators; this package provides the
+machinery to do the same attribution live, on every maintenance round:
+
+* :mod:`repro.obs.spans` — timed, access-counted spans forming a tree
+  (engine round -> phase -> ∆-script statement -> plan/IR operator);
+* :mod:`repro.obs.metrics` — a process-wide registry of named counters,
+  gauges and histograms (i-diff sizes, cache hit rates, ...);
+* :mod:`repro.obs.trace` — JSONL export of a recorded span tree, schema
+  validation, and a pretty terminal renderer.
+
+Tracing is off by default: with no recorder installed every
+instrumentation site reduces to a single global read, so baseline
+benchmark numbers are unaffected.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+    registry,
+)
+from .spans import (
+    Span,
+    SpanRecorder,
+    current_recorder,
+    current_span,
+    enabled,
+    recording,
+    span,
+)
+from .trace import (
+    load_trace,
+    phase_totals,
+    render_tree,
+    validate_trace,
+    write_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecorder",
+    "counter",
+    "current_recorder",
+    "current_span",
+    "enabled",
+    "gauge",
+    "histogram",
+    "load_trace",
+    "phase_totals",
+    "recording",
+    "registry",
+    "render_tree",
+    "span",
+    "validate_trace",
+    "write_trace",
+]

@@ -1,0 +1,157 @@
+"""Process-wide metrics registry: named counters, gauges, histograms.
+
+Unlike spans (opt-in, per-trace), metrics are always on: they are cheap
+enough to record unconditionally at statement/round granularity — a dict
+lookup plus an integer add — and give the engine a running picture of
+its workload (i-diff sizes per statement, view-reuse cache hit rates,
+modification-log fold ratios).
+
+The catalog of metrics the engine emits is documented in
+``docs/OBSERVABILITY.md``.  All metric objects are created lazily on
+first use, so the registry also serves extensions: any component may
+``metrics.counter("my.metric").inc()`` without registration ceremony.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, n: Number = 1) -> None:
+        self.value += n
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[Number] = None
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max/mean)."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total: Number = 0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+
+    def observe(self, value: Number) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return f"Histogram({self.name!r}, n={self.count}, sum={self.total})"
+
+
+class MetricsRegistry:
+    """Namespace of metrics; one global default instance per process."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Union[Counter, Gauge, Histogram]] = {}
+
+    def _get_or_create(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def as_dict(self) -> dict[str, dict[str, Any]]:
+        """JSON-serializable snapshot of every registered metric."""
+        return {
+            name: metric.as_dict()
+            for name, metric in sorted(self._metrics.items())
+        }
+
+    def reset(self) -> None:
+        """Drop every metric (tests and fresh benchmark rounds)."""
+        self._metrics.clear()
+
+
+_default = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _default
+
+
+def counter(name: str) -> Counter:
+    return _default.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _default.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return _default.histogram(name)

@@ -1,0 +1,270 @@
+"""Trace export: JSONL serialization, validation, terminal rendering.
+
+Trace schema (one JSON object per line)
+---------------------------------------
+The first line is a meta record::
+
+    {"type": "meta", "schema": "repro.trace", "version": 1, "spans": N}
+
+Every following line is a span record::
+
+    {"type": "span", "span_id": int, "parent_id": int|null,
+     "name": str, "kind": str, "start": float, "duration": float,
+     "attrs": {...}, "counts": {"index_lookups": int, "tuple_reads": int,
+                                "tuple_writes": int, "total": int} | null}
+
+Spans appear in creation order, so a parent always precedes its
+children and a stream consumer can rebuild the tree in one pass.
+``counts`` is the access-count delta over the span (cumulative — it
+includes the span's descendants); per-phase sums over ``kind ==
+"phase"`` spans reconcile exactly with the engine's
+``MaintenanceReport.phase_counts`` (see ``docs/OBSERVABILITY.md``).
+
+Run ``python -m repro.obs.trace FILE.jsonl`` to validate a trace file;
+it exits non-zero and prints the violations if the schema is broken.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional, Sequence, Union
+
+from ..storage import AccessCounts
+from .spans import Span, SpanRecorder
+
+SCHEMA_NAME = "repro.trace"
+SCHEMA_VERSION = 1
+
+_SPAN_REQUIRED = {
+    "span_id": int,
+    "name": str,
+    "kind": str,
+    "start": (int, float),
+    "duration": (int, float),
+    "attrs": dict,
+}
+_COUNT_KEYS = ("index_lookups", "tuple_reads", "tuple_writes", "total")
+
+
+def write_trace(recorder: SpanRecorder, path: str) -> int:
+    """Write the recorder's spans as JSONL; returns the span count."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(
+            json.dumps(
+                {
+                    "type": "meta",
+                    "schema": SCHEMA_NAME,
+                    "version": SCHEMA_VERSION,
+                    "spans": len(recorder.spans),
+                }
+            )
+            + "\n"
+        )
+        for sp in recorder.spans:
+            fh.write(json.dumps(sp.as_dict(), default=str) + "\n")
+    return len(recorder.spans)
+
+
+def load_trace(path: str) -> list[dict[str, Any]]:
+    """Parse a JSONL trace back into span records (meta line dropped)."""
+    records = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("type") == "span":
+                records.append(record)
+    return records
+
+
+def validate_trace(path: str) -> list[str]:
+    """Schema-check a trace file; returns a list of violations (empty = ok)."""
+    errors: list[str] = []
+    seen_ids: set[int] = set()
+    meta_seen = False
+    span_count = 0
+    try:
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.readlines()
+    except OSError as exc:
+        return [f"cannot read {path!r}: {exc}"]
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {lineno}: invalid JSON ({exc})")
+            continue
+        kind = record.get("type")
+        if kind == "meta":
+            meta_seen = True
+            if record.get("schema") != SCHEMA_NAME:
+                errors.append(f"line {lineno}: unknown schema {record.get('schema')!r}")
+            continue
+        if kind != "span":
+            errors.append(f"line {lineno}: unknown record type {kind!r}")
+            continue
+        span_count += 1
+        for key, expected in _SPAN_REQUIRED.items():
+            if key not in record:
+                errors.append(f"line {lineno}: span missing key {key!r}")
+            elif not isinstance(record[key], expected):
+                errors.append(
+                    f"line {lineno}: span key {key!r} has type "
+                    f"{type(record[key]).__name__}"
+                )
+        span_id = record.get("span_id")
+        if isinstance(span_id, int):
+            if span_id in seen_ids:
+                errors.append(f"line {lineno}: duplicate span_id {span_id}")
+            seen_ids.add(span_id)
+        parent_id = record.get("parent_id")
+        if parent_id is not None:
+            if not isinstance(parent_id, int):
+                errors.append(f"line {lineno}: parent_id must be int or null")
+            elif parent_id not in seen_ids:
+                # Creation order guarantees parents precede children.
+                errors.append(
+                    f"line {lineno}: parent_id {parent_id} not seen before child"
+                )
+        counts = record.get("counts")
+        if counts is not None:
+            if not isinstance(counts, dict):
+                errors.append(f"line {lineno}: counts must be an object or null")
+            else:
+                for key in _COUNT_KEYS:
+                    if not isinstance(counts.get(key), int):
+                        errors.append(
+                            f"line {lineno}: counts.{key} missing or non-integer"
+                        )
+    if not meta_seen:
+        errors.append("missing meta record (first line)")
+    if span_count == 0:
+        errors.append("trace contains no spans")
+    return errors
+
+
+SpanLike = Union[Span, dict]
+
+
+def _fields(sp: SpanLike) -> tuple[str, str, dict, Optional[dict], float]:
+    """(name, kind, attrs, counts-dict, duration) for a Span or a record."""
+    if isinstance(sp, Span):
+        counts = sp.counts.as_dict() if sp.counts is not None else None
+        return sp.name, sp.kind, sp.attrs, counts, sp.duration
+    return (
+        sp.get("name", "?"),
+        sp.get("kind", "span"),
+        sp.get("attrs", {}),
+        sp.get("counts"),
+        sp.get("duration", 0.0),
+    )
+
+
+def phase_totals(
+    spans: Union[SpanRecorder, Sequence[SpanLike]],
+) -> dict[str, AccessCounts]:
+    """Sum the access counts of ``kind == "phase"`` spans, per phase name.
+
+    Accepts a recorder, a list of :class:`Span`, or loaded trace records.
+    Because the ∆-script executor opens one phase span per contiguous run
+    of same-phase statements, these sums reconcile exactly with the
+    engine's ``MaintenanceReport.phase_counts``.
+    """
+    if isinstance(spans, SpanRecorder):
+        spans = spans.spans
+    totals: dict[str, AccessCounts] = {}
+    for sp in spans:
+        name, kind, attrs, counts, _ = _fields(sp)
+        if kind != "phase" or counts is None:
+            continue
+        phase = attrs.get("phase", name)
+        bucket = totals.setdefault(phase, AccessCounts())
+        bucket.add(AccessCounts.from_dict(counts))
+    return totals
+
+
+def _build_forest(records: Sequence[dict]) -> list[dict]:
+    """Nest flat trace records into trees (adds a ``children`` list)."""
+    by_id: dict[int, dict] = {}
+    roots: list[dict] = []
+    for record in records:
+        record = dict(record)
+        record["children"] = []
+        by_id[record["span_id"]] = record
+        parent = by_id.get(record.get("parent_id"))
+        if parent is not None:
+            parent["children"].append(record)
+        else:
+            roots.append(record)
+    return roots
+
+
+def render_tree(
+    spans: Union[SpanRecorder, Sequence[SpanLike]],
+    max_depth: Optional[int] = None,
+) -> str:
+    """Pretty, indented terminal rendering of a span forest."""
+    if isinstance(spans, SpanRecorder):
+        roots: Sequence[SpanLike] = spans.roots
+    elif spans and isinstance(spans[0], dict) and "children" not in spans[0]:
+        roots = _build_forest(spans)  # flat trace records
+    else:
+        roots = spans
+    lines: list[str] = []
+
+    def visit(sp: SpanLike, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        name, kind, attrs, counts, duration = _fields(sp)
+        pad = "  " * depth
+        bits = [f"{pad}{name}", f"[{kind}]", f"{duration * 1e3:.3f}ms"]
+        if counts is not None:
+            bits.append(
+                "lookups={index_lookups} reads={tuple_reads} "
+                "writes={tuple_writes} total={total}".format(**counts)
+            )
+        shown = {
+            k: v
+            for k, v in attrs.items()
+            if not isinstance(v, (dict, list)) and v is not None
+        }
+        if shown:
+            bits.append(" ".join(f"{k}={v}" for k, v in shown.items()))
+        lines.append("  ".join(bits))
+        children = sp.children if isinstance(sp, Span) else sp.get("children", [])
+        for child in children:
+            visit(child, depth + 1)
+
+    for root in roots:
+        visit(root, 0)
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover
+    """``python -m repro.obs.trace FILE.jsonl`` — validate a trace file."""
+    import sys
+
+    args = list(sys.argv[1:] if argv is None else argv)
+    if len(args) != 1:
+        print("usage: python -m repro.obs.trace FILE.jsonl", file=sys.stderr)
+        return 2
+    errors = validate_trace(args[0])
+    if errors:
+        for err in errors:
+            print(err, file=sys.stderr)
+        return 1
+    records = load_trace(args[0])
+    phases = phase_totals(records)
+    print(f"{args[0]}: ok ({len(records)} spans, {len(phases)} phases)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

@@ -36,6 +36,23 @@ class AccessCounts:
     def copy(self) -> "AccessCounts":
         return AccessCounts(self.index_lookups, self.tuple_reads, self.tuple_writes)
 
+    def as_dict(self) -> dict[str, int]:
+        """JSON-serializable form (used by traces and bench reports)."""
+        return {
+            "index_lookups": self.index_lookups,
+            "tuple_reads": self.tuple_reads,
+            "tuple_writes": self.tuple_writes,
+            "total": self.total,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AccessCounts":
+        return cls(
+            int(data.get("index_lookups", 0)),
+            int(data.get("tuple_reads", 0)),
+            int(data.get("tuple_writes", 0)),
+        )
+
     def __sub__(self, other: "AccessCounts") -> "AccessCounts":
         return AccessCounts(
             self.index_lookups - other.index_lookups,
@@ -114,6 +131,10 @@ class CounterSet:
         out = {name: counts.copy() for name, counts in self.phases.items()}
         out["__total__"] = self.total.copy()
         return out
+
+    def as_dict(self) -> dict[str, dict[str, int]]:
+        """JSON-serializable snapshot: phase name -> count dict."""
+        return {name: counts.as_dict() for name, counts in self.snapshot().items()}
 
 
 @dataclass

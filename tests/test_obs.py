@@ -1,0 +1,238 @@
+"""The observability layer: counters, spans, metrics, traces.
+
+The load-bearing property is *exact reconciliation*: the access-count
+deltas captured by phase spans must sum to precisely what the engine
+reports in ``MaintenanceReport.phase_counts``, and enabling tracing must
+not change any counted cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import TupleIvmEngine
+from repro.core import IdIvmEngine
+from repro.obs import (
+    MetricsRegistry,
+    SpanRecorder,
+    current_recorder,
+    current_span,
+    enabled,
+    phase_totals,
+    recording,
+    span,
+    validate_trace,
+    write_trace,
+)
+from repro.storage import AccessCounts, CounterSet
+from repro.workloads import (
+    DevicesConfig,
+    apply_price_updates,
+    build_aggregate_view,
+    build_devices_database,
+)
+
+CONFIG = DevicesConfig(n_parts=120, n_devices=120, diff_size=25)
+
+
+class TestCounterPhases:
+    def test_innermost_phase_wins(self):
+        counters = CounterSet()
+        with counters.phase("outer"):
+            counters.count_tuple_read()
+            with counters.phase("inner"):
+                counters.count_tuple_read(2)
+                counters.count_index_lookup()
+            counters.count_tuple_write()
+        assert counters.phases["outer"].tuple_reads == 1
+        assert counters.phases["outer"].tuple_writes == 1
+        assert counters.phases["inner"].tuple_reads == 2
+        assert counters.phases["inner"].index_lookups == 1
+        assert "default" not in counters.phases
+
+    def test_grand_total_invariant(self):
+        counters = CounterSet()
+        counters.count_tuple_read()
+        with counters.phase("a"):
+            counters.count_index_lookup(3)
+            with counters.phase("b"):
+                counters.count_tuple_write(2)
+            with counters.phase("a"):
+                counters.count_tuple_read(4)
+        by_phase = AccessCounts()
+        for bucket in counters.phases.values():
+            by_phase.add(bucket)
+        assert by_phase.as_dict() == counters.total.as_dict()
+        assert counters.total.total == 10
+
+    def test_reset_keeps_phase_stack(self):
+        counters = CounterSet()
+        with counters.phase("x"):
+            counters.count_tuple_read()
+            counters.reset()
+            assert counters.total.total == 0
+            assert counters.phases == {}
+            assert counters.current_phase == "x"
+            counters.count_tuple_read()
+        assert counters.phases["x"].tuple_reads == 1
+        assert counters.total.tuple_reads == 1
+
+
+class TestSpans:
+    def test_disabled_by_default(self):
+        assert not enabled()
+        assert current_recorder() is None
+        with span("anything", kind="engine", n=1) as sp:
+            sp.set(ignored=True)  # null span: no-op
+            assert sp.counts is None
+        assert current_span() is None
+
+    def test_recording_installs_and_restores(self):
+        outer = SpanRecorder()
+        with recording(outer) as rec:
+            assert rec is outer
+            assert enabled() and current_recorder() is outer
+            with recording() as inner:
+                assert current_recorder() is inner
+            assert current_recorder() is outer
+        assert current_recorder() is None
+
+    def test_tree_structure_and_walk(self):
+        with recording() as rec:
+            with span("root", kind="engine") as root:
+                with span("child-a"):
+                    with span("leaf"):
+                        pass
+                with span("child-b"):
+                    pass
+        assert rec.roots == [root]
+        assert [sp.name for sp in root.walk()] == [
+            "root", "child-a", "leaf", "child-b",
+        ]
+        assert [sp.parent_id for sp in rec.spans] == [None, 1, 2, 1]
+        assert root.duration >= 0.0
+        assert rec.find(kind="engine") == [root]
+
+    def test_counted_span_captures_total_delta(self):
+        counters = CounterSet()
+        counters.count_tuple_read(5)  # pre-existing counts are excluded
+        with recording():
+            with span("work", counters=counters) as outer:
+                counters.count_index_lookup(2)
+                with span("sub", counters=counters) as sub:
+                    counters.count_tuple_write(3)
+        assert outer.counts.as_dict()["total"] == 5
+        assert sub.counts.total == 3
+        # Exclusive cost subtracts the counted child.
+        assert outer.self_counts().total == 2
+
+    def test_phase_of_captures_bucket_delta(self):
+        counters = CounterSet()
+        with recording():
+            with span("p", counters=counters, phase_of="view_update") as sp:
+                with counters.phase("view_diff"):
+                    counters.count_tuple_read(7)  # other bucket: invisible
+                    with counters.phase("view_update"):
+                        counters.count_tuple_write(2)
+        assert sp.counts.as_dict() == {
+            "index_lookups": 0, "tuple_reads": 0, "tuple_writes": 2, "total": 2,
+        }
+
+    def test_attrs_and_dict_forms(self):
+        with recording():
+            with span("x", kind="stmt", phase="view_diff") as sp:
+                sp.set(rows=3)
+        record = sp.as_dict()
+        assert record["attrs"] == {"phase": "view_diff", "rows": 3}
+        assert record["counts"] is None
+        tree = sp.tree_dict()
+        assert tree["children"] == []
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(4)
+        reg.gauge("g").set(2.5)
+        for v in (1, 2, 3):
+            reg.histogram("h").observe(v)
+        out = reg.as_dict()
+        assert out["c"]["value"] == 5
+        assert out["g"]["value"] == 2.5
+        assert out["h"]["count"] == 3
+        assert out["h"]["sum"] == 6
+        assert out["h"]["min"] == 1 and out["h"]["max"] == 3
+        assert out["h"]["mean"] == 2.0
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(TypeError):
+            reg.gauge("m")
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(9)
+        reg.reset()
+        assert reg.counter("c").as_dict()["value"] == 0
+
+
+def _run_round(engine_cls, recorder=None):
+    db = build_devices_database(CONFIG)
+    engine = engine_cls(db)
+    engine.define_view("V", build_aggregate_view(db, CONFIG))
+    apply_price_updates(engine, db, CONFIG)
+    if recorder is None:
+        return engine.maintain()["V"]
+    with recording(recorder):
+        return engine.maintain()["V"]
+
+
+@pytest.mark.parametrize("engine_cls", [IdIvmEngine, TupleIvmEngine])
+class TestReconciliation:
+    def test_phase_spans_match_engine_totals(self, engine_cls):
+        recorder = SpanRecorder()
+        report = _run_round(engine_cls, recorder)
+        spans = recorder.find(kind="phase")
+        assert spans, "maintenance round recorded no phase spans"
+        summed: dict[str, AccessCounts] = {}
+        for sp in spans:
+            summed.setdefault(sp.attrs["phase"], AccessCounts()).add(sp.counts)
+        engine_counts = {
+            name: counts
+            for name, counts in report.phase_counts.items()
+            if name != "__total__"
+        }
+        for name, counts in engine_counts.items():
+            if counts.total == 0:
+                continue
+            assert summed[name].as_dict() == counts.as_dict(), name
+        for name, counts in summed.items():
+            assert counts.total == engine_counts.get(name, AccessCounts()).total
+
+    def test_tracing_is_count_neutral(self, engine_cls):
+        baseline = _run_round(engine_cls)
+        traced = _run_round(engine_cls, SpanRecorder())
+        assert traced.total_cost == baseline.total_cost
+        assert {
+            n: c.as_dict() for n, c in traced.phase_counts.items()
+        } == {n: c.as_dict() for n, c in baseline.phase_counts.items()}
+
+
+class TestTraceFile:
+    def test_write_validate_and_phase_totals(self, tmp_path):
+        recorder = SpanRecorder()
+        report = _run_round(IdIvmEngine, recorder)
+        path = tmp_path / "round.jsonl"
+        n = write_trace(recorder, str(path))
+        assert n == len(recorder.spans)
+        assert validate_trace(str(path)) == []
+        totals = phase_totals(sp.as_dict() for sp in recorder.spans)
+        for name, counts in totals.items():
+            if name not in report.phase_counts:
+                # A phase can run without counting anything (e.g. a
+                # cache_diff that is statically empty).
+                assert counts.total == 0, name
+                continue
+            assert counts.as_dict() == report.phase_counts[name].as_dict()
