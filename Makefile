@@ -1,14 +1,21 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke bench
+.PHONY: test test-sharded smoke bench
 
 test:
 	$(PYTHON) -m pytest -x -q
 
+# Equivalence tests at an explicit shard count (the CI matrix leg).
+REPRO_SHARDS ?= 1,2,4,8
+test-sharded:
+	REPRO_SHARDS=$(REPRO_SHARDS) $(PYTHON) -m pytest tests/test_sharded.py -x -q
+
 smoke:
 	$(PYTHON) -m repro demo --trace /tmp/repro_trace.jsonl
 	$(PYTHON) -m repro.obs.trace /tmp/repro_trace.jsonl
+	$(PYTHON) -m repro demo --shards 4
+	$(PYTHON) -m pytest benchmarks/bench_parallel_shards.py --benchmark-disable -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks --benchmark-disable -q

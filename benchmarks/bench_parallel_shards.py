@@ -1,0 +1,179 @@
+"""Shard-parallel maintenance scaling at N ∈ {1, 2, 4, 8} shards.
+
+What this measures — and what it honestly cannot.  The devices flat view
+under price updates routes *parallel* (anchor ``parts``), so the sharded
+engine runs N workers over disjoint i-diff row partitions.  On CPython
+the workers share the GIL (and this container has one CPU), so
+**wall-clock speedup is not achievable here and is reported without any
+assertion on it**.  The metric that *is* asserted is the access-count
+critical path — the busiest shard's total, i.e. the cost a worker would
+pay on real parallel hardware.  Correctness is asserted in full: view
+contents byte-identical across every shard count and equal to the
+recompute oracle, and the merged per-phase access counts of every N
+reconciling exactly with the single-shard run (no duplicated, no lost
+work).
+"""
+
+from __future__ import annotations
+
+import time
+from functools import lru_cache
+
+from conftest import write_bench_json
+
+from repro.algebra.evaluate import evaluate_plan
+from repro.core import IdIvmEngine, ShardedEngine
+from repro.workloads import DevicesConfig, apply_price_updates, build_devices_database
+from repro.workloads.devices import build_flat_view
+
+SHARD_COUNTS = (1, 2, 4, 8)
+
+CONFIG = DevicesConfig(n_parts=800, n_devices=800, diff_size=160)
+
+
+def _run_once(n_shards: int):
+    """One maintenance round of the flat view at *n_shards* shards."""
+    db = build_devices_database(CONFIG)
+    if n_shards == 0:  # the plain (unsharded) engine, as the oracle run
+        engine = IdIvmEngine(db)
+    else:
+        engine = ShardedEngine(db, shards=n_shards)
+    view = engine.define_view("V", build_flat_view(db, CONFIG))
+    apply_price_updates(engine, db, CONFIG)
+    started = time.perf_counter()
+    report = engine.maintain()["V"]
+    wall = time.perf_counter() - started
+    oracle = evaluate_plan(view.plan, db).as_set()
+    return {
+        "report": report,
+        "wall_seconds": wall,
+        "rows": sorted(view.table.rows_uncounted()),
+        "correct": view.table.as_set() == oracle,
+    }
+
+
+def _phase_totals(report) -> dict[str, dict[str, int]]:
+    """Zero-filtered per-phase breakdown, comparable across engines."""
+    return {
+        name: counts.as_dict()
+        for name, counts in report.phase_counts.items()
+        if counts.total or counts.index_maintenance
+    }
+
+
+@lru_cache(maxsize=1)
+def scaling():
+    baseline = _run_once(0)
+    points = {}
+    for n in SHARD_COUNTS:
+        run = _run_once(n)
+        report = run["report"]
+        per_shard = [r.total_cost for r in report.shard_reports]
+        points[n] = {
+            "run": run,
+            "parallel": report.parallel,
+            "anchor": report.anchor,
+            "broadcast_reason": report.broadcast_reason,
+            "merged_total": report.total_cost,
+            "per_shard_totals": per_shard,
+            "critical_path": report.critical_path(),
+            "wall_seconds": run["wall_seconds"],
+        }
+    return baseline, points
+
+
+def _print_table():
+    baseline, points = scaling()
+    print()
+    print(f"parallel shards — devices flat view, d={CONFIG.diff_size} "
+          f"(baseline total {baseline['report'].total_cost} accesses)")
+    print(f"{'N':>2}  {'route':>9}  {'total':>6}  {'critical':>8}  "
+          f"{'scale':>6}  {'wall_s':>8}  per-shard")
+    for n in SHARD_COUNTS:
+        p = points[n]
+        route = f"par:{p['anchor']}" if p["parallel"] else "broadcast"
+        scale = p["merged_total"] / max(p["critical_path"], 1)
+        print(f"{n:>2}  {route:>9}  {p['merged_total']:>6}  "
+              f"{p['critical_path']:>8}  {scale:>6.2f}  "
+              f"{p['wall_seconds']:>8.4f}  {p['per_shard_totals']}")
+
+
+def _assert_scaling():
+    baseline, points = scaling()
+    assert baseline["correct"], "unsharded engine produced a wrong view"
+    base_total = baseline["report"].total_cost
+    base_phases = _phase_totals(baseline["report"])
+    for n in SHARD_COUNTS:
+        p = points[n]
+        run = p["run"]
+        assert run["correct"], f"N={n}: view does not match the oracle"
+        assert run["rows"] == baseline["rows"], f"N={n}: view contents differ"
+        # Exact access-count reconciliation: merged shard counts equal
+        # the single-shard run, phase by phase.
+        assert p["merged_total"] == base_total, (
+            f"N={n}: merged total {p['merged_total']} != baseline {base_total}"
+        )
+        assert _phase_totals(run["report"]) == base_phases, (
+            f"N={n}: per-phase counts do not reconcile"
+        )
+        if n >= 2:
+            assert p["parallel"], (
+                f"N={n}: flat view should route parallel, "
+                f"got broadcast ({p['broadcast_reason']})"
+            )
+            assert sum(p["per_shard_totals"]) == base_total
+    # The honest scaling claim: at 4 shards the busiest shard carries
+    # substantially less than the whole round.
+    assert points[4]["critical_path"] <= 0.6 * base_total, (
+        f"critical path {points[4]['critical_path']} not < 60% of {base_total}"
+    )
+    assert points[8]["critical_path"] <= points[1]["critical_path"]
+
+
+def test_parallel_shards(benchmark):
+    _print_table()
+    _assert_scaling()
+    baseline, points = scaling()
+    write_bench_json(
+        "parallel_shards",
+        {
+            "workload": "devices flat view, price updates",
+            "config": {
+                "n_parts": CONFIG.n_parts,
+                "n_devices": CONFIG.n_devices,
+                "diff_size": CONFIG.diff_size,
+            },
+            "note": (
+                "wall_seconds is informational only: CPython's GIL (and a "
+                "single-CPU container) serializes the workers; critical_path "
+                "(max per-shard accesses) is the asserted scaling metric"
+            ),
+            "baseline_total": baseline["report"].total_cost,
+            "points": [
+                {
+                    "shards": n,
+                    "parallel": points[n]["parallel"],
+                    "anchor": points[n]["anchor"],
+                    "merged_total": points[n]["merged_total"],
+                    "per_shard_totals": points[n]["per_shard_totals"],
+                    "critical_path": points[n]["critical_path"],
+                    "scale_factor": round(
+                        points[n]["merged_total"]
+                        / max(points[n]["critical_path"], 1),
+                        3,
+                    ),
+                    "wall_seconds": round(points[n]["wall_seconds"], 6),
+                }
+                for n in SHARD_COUNTS
+            ],
+        },
+    )
+
+    def setup():
+        db = build_devices_database(CONFIG)
+        engine = ShardedEngine(db, shards=4)
+        engine.define_view("V", build_flat_view(db, CONFIG))
+        apply_price_updates(engine, db, CONFIG)
+        return (engine,), {}
+
+    benchmark.pedantic(lambda engine: engine.maintain(), setup=setup, rounds=3)

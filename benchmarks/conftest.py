@@ -78,7 +78,10 @@ def write_bench_json(name: str, data: object) -> Path:
         "data": data,
     }
     path = REPO_ROOT / f"BENCH_{name}.json"
-    path.write_text(json.dumps(payload, indent=2, default=_jsonable) + "\n")
+    # sort_keys: byte-identical output for identical runs (diffable in CI).
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True, default=_jsonable) + "\n"
+    )
     return path
 
 

@@ -160,14 +160,34 @@ def _evaluate_semi_like(node, db: Database, negated: bool) -> Relation:
     return Relation(node.columns, rows)
 
 
-class _Accumulator:
-    """Streaming accumulation of one group's aggregates."""
+def _lt(a, b) -> bool:
+    """Total ``a < b`` for min/max: mixed-type values (which Python 3
+    refuses to compare) fall back to the same deterministic type-aware
+    order :func:`repro.storage.table.sort_rows` uses, instead of raising
+    ``TypeError`` mid-aggregation."""
+    try:
+        return a < b
+    except TypeError:
+        return (str(type(a)), repr(a)) < (str(type(b)), repr(b))
 
-    __slots__ = ("sums", "counts", "mins", "maxs", "n")
+
+class _Accumulator:
+    """Streaming accumulation of one group's aggregates.
+
+    SQL NULL semantics: ``NULL`` is invisible to every aggregate except
+    ``count(*)`` — it never enters a sum, a comparison, or a ``count(col)``.
+    ``sum``/``avg`` additionally keep their own *numeric* count, so a
+    stray non-numeric value cannot leave ``counts`` and ``sums`` out of
+    step (which would silently skew ``avg`` and resurrect an all-NULL
+    ``sum`` as 0).
+    """
+
+    __slots__ = ("sums", "counts", "nums", "mins", "maxs", "n")
 
     def __init__(self, n_aggs: int):
         self.sums = [0] * n_aggs
         self.counts = [0] * n_aggs
+        self.nums = [0] * n_aggs
         self.mins: list = [None] * n_aggs
         self.maxs: list = [None] * n_aggs
         self.n = 0
@@ -178,20 +198,21 @@ class _Accumulator:
             if v is None:
                 continue
             self.counts[i] += 1
-            if isinstance(v, (int, float)):
+            if isinstance(v, (int, float)) and not isinstance(v, bool):
                 self.sums[i] += v
-            if self.mins[i] is None or v < self.mins[i]:
+                self.nums[i] += 1
+            if self.mins[i] is None or _lt(v, self.mins[i]):
                 self.mins[i] = v
-            if self.maxs[i] is None or v > self.maxs[i]:
+            if self.maxs[i] is None or _lt(self.maxs[i], v):
                 self.maxs[i] = v
 
     def result(self, agg: AggSpec, i: int):
         if agg.func == "sum":
-            return self.sums[i] if self.counts[i] else None
+            return self.sums[i] if self.nums[i] else None
         if agg.func == "count":
             return self.n if agg.arg is None else self.counts[i]
         if agg.func == "avg":
-            return self.sums[i] / self.counts[i] if self.counts[i] else None
+            return self.sums[i] / self.nums[i] if self.nums[i] else None
         if agg.func == "min":
             return self.mins[i]
         if agg.func == "max":

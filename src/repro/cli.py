@@ -29,7 +29,7 @@ from .algebra.explain import explain_analyze, explain_plan
 from .obs import recording, write_trace
 from .baselines import TupleIvmEngine
 from .bench import SweepPoint, SystemResult, format_figure10, format_sweep, run_system
-from .core import IdIvmEngine
+from .core import IdIvmEngine, ShardedEngine
 from .sql import sql_to_plan
 from .storage import Database
 from .workloads import (
@@ -44,6 +44,13 @@ from .workloads import (
 )
 
 
+def _id_engine_factory(shards: int):
+    """The idIVM engine constructor honouring ``--shards N``."""
+    if shards > 1:
+        return lambda db: ShardedEngine(db, shards=shards)
+    return IdIvmEngine
+
+
 def demo_database() -> Database:
     """The Figure 1 instance, used by ``demo`` and ``explain``."""
     db = Database()
@@ -56,10 +63,10 @@ def demo_database() -> Database:
     return db
 
 
-def cmd_demo(_args: argparse.Namespace) -> int:
+def cmd_demo(args: argparse.Namespace) -> int:
     """``repro demo``: the running example end to end."""
     db = demo_database()
-    engine = IdIvmEngine(db)
+    engine = _id_engine_factory(args.shards)(db)
     view = engine.define_view(
         "V_prime",
         sql_to_plan(
@@ -79,6 +86,10 @@ def cmd_demo(_args: argparse.Namespace) -> int:
     report = engine.maintain()["V_prime"]
     print("After the Figure 2 update (P1: 10 -> 11):", sorted(view.table.as_set()))
     print(f"maintenance cost: {report.total_cost} accesses")
+    if getattr(report, "parallel", False):
+        print(f"route: parallel across {args.shards} shards (anchor {report.anchor})")
+    elif getattr(report, "broadcast_reason", None):
+        print(f"route: broadcast ({report.broadcast_reason})")
     return 0
 
 
@@ -123,7 +134,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         kwargs[field] = value  # the swept parameter wins (e.g. --param d)
         config = DevicesConfig(**kwargs)
         results: dict[str, SystemResult] = {}
-        for label, factory in (("idIVM", IdIvmEngine), ("tuple", TupleIvmEngine)):
+        for label, factory in (
+            ("idIVM", _id_engine_factory(args.shards)),
+            ("tuple", TupleIvmEngine),
+        ):
             results[label] = run_system(
                 label,
                 db_factory=lambda: build_devices_database(config),
@@ -152,7 +166,10 @@ def cmd_bsma(args: argparse.Namespace) -> int:
     rows = []
     for name, build in BSMA_QUERIES.items():
         costs = {}
-        for label, factory in (("id", IdIvmEngine), ("tuple", TupleIvmEngine)):
+        for label, factory in (
+            ("id", _id_engine_factory(args.shards)),
+            ("tuple", TupleIvmEngine),
+        ):
             db = build_bsma_database(config)
             engine = factory(db)
             engine.define_view(name, build(db, config))
@@ -206,6 +223,12 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="FILE.jsonl",
             default=None,
             help="record a JSONL span trace of every maintenance round",
+        )
+        traced.add_argument(
+            "--shards",
+            type=int,
+            default=1,
+            help="run the idIVM engine shard-parallel across N workers",
         )
     return parser
 

@@ -20,6 +20,7 @@ from .idinfer import annotate_plan, node_by_id
 from .modlog import ModificationLog, populate_instances, schema_instance_name
 from .schema_gen import conditional_attribute_groups, generate_base_schemas
 from .script import DeltaScript, execute_script
+from .sharded import ShardedEngine, ShardedMaintenanceReport
 
 __all__ = [
     "AppliedChanges",
@@ -35,6 +36,8 @@ __all__ = [
     "MaterializedView",
     "ModificationLog",
     "ScriptGenerator",
+    "ShardedEngine",
+    "ShardedMaintenanceReport",
     "UPDATE",
     "annotate_plan",
     "apply_diff",

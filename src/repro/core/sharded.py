@@ -1,0 +1,251 @@
+"""Shard-parallel maintenance: :class:`ShardedEngine`.
+
+A drop-in :class:`~repro.core.engine.IdIvmEngine` that runs each
+maintenance round across N shard workers when the round's ∆-script is
+provably shard-local (see :mod:`repro.shard.router`), and falls back to
+a single global execution (*broadcast* — bit-for-bit the base engine's
+behaviour) otherwise.
+
+The sharding model is **shared-database**: there is exactly one live
+:class:`~repro.storage.Database`; what gets partitioned is the round's
+i-diff *instance rows*, split by anchor key.  Every worker executes the
+full ∆-script over its row subset in a private :class:`IrContext`.
+Because the router proved every counted operation anchor-local, the
+workers read and write disjoint rows of the shared caches and view,
+the union of their outputs equals the single-shard result, and their
+access counts — routed into per-shard :class:`CounterSet`\\ s by
+:class:`~repro.shard.ShardRoutingCounters` — sum *exactly* to the
+single-shard counts.
+
+Thread-safety notes: counted table writes and index builds take the
+table's lock; span-id allocation is locked; per-shard counters are
+thread-private.  Metric counter increments from workers may race (a
+lost increment of a monitoring gauge), which is accepted — access
+counts, the paper's metric, never travel that path.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import SchemaError, UnknownTableError
+from ..obs import metrics
+from ..obs import spans as obs
+from ..shard.counters import ShardRoutingCounters
+from ..shard.router import RoutePlan, describe_plan, plan_route, split_instances
+from ..storage import CounterSet, Database
+from .engine import IdIvmEngine, MaintenanceReport, MaterializedView, _reconstruct_pre
+from .ir_exec import IrContext
+from .modlog import populate_instances
+from .script import execute_script
+
+
+@dataclass
+class ShardedMaintenanceReport(MaintenanceReport):
+    """A round report plus how it was routed.
+
+    ``phase_counts`` holds the *merged* per-phase counts (shard sums in
+    shard order for parallel rounds); ``shard_reports`` keeps each
+    worker's own report for critical-path analysis.
+    """
+
+    parallel: bool = False
+    anchor: Optional[str] = None
+    broadcast_reason: Optional[str] = None
+    shard_reports: list[MaintenanceReport] = field(default_factory=list)
+
+    def critical_path(self) -> int:
+        """The busiest shard's cost — the parallel wall-clock proxy.
+
+        For broadcast rounds this is the whole round's cost (one worker
+        did everything).
+        """
+        if not self.shard_reports:
+            return self.total_cost
+        return max(r.total_cost for r in self.shard_reports)
+
+
+class ShardedEngine(IdIvmEngine):
+    """ID-based IVM with hash-partitioned parallel ∆-script execution."""
+
+    def __init__(
+        self,
+        db: Database,
+        shards: int = 2,
+        max_workers: Optional[int] = None,
+        **kwargs,
+    ):
+        if shards < 1:
+            raise SchemaError(f"need at least one shard, got {shards}")
+        self.shards = shards
+        self.max_workers = max_workers
+        # Install the routing counter facade BEFORE the base constructor
+        # so every table created from here on (caches, opcaches) counts
+        # through it.
+        self._router = ShardRoutingCounters.install(db)
+        super().__init__(db, **kwargs)
+
+    # ------------------------------------------------------------------
+    def maintain(self, name: Optional[str] = None) -> dict[str, MaintenanceReport]:
+        """Bring the named view (default: all) up to date, routing each
+        round to parallel shard workers when provably safe."""
+        targets = [name] if name is not None else list(self.views)
+        entries = self.log.take()
+        counters = self.db.counters
+        metrics.counter("engine.maintain_rounds").inc()
+        metrics.histogram("engine.log_entries").observe(len(entries))
+        with obs.span(
+            "maintain",
+            kind="engine",
+            counters=counters,
+            engine=type(self).__name__,
+            n_log_entries=len(entries),
+            views=",".join(targets),
+            shards=self.shards,
+        ):
+            with obs.span("reconstruct_pre", kind="engine", counters=counters):
+                db_pre = _reconstruct_pre(self.db, entries)
+            reports: dict[str, MaintenanceReport] = {}
+            for view_name in targets:
+                view = self.views.get(view_name)
+                if view is None:
+                    raise UnknownTableError(f"no view named {view_name!r}")
+                with obs.span(
+                    f"view:{view_name}", kind="view", counters=counters,
+                    view=view_name,
+                ) as vsp:
+                    instances = populate_instances(
+                        view.generated.base_schemas, entries, db_pre
+                    )
+                    plan = plan_route(
+                        view.generated.script, instances, self.db, self.shards
+                    )
+                    if plan.parallel:
+                        metrics.counter("shard.rounds_parallel").inc()
+                        report = self._maintain_parallel(
+                            view, view_name, instances, db_pre, entries, plan
+                        )
+                    else:
+                        metrics.counter("shard.rounds_broadcast").inc()
+                        report = self._maintain_broadcast(
+                            view, view_name, instances, db_pre, entries, plan
+                        )
+                    reports[view_name] = report
+                    vsp.set(
+                        total_cost=report.total_cost,
+                        route=describe_plan(plan),
+                        phase_counts={
+                            phase: counts.as_dict()
+                            for phase, counts in report.phase_counts.items()
+                            if phase != "__total__"
+                        },
+                    )
+                metrics.histogram("engine.round_cost").observe(report.total_cost)
+        return reports
+
+    # ------------------------------------------------------------------
+    def _fresh_context(
+        self, view: MaterializedView, instances, db_pre: Database, entries
+    ) -> IrContext:
+        ctx = IrContext(
+            db_pre, self.db, diffs=instances, caches=view.caches
+        )
+        ctx.operator_caches = view.operator_caches
+        modified = {entry.table for entry in entries}
+        ctx.unchanged_tables = set(self.db.table_names()) - modified
+        return ctx
+
+    def _maintain_broadcast(
+        self,
+        view: MaterializedView,
+        view_name: str,
+        instances,
+        db_pre: Database,
+        entries,
+        plan: RoutePlan,
+    ) -> ShardedMaintenanceReport:
+        """One global execution — exactly the base engine's round."""
+        counters = self.db.counters
+        ctx = self._fresh_context(view, instances, db_pre, entries)
+        before = counters.snapshot()
+        execute_script(view.generated.script, ctx, counters)
+        after = counters.snapshot()
+        report = ShardedMaintenanceReport(
+            view_name, parallel=False, broadcast_reason=plan.reason
+        )
+        for phase, counts in after.items():
+            prior = before.get(phase)
+            report.phase_counts[phase] = (
+                counts - prior if prior is not None else counts
+            )
+        report.diff_sizes = {k: len(v) for k, v in ctx.diffs.items()}
+        return report
+
+    def _maintain_parallel(
+        self,
+        view: MaterializedView,
+        view_name: str,
+        instances,
+        db_pre: Database,
+        entries,
+        plan: RoutePlan,
+    ) -> ShardedMaintenanceReport:
+        """Split instance rows by anchor key; one worker per shard."""
+        router = self._router
+        n = self.shards
+        script = view.generated.script
+        shard_instances = split_instances(plan, instances, n)
+        shard_counters = [CounterSet() for _ in range(n)]
+        contexts = [
+            self._fresh_context(view, shard_instances[i], db_pre, entries)
+            for i in range(n)
+        ]
+
+        def run_shard(i: int) -> None:
+            sc = shard_counters[i]
+            with router.activate(sc):
+                with obs.span(
+                    f"shard:{i}", kind="shard", counters=sc,
+                    shard=i, view=view_name, anchor=plan.anchor,
+                ):
+                    execute_script(script, contexts[i], sc)
+
+        workers = min(self.max_workers or n, n)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            # copy_context() per submission: each worker's spans parent
+            # under the current view span.
+            futures = [
+                pool.submit(contextvars.copy_context().run, run_shard, i)
+                for i in range(n)
+            ]
+            for future in futures:
+                future.result()
+
+        report = ShardedMaintenanceReport(
+            view_name, parallel=True, anchor=plan.anchor
+        )
+        merged_sizes: dict[str, int] = {}
+        for i, sc in enumerate(shard_counters):
+            snapshot = sc.snapshot()
+            shard_report = MaintenanceReport(f"{view_name}@shard{i}")
+            shard_report.phase_counts = snapshot
+            shard_report.diff_sizes = {
+                k: len(v) for k, v in contexts[i].diffs.items()
+            }
+            report.shard_reports.append(shard_report)
+            for phase, counts in snapshot.items():
+                bucket = report.phase_counts.get(phase)
+                if bucket is None:
+                    report.phase_counts[phase] = counts.copy()
+                else:
+                    bucket.add(counts)
+            for k, v in shard_report.diff_sizes.items():
+                merged_sizes[k] = merged_sizes.get(k, 0) + v
+            # Keep the database-wide totals truthful: fold each worker's
+            # counts into the base counter set.
+            ShardRoutingCounters.fold(router.base, sc)
+        report.diff_sizes = merged_sizes
+        return report

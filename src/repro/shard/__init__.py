@@ -1,0 +1,27 @@
+"""Shard-parallel i-diff maintenance: routing, splitting, counter fan-out.
+
+The shared-database sharding model: one live :class:`~repro.storage.Database`
+serves every shard; what gets partitioned per maintenance round is the set
+of *i-diff instance rows*.  :func:`plan_route` statically analyses a
+∆-script against the round's instances and either proves that splitting
+the rows by an *anchor key* keeps every counted operation shard-local
+(``parallel``) or falls back to a single global execution (``broadcast``
+— always correct, never slower).  :func:`split_instances` performs the
+row split; :class:`ShardRoutingCounters` routes each worker thread's
+access counts into its own :class:`~repro.storage.CounterSet` so per-shard
+costs merge back deterministically.
+
+See ``docs/SHARDING.md`` for the locality argument.
+"""
+
+from .counters import ShardRoutingCounters
+from .router import RoutePlan, plan_route, split_instances
+from ..storage.partition import shard_of
+
+__all__ = [
+    "RoutePlan",
+    "ShardRoutingCounters",
+    "plan_route",
+    "shard_of",
+    "split_instances",
+]

@@ -1,0 +1,115 @@
+"""Thread-routing counter fan-out for shard-parallel maintenance.
+
+Every :class:`~repro.storage.Table` holds a reference to its database's
+:class:`~repro.storage.CounterSet`, captured at construction.  To give
+each shard worker its own counters *without* rebuilding the table graph
+per round, the sharded engine swaps the database's counter set for a
+:class:`ShardRoutingCounters`: a ``CounterSet`` whose state (total,
+phase buckets, phase stack) is a set of properties delegating to a
+thread-local *target* — the shard's private ``CounterSet`` inside a
+worker, the original base ``CounterSet`` everywhere else.
+
+Because the delegation happens at the attribute level, every inherited
+``CounterSet`` method (``count_*``, ``phase``, ``snapshot``, ``reset``)
+works unchanged against the active target; single-threaded code paths
+(including the plain :class:`~repro.core.IdIvmEngine` run over the same
+database) behave exactly as before.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+from ..storage import AccessCounts, CounterSet
+
+
+class ShardRoutingCounters(CounterSet):
+    """A :class:`CounterSet` facade routing to a per-thread target."""
+
+    def __init__(self, base: CounterSet):
+        # Deliberately does NOT call CounterSet.__init__: total / phases /
+        # _stack are properties over the routed target instead of own state.
+        self._base = base
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    @property
+    def base(self) -> CounterSet:
+        """The fallback target (the database's original counter set)."""
+        return self._base
+
+    def _target(self) -> CounterSet:
+        target = getattr(self._local, "target", None)
+        return target if target is not None else self._base
+
+    @contextmanager
+    def activate(self, target: CounterSet) -> Iterator[None]:
+        """Route this thread's counts into *target* for the block."""
+        previous = getattr(self._local, "target", None)
+        self._local.target = target
+        try:
+            yield
+        finally:
+            self._local.target = previous
+
+    # ------------------------------------------------------------------
+    # routed state: everything CounterSet methods touch
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> AccessCounts:
+        return self._target().total
+
+    @total.setter
+    def total(self, value: AccessCounts) -> None:  # reset() assigns
+        self._target().total = value
+
+    @property
+    def phases(self) -> dict[str, AccessCounts]:
+        return self._target().phases
+
+    @phases.setter
+    def phases(self, value: dict[str, AccessCounts]) -> None:  # reset()
+        self._target().phases = value
+
+    @property
+    def _stack(self) -> list[str]:
+        return self._target()._stack
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def install(cls, db) -> "ShardRoutingCounters":
+        """Swap *db*'s counters (and every table's reference) for a router.
+
+        Idempotent: a database that already routes keeps its router, so
+        several engines can share one database.
+        """
+        if isinstance(db.counters, cls):
+            router = db.counters
+        else:
+            router = cls(db.counters)
+            db.counters = router
+        for table in db.tables.values():
+            table.counters = router
+        return router
+
+    @staticmethod
+    def fold(base: CounterSet, shard: CounterSet) -> None:
+        """Add a shard's counts into *base*, phase by phase.
+
+        Called after a parallel round so database-wide totals stay
+        truthful (the grand total equals what a single-shard run would
+        have accumulated).
+        """
+        for name, counts in shard.phases.items():
+            bucket = base.phases.get(name)
+            if bucket is None:
+                bucket = AccessCounts()
+                base.phases[name] = bucket
+            bucket.add(counts)
+        base.total.add(shard.total)
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        routed = getattr(self._local, "target", None) is not None
+        return f"ShardRoutingCounters(routed={routed})"

@@ -20,14 +20,26 @@ FORMAT_VERSION = 1
 
 
 def database_to_dict(db: Database) -> dict:
-    """Plain-dict snapshot of schemas, rows and foreign keys."""
+    """Plain-dict snapshot of schemas, rows, indexes and foreign keys.
+
+    Secondary-index column sets and the ``auto_index`` setting are
+    persisted so a restored database probes exactly like the original
+    (an ``auto_index=False`` database would otherwise silently fall back
+    to counted full scans).  Index *contents* are never serialized —
+    restore rebuilds them from the rows, so stale entries cannot survive
+    a round trip.
+    """
     return {
         "format": FORMAT_VERSION,
+        "auto_index": db.auto_index,
         "tables": [
             {
                 "name": table.schema.name,
                 "columns": list(table.schema.columns),
                 "key": list(table.schema.key),
+                "indexes": sorted(
+                    list(columns) for columns in table._indexes
+                ),
                 "rows": [list(row) for row in table.rows_uncounted()],
             }
             for table in db.tables.values()
@@ -50,10 +62,16 @@ def database_from_dict(payload: dict) -> Database:
             f"unsupported snapshot format {payload.get('format')!r}; "
             f"expected {FORMAT_VERSION}"
         )
-    db = Database()
+    db = Database(auto_index=bool(payload.get("auto_index", True)))
     for spec in payload["tables"]:
         table = db.create_table(spec["name"], spec["columns"], spec["key"])
         table.load(tuple(row) for row in spec["rows"])
+        # Rebuild secondary indexes from the loaded rows (pre-1.1
+        # snapshots carry no "indexes" field; auto_index re-creates them
+        # lazily for those).  Counters start at zero: neither the bulk
+        # load nor the index builds are maintenance cost.
+        for columns in spec.get("indexes", []):
+            table.create_index(columns)
     for fk in payload.get("foreign_keys", []):
         db.add_foreign_key(
             fk["child_table"], fk["child_columns"], fk["parent_table"]

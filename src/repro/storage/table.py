@@ -8,14 +8,26 @@ Access-count policy (matching the paper's Section 6 / Appendix A model):
 * a full scan of ``n`` rows costs ``n`` tuple reads;
 * writing a row (insert / in-place update / delete) costs one index lookup
   (to locate the slot) plus one tuple write;
-* secondary-index maintenance is *not* counted — the paper explicitly grants
-  the tuple-based baseline free index maintenance ("without counting the
-  associated index maintenance cost", Section 7.2) and we extend the same
-  courtesy to every approach.
+* secondary-index maintenance does not enter the paper's cost metric — the
+  paper explicitly grants the tuple-based baseline free index maintenance
+  ("without counting the associated index maintenance cost", Section 7.2)
+  and we extend the same courtesy to every approach.  Counted write paths
+  nevertheless *track* every index-entry mutation in the separate
+  ``index_maintenance`` counter (excluded from ``AccessCounts.total``), so
+  the work is visible and reconcilable; ``*_uncounted`` paths touch no
+  counter at all and must stay exactly count-neutral.
+
+Concurrency: tables may be shared by the shard-parallel engine
+(:mod:`repro.core.sharded`).  Structural mutations (row writes, index
+builds) hold a per-table re-entrant lock; bucket lookups hand out copies.
+Point reads stay lock-free — the shard router only parallelizes rounds
+whose reads and writes are disjoint per shard, and full scans only happen
+on tables no shard is writing (base tables, or broadcast rounds).
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from ..errors import IntegrityError, SchemaError
@@ -40,15 +52,17 @@ class _SecondaryIndex:
         self.buckets.setdefault(self.value_of(row), set()).add(key)
 
     def remove(self, key: tuple, row: tuple) -> None:
-        value = self.value_of(row)
-        bucket = self.buckets.get(value)
+        # Empty buckets are left in place: deleting the dict entry races
+        # with a concurrent ``setdefault`` in :meth:`add` (the adder can
+        # obtain the doomed set and lose its addition).
+        bucket = self.buckets.get(self.value_of(row))
         if bucket is not None:
             bucket.discard(key)
-            if not bucket:
-                del self.buckets[value]
 
     def get(self, value: tuple) -> set[tuple]:
-        return self.buckets.get(value, set())
+        # A copy, so callers never iterate a set a writer is mutating.
+        bucket = self.buckets.get(value)
+        return set(bucket) if bucket else set()
 
 
 class Table:
@@ -71,6 +85,10 @@ class Table:
         self.auto_index = auto_index
         self._rows: dict[tuple, tuple] = {}
         self._indexes: dict[tuple[str, ...], _SecondaryIndex] = {}
+        # Guards structural mutation (row writes, index builds) when the
+        # table is shared across shard worker threads.  Re-entrant: a
+        # locked read path may trigger an auto-index build.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # introspection
@@ -96,10 +114,13 @@ class Table:
             return
         for c in columns:
             self.schema.position(c)  # validates
-        index = _SecondaryIndex(self.schema, columns)
-        for key, row in self._rows.items():
-            index.add(key, row)
-        self._indexes[columns] = index
+        with self._lock:
+            if columns in self._indexes:  # lost the build race
+                return
+            index = _SecondaryIndex(self.schema, columns)
+            for key, row in list(self._rows.items()):
+                index.add(key, row)
+            self._indexes[columns] = index
 
     def _index_for(self, columns: tuple[str, ...]) -> _SecondaryIndex | None:
         index = self._indexes.get(columns)
@@ -196,24 +217,28 @@ class Table:
         self.schema.check_row(row)
         key = self.schema.key_of(row)
         self.counters.count_index_lookup()
-        if key in self._rows:
-            raise IntegrityError(
-                f"duplicate key {key} in relation {self.schema.name!r}"
-            )
-        self._rows[key] = row
-        for index in self._indexes.values():
-            index.add(key, row)
+        with self._lock:
+            if key in self._rows:
+                raise IntegrityError(
+                    f"duplicate key {key} in relation {self.schema.name!r}"
+                )
+            self._rows[key] = row
+            for index in self._indexes.values():
+                index.add(key, row)
+            self.counters.count_index_maintenance(len(self._indexes))
         self.counters.count_tuple_write()
 
     def delete_key(self, key: tuple) -> tuple | None:
         """Delete the row with primary key *key*; returns it (or None)."""
         key = tuple(key)
         self.counters.count_index_lookup()
-        row = self._rows.pop(key, None)
-        if row is None:
-            return None
-        for index in self._indexes.values():
-            index.remove(key, row)
+        with self._lock:
+            row = self._rows.pop(key, None)
+            if row is None:
+                return None
+            for index in self._indexes.values():
+                index.remove(key, row)
+            self.counters.count_index_maintenance(len(self._indexes))
         self.counters.count_tuple_write()
         return row
 
@@ -225,22 +250,24 @@ class Table:
         """
         key = tuple(key)
         self.counters.count_index_lookup()
-        old = self._rows.get(key)
-        if old is None:
-            return None
-        for column in changes:
-            if column in self.schema.key:
-                raise SchemaError(
-                    f"key column {column!r} of {self.schema.name!r} is immutable"
-                )
-        new = list(old)
-        for column, value in changes.items():
-            new[self.schema.position(column)] = value
-        new_row = tuple(new)
-        for index in self._indexes.values():
-            index.remove(key, old)
-            index.add(key, new_row)
-        self._rows[key] = new_row
+        with self._lock:
+            old = self._rows.get(key)
+            if old is None:
+                return None
+            for column in changes:
+                if column in self.schema.key:
+                    raise SchemaError(
+                        f"key column {column!r} of {self.schema.name!r} is immutable"
+                    )
+            new = list(old)
+            for column, value in changes.items():
+                new[self.schema.position(column)] = value
+            new_row = tuple(new)
+            for index in self._indexes.values():
+                index.remove(key, old)
+                index.add(key, new_row)
+            self.counters.count_index_maintenance(2 * len(self._indexes))
+            self._rows[key] = new_row
         self.counters.count_tuple_write()
         return old
 
@@ -251,13 +278,15 @@ class Table:
         if self.schema.key_of(new_row) != key:
             raise SchemaError("replace_row must preserve the primary key")
         self.counters.count_index_lookup()
-        old = self._rows.get(key)
-        if old is None:
-            return None
-        for index in self._indexes.values():
-            index.remove(key, old)
-            index.add(key, new_row)
-        self._rows[key] = new_row
+        with self._lock:
+            old = self._rows.get(key)
+            if old is None:
+                return None
+            for index in self._indexes.values():
+                index.remove(key, old)
+                index.add(key, new_row)
+            self.counters.count_index_maintenance(2 * len(self._indexes))
+            self._rows[key] = new_row
         self.counters.count_tuple_write()
         return old
 
@@ -298,29 +327,33 @@ class Table:
         read-modify-write as a single access).  Returns the pre-state row.
         """
         key = tuple(key)
-        old = self._rows[key]
-        new = list(old)
-        for column, value in changes.items():
-            position = self.schema.position(column)
-            if column in self.schema.key:
-                raise SchemaError(
-                    f"key column {column!r} of {self.schema.name!r} is immutable"
-                )
-            new[position] = value
-        new_row = tuple(new)
-        for index in self._indexes.values():
-            index.remove(key, old)
-            index.add(key, new_row)
-        self._rows[key] = new_row
+        with self._lock:
+            old = self._rows[key]
+            new = list(old)
+            for column, value in changes.items():
+                position = self.schema.position(column)
+                if column in self.schema.key:
+                    raise SchemaError(
+                        f"key column {column!r} of {self.schema.name!r} is immutable"
+                    )
+                new[position] = value
+            new_row = tuple(new)
+            for index in self._indexes.values():
+                index.remove(key, old)
+                index.add(key, new_row)
+            self.counters.count_index_maintenance(2 * len(self._indexes))
+            self._rows[key] = new_row
         self.counters.count_tuple_write()
         return old
 
     def delete_at(self, key: tuple) -> tuple:
         """Delete the already-located row at *key* (one tuple write)."""
         key = tuple(key)
-        row = self._rows.pop(key)
-        for index in self._indexes.values():
-            index.remove(key, row)
+        with self._lock:
+            row = self._rows.pop(key)
+            for index in self._indexes.values():
+                index.remove(key, row)
+            self.counters.count_index_maintenance(len(self._indexes))
         self.counters.count_tuple_write()
         return row
 
@@ -336,17 +369,19 @@ class Table:
         self.schema.check_row(row)
         key = self.schema.key_of(row)
         self.counters.count_index_lookup()
-        existing = self._rows.get(key)
-        if existing is not None:
-            if existing == row:
-                return False
-            raise IntegrityError(
-                f"insert of {row} conflicts with existing {existing} "
-                f"in {self.schema.name!r}"
-            )
-        self._rows[key] = row
-        for index in self._indexes.values():
-            index.add(key, row)
+        with self._lock:
+            existing = self._rows.get(key)
+            if existing is not None:
+                if existing == row:
+                    return False
+                raise IntegrityError(
+                    f"insert of {row} conflicts with existing {existing} "
+                    f"in {self.schema.name!r}"
+                )
+            self._rows[key] = row
+            for index in self._indexes.values():
+                index.add(key, row)
+            self.counters.count_index_maintenance(len(self._indexes))
         self.counters.count_tuple_write()
         return True
 

@@ -244,3 +244,89 @@ class TestEvaluation:
         evaluate_plan(view_v, running_example_db)
         # 2 parts + 3 devices_parts + 3 devices rows scanned
         assert running_example_db.counters.total.tuple_reads == 8
+
+
+class TestAggregateNullSemantics:
+    """SQL NULL behavior of every aggregate (regression: _Accumulator)."""
+
+    def _agg(self, rows, aggs):
+        db = Database()
+        db.create_table("t", ("k", "g", "v"), ("k",))
+        db.table("t").load(rows)
+        node = group_by(scan(db, "t"), ("g",), aggs)
+        result = evaluate_plan(node, db)
+        return {r[0]: r[1:] for r in result.rows}
+
+    def test_nulls_skipped_by_every_aggregate(self):
+        rows = [(1, "a", 5), (2, "a", None), (3, "a", 9), (4, "b", None)]
+        out = self._agg(
+            rows,
+            [
+                ("sum", col("v"), "s"),
+                ("count", col("v"), "c"),
+                ("count", None, "n"),
+                ("avg", col("v"), "m"),
+                ("min", col("v"), "lo"),
+                ("max", col("v"), "hi"),
+            ],
+        )
+        assert out["a"] == (14, 2, 3, 7.0, 5, 9)
+
+    def test_all_null_group(self):
+        rows = [(1, "b", None), (2, "b", None)]
+        out = self._agg(
+            rows,
+            [
+                ("sum", col("v"), "s"),
+                ("count", col("v"), "c"),
+                ("count", None, "n"),
+                ("avg", col("v"), "m"),
+                ("min", col("v"), "lo"),
+                ("max", col("v"), "hi"),
+            ],
+        )
+        # sum/avg/min/max of an all-NULL group are NULL; count(v) is 0
+        # but count(*) still sees both rows.
+        assert out["b"] == (None, 0, 2, None, None, None)
+
+    def test_min_max_never_compare_against_null(self):
+        # A leading NULL must not poison the running min/max (TypeError
+        # from `None < v` on Python 3).
+        rows = [(1, "a", None), (2, "a", 4), (3, "a", None), (4, "a", 2)]
+        out = self._agg(rows, [("min", col("v"), "lo"), ("max", col("v"), "hi")])
+        assert out["a"] == (2, 4)
+
+    def test_non_numeric_values_do_not_skew_sum_or_avg(self):
+        # count(v) counts every non-NULL value, but sum/avg only fold
+        # numerics — their denominators must agree with what was summed.
+        rows = [(1, "a", 10), (2, "a", "oops"), (3, "a", 20)]
+        out = self._agg(
+            rows,
+            [("sum", col("v"), "s"), ("count", col("v"), "c"), ("avg", col("v"), "m")],
+        )
+        assert out["a"] == (30, 3, 15.0)
+
+    def test_delta_aggregate_view_with_nulls(self):
+        # End-to-end: the associative aggregate step keeps NULL semantics
+        # across maintenance rounds (group goes all-NULL and back).
+        from repro.core import IdIvmEngine
+
+        db = Database()
+        db.create_table("t", ("k", "g", "v"), ("k",))
+        db.table("t").load([(1, "a", 5), (2, "a", None), (3, "b", 1)])
+        engine = IdIvmEngine(db)
+        view = engine.define_view(
+            "V",
+            group_by(
+                scan(db, "t"),
+                ("g",),
+                [("sum", col("v"), "s"), ("count", col("v"), "c")],
+            ),
+        )
+        assert view.table.as_set() == {("a", 5, 1), ("b", 1, 1)}
+        engine.log.update("t", (1,), {"v": None})
+        engine.maintain()
+        assert view.table.as_set() == {("a", None, 0), ("b", 1, 1)}
+        engine.log.update("t", (2,), {"v": 7})
+        engine.maintain()
+        assert view.table.as_set() == {("a", 7, 1), ("b", 1, 1)}

@@ -183,3 +183,100 @@ class TestInstanceGeneration:
         assert schema_instance_name(delete_schema_for(db.table("r").schema)) == (
             "base_del_r"
         )
+
+
+class TestFoldLogProperty:
+    """Property test: folding the log and replaying the net changes must
+    reach exactly the state the raw log produced — across random
+    insert/update/delete interleavings per key, including the fold-table
+    edge cases (insert∘delete, delete∘insert-equal, update-back-to-
+    original)."""
+
+    N_KEYS = 6
+    N_OPS = 40
+    N_TRIALS = 60
+
+    def _fresh_db(self):
+        database = Database()
+        database.create_table("r", ("k", "a", "b"), ("k",))
+        database.table("r").load(
+            [(k, k * 10, "x") for k in range(0, self.N_KEYS, 2)]
+        )
+        return database
+
+    def _random_ops(self, rng):
+        """A random but always-legal op sequence, tracked per key."""
+        live = {k for k in range(0, self.N_KEYS, 2)}
+        rows = {k: (k, k * 10, "x") for k in live}
+        ops = []
+        for _ in range(self.N_OPS):
+            k = rng.randrange(self.N_KEYS)
+            if k in live:
+                choice = rng.choice(("update", "update_back", "delete"))
+                if choice == "delete":
+                    ops.append(("delete", k, None))
+                    live.discard(k)
+                    rows.pop(k)
+                elif choice == "update_back":
+                    # Re-assert current values: a net no-op update.
+                    _, a, b = rows[k]
+                    ops.append(("update", k, {"a": a, "b": b}))
+                else:
+                    changes = {}
+                    if rng.random() < 0.8:
+                        changes["a"] = rng.randrange(100)
+                    if not changes or rng.random() < 0.5:
+                        changes["b"] = rng.choice("xyz")
+                    ops.append(("update", k, changes))
+                    new = list(rows[k])
+                    for col, val in changes.items():
+                        new[{"a": 1, "b": 2}[col]] = val
+                    rows[k] = tuple(new)
+            else:
+                # Re-insert sometimes equals the deleted row exactly
+                # (the delete∘insert-equal fold case).
+                row = (
+                    (k, k * 10, "x")
+                    if rng.random() < 0.4
+                    else (k, rng.randrange(100), rng.choice("xyz"))
+                )
+                ops.append(("insert", k, row))
+                live.add(k)
+                rows[k] = row
+        return ops
+
+    def test_fold_matches_raw_replay(self):
+        import random
+
+        rng = random.Random(20260805)
+        for _ in range(self.N_TRIALS):
+            db = self._fresh_db()
+            pre_rows = db.table("r").as_set()
+            log = ModificationLog(db)
+            for op, k, payload in self._random_ops(rng):
+                if op == "insert":
+                    log.insert("r", payload)
+                elif op == "delete":
+                    log.delete("r", (k,))
+                else:
+                    log.update("r", (k,), payload)
+            entries = log.take()
+            net = fold_log(entries, db)
+
+            # Replay the folded net changes onto the pre-state.
+            replayed = dict()
+            for row in pre_rows:
+                replayed[(row[0],)] = row
+            for key, change in net.get("r", {}).items():
+                if change.kind == INSERT:
+                    assert key not in replayed
+                    assert change.pre_row is None
+                    replayed[key] = change.post_row
+                elif change.kind == DELETE:
+                    assert replayed.pop(key) == change.pre_row
+                    assert change.post_row is None
+                else:
+                    assert replayed[key] == change.pre_row
+                    assert change.pre_row != change.post_row
+                    replayed[key] = change.post_row
+            assert set(replayed.values()) == db.table("r").as_set()

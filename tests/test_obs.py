@@ -135,7 +135,8 @@ class TestSpans:
                     with counters.phase("view_update"):
                         counters.count_tuple_write(2)
         assert sp.counts.as_dict() == {
-            "index_lookups": 0, "tuple_reads": 0, "tuple_writes": 2, "total": 2,
+            "index_lookups": 0, "tuple_reads": 0, "tuple_writes": 2,
+            "index_maintenance": 0, "total": 2,
         }
 
     def test_attrs_and_dict_forms(self):

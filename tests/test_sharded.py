@@ -1,0 +1,321 @@
+"""Shard-parallel maintenance: routing, equivalence, counter fan-out.
+
+The equivalence tests are the heart: for every shard count the sharded
+engine must produce byte-identical view contents AND merged per-phase
+access counts that reconcile exactly with the single-shard run —
+whether the router proved the round parallel or fell back to broadcast.
+
+Set ``REPRO_SHARDS=1,4`` (the CI matrix does) to restrict the shard
+counts exercised by the equivalence tests.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.algebra.evaluate import evaluate_plan
+from repro.core import IdIvmEngine, ShardedEngine
+from repro.shard import ShardRoutingCounters, shard_of
+from repro.storage import (
+    AccessCounts,
+    CounterSet,
+    Database,
+    PartitionedDatabase,
+    PartitionedTable,
+    partition_database,
+)
+from repro.storage.schema import TableSchema
+from repro.workloads import (
+    BSMA_QUERIES,
+    BsmaConfig,
+    DevicesConfig,
+    apply_price_updates,
+    build_aggregate_view,
+    build_bsma_database,
+    build_devices_database,
+    log_user_updates,
+)
+from repro.workloads.devices import (
+    build_flat_view,
+    log_batch,
+    mixed_modification_batch,
+)
+
+SHARD_COUNTS = tuple(
+    int(v) for v in os.environ.get("REPRO_SHARDS", "1,2,4,8").split(",")
+)
+
+DEV_CONFIG = DevicesConfig(n_parts=80, n_devices=80, diff_size=24)
+BSMA_CONFIG = BsmaConfig(n_users=150)
+
+
+def _phase_totals(report):
+    """Zero-filtered per-phase counts (stale zero buckets dropped)."""
+    return {
+        name: counts.as_dict()
+        for name, counts in report.phase_counts.items()
+        if counts.total or counts.index_maintenance
+    }
+
+
+def _run_devices(engine_factory, build_view, rounds=1, mixed=False):
+    db = build_devices_database(DEV_CONFIG)
+    engine = engine_factory(db)
+    view = engine.define_view("V", build_view(db, DEV_CONFIG))
+    out = []
+    for r in range(rounds):
+        if mixed:
+            batch = mixed_modification_batch(
+                db, DEV_CONFIG, updates=8, inserts=5, deletes=3, round_seed=r
+            )
+            log_batch(engine, batch)
+        else:
+            apply_price_updates(engine, db, DEV_CONFIG, round_seed=r)
+        report = engine.maintain()["V"]
+        out.append((sorted(view.table.rows_uncounted()), report))
+    oracle = evaluate_plan(view.plan, db).as_set()
+    assert view.table.as_set() == oracle
+    return out
+
+
+# ----------------------------------------------------------------------
+# equivalence: devices
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+@pytest.mark.parametrize("mixed", [False, True], ids=["updates", "mixed"])
+def test_devices_flat_view_equivalence(n_shards, mixed):
+    base = _run_devices(IdIvmEngine, build_flat_view, rounds=3, mixed=mixed)
+    shard = _run_devices(
+        lambda db: ShardedEngine(db, shards=n_shards),
+        build_flat_view,
+        rounds=3,
+        mixed=mixed,
+    )
+    for (rows_b, rep_b), (rows_s, rep_s) in zip(base, shard):
+        assert rows_s == rows_b
+        assert _phase_totals(rep_s) == _phase_totals(rep_b)
+        assert rep_s.total_cost == rep_b.total_cost
+
+
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+def test_devices_aggregate_view_equivalence(n_shards):
+    base = _run_devices(IdIvmEngine, build_aggregate_view, rounds=2)
+    shard = _run_devices(
+        lambda db: ShardedEngine(db, shards=n_shards),
+        build_aggregate_view,
+        rounds=2,
+    )
+    for (rows_b, rep_b), (rows_s, rep_s) in zip(base, shard):
+        assert rows_s == rows_b
+        assert _phase_totals(rep_s) == _phase_totals(rep_b)
+
+
+def test_devices_flat_view_routes_parallel():
+    [(_, report)] = _run_devices(
+        lambda db: ShardedEngine(db, shards=4), build_flat_view
+    )
+    assert report.parallel
+    assert report.anchor == "parts"
+    assert len(report.shard_reports) == 4
+    assert sum(r.total_cost for r in report.shard_reports) == report.total_cost
+    assert report.critical_path() == max(
+        r.total_cost for r in report.shard_reports
+    )
+
+
+def test_devices_aggregate_view_broadcasts():
+    """γ(did) drops the anchor (pid): per-group RMWs are not shard-local."""
+    [(_, report)] = _run_devices(
+        lambda db: ShardedEngine(db, shards=4), build_aggregate_view
+    )
+    assert not report.parallel
+    assert "group keys" in report.broadcast_reason
+    assert report.shard_reports == []
+
+
+def test_single_shard_and_empty_round_broadcast():
+    db = build_devices_database(DEV_CONFIG)
+    engine = ShardedEngine(db, shards=1)
+    engine.define_view("V", build_flat_view(db, DEV_CONFIG))
+    report = engine.maintain()["V"]  # nothing logged
+    assert not report.parallel
+    assert report.broadcast_reason == "single shard requested"
+    assert report.total_cost == 0
+
+    db = build_devices_database(DEV_CONFIG)
+    engine = ShardedEngine(db, shards=4)
+    engine.define_view("V", build_flat_view(db, DEV_CONFIG))
+    report = engine.maintain()["V"]
+    assert report.broadcast_reason == "empty modification batch"
+
+
+# ----------------------------------------------------------------------
+# equivalence: BSMA
+# ----------------------------------------------------------------------
+#: Queries whose user-update rounds the router proves parallel (flat
+#: joins anchored on users); the aggregates broadcast.
+BSMA_PARALLEL = {"Q7", "Q11", "Q15", "Q18"}
+
+
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+@pytest.mark.parametrize("qname", sorted(BSMA_QUERIES))
+def test_bsma_equivalence(qname, n_shards):
+    build = BSMA_QUERIES[qname]
+    results = {}
+    for label, factory in (
+        ("base", IdIvmEngine),
+        ("shard", lambda db: ShardedEngine(db, shards=n_shards)),
+    ):
+        db = build_bsma_database(BSMA_CONFIG)
+        engine = factory(db)
+        view = engine.define_view("V", build(db, BSMA_CONFIG))
+        log_user_updates(engine, db, BSMA_CONFIG, 60)
+        report = engine.maintain()["V"]
+        results[label] = (sorted(view.table.rows_uncounted()), report)
+    rows_b, rep_b = results["base"]
+    rows_s, rep_s = results["shard"]
+    assert rows_s == rows_b
+    assert _phase_totals(rep_s) == _phase_totals(rep_b)
+    if qname in BSMA_PARALLEL and n_shards > 1:
+        assert rep_s.parallel and rep_s.anchor == "users"
+    else:
+        assert not rep_s.parallel
+
+
+# ----------------------------------------------------------------------
+# ShardRoutingCounters
+# ----------------------------------------------------------------------
+def test_routing_counters_delegate_and_activate():
+    base = CounterSet()
+    router = ShardRoutingCounters(base)
+    router.count_tuple_read(3)
+    assert base.total.tuple_reads == 3
+    shard = CounterSet()
+    with router.activate(shard):
+        with router.phase("view_update"):
+            router.count_tuple_write(2)
+    assert shard.total.tuple_writes == 2
+    assert shard.phases["view_update"].tuple_writes == 2
+    assert base.total.tuple_writes == 0
+    # outside the block, counts go to base again
+    router.count_index_lookup()
+    assert base.total.index_lookups == 1
+
+
+def test_routing_counters_install_is_idempotent():
+    db = Database()
+    db.create_table("t", ("a", "b"), ("a",))
+    router = ShardRoutingCounters.install(db)
+    assert ShardRoutingCounters.install(db) is router
+    assert db.counters is router
+    assert db.table("t").counters is router
+    db.table("t").insert((1, 2))
+    assert router.base.total.tuple_writes == 1
+
+
+def test_routing_counters_fold():
+    base, shard = CounterSet(), CounterSet()
+    with base.phase("p"):
+        base.count_tuple_read()
+    with shard.phase("p"):
+        shard.count_tuple_read(4)
+    with shard.phase("q"):
+        shard.count_tuple_write()
+    ShardRoutingCounters.fold(base, shard)
+    assert base.phases["p"].tuple_reads == 5
+    assert base.phases["q"].tuple_writes == 1
+    assert base.total.total == 6
+
+
+def test_routing_counters_reset_routes_to_target():
+    base = CounterSet()
+    router = ShardRoutingCounters(base)
+    router.count_tuple_read()
+    shard = CounterSet()
+    shard.count_tuple_write()
+    with router.activate(shard):
+        router.reset()
+    assert shard.total.total == 0
+    assert base.total.tuple_reads == 1  # base untouched
+
+
+# ----------------------------------------------------------------------
+# sharded engine counters stay truthful
+# ----------------------------------------------------------------------
+def test_parallel_round_folds_into_database_totals():
+    db = build_devices_database(DEV_CONFIG)
+    engine = ShardedEngine(db, shards=4)
+    engine.define_view("V", build_flat_view(db, DEV_CONFIG))
+    apply_price_updates(engine, db, DEV_CONFIG)
+    before = engine._router.base.total.total
+    report = engine.maintain()["V"]
+    assert report.parallel
+    after = engine._router.base.total.total
+    assert after - before >= report.total_cost  # script work folded back
+
+
+# ----------------------------------------------------------------------
+# partitioned storage layer
+# ----------------------------------------------------------------------
+def test_shard_of_is_stable_and_in_range():
+    assert shard_of(("P1",), 1) == 0
+    for n in (2, 4, 8):
+        seen = {shard_of((f"P{i}",), n) for i in range(200)}
+        assert seen <= set(range(n))
+        assert len(seen) > 1  # actually spreads
+    # deterministic: same value, same shard
+    assert shard_of(("P17",), 4) == shard_of(("P17",), 4)
+
+
+def test_partitioned_table_routes_key_ops():
+    table = PartitionedTable(TableSchema("t", ("k", "v"), ("k",)), 4)
+    rows = [(f"K{i}", i) for i in range(40)]
+    table.load(rows)
+    assert len(table) == 40
+    assert table.get(("K7",)) == ("K7", 7)
+    # a key get costs exactly one lookup + one read, on one shard only
+    combined = table.combined_counts()
+    assert combined.index_lookups == 1 and combined.tuple_reads == 1
+    busy = [c.total for c in table.shard_counts()]
+    assert sorted(busy, reverse=True)[1] == 0  # all cost on one shard
+    assert set(table.rows_uncounted()) == set(rows)
+
+
+def test_partitioned_table_broadcast_lookup_pays_per_shard():
+    table = PartitionedTable(TableSchema("t", ("k", "v"), ("k",)), 4)
+    table.load([(f"K{i}", i % 3) for i in range(30)])
+    table.create_index(("v",))
+    table.reset_counters()
+    hits = table.lookup(("v",), (1,))
+    assert {h[1] for h in hits} == {1}
+    # non-key lookup probes every shard's local index
+    assert table.combined_counts().index_lookups == 4
+
+
+def test_partition_database_preserves_contents_and_counts():
+    db = build_devices_database(DEV_CONFIG)
+    part = partition_database(db, 4)
+    assert set(part.table_names()) == set(db.table_names())
+    for name in db.table_names():
+        assert part.table(name).as_set() == db.table(name).as_set()
+    # routed single-key workload: combined counts match an unpartitioned
+    # table doing the same ops
+    flat = db.table("parts")
+    flat.counters.reset()
+    sharded = part.table("parts")
+    for pid, _ in list(flat.rows_uncounted())[:10]:
+        flat.get((pid,))
+        sharded.get((pid,))
+    assert part.combined_counts().total == flat.counters.total.total
+    assert part.critical_path() <= part.combined_counts().total
+
+
+def test_partitioned_database_rejects_bad_shard_count():
+    from repro.errors import SchemaError
+
+    with pytest.raises(SchemaError):
+        PartitionedDatabase(0)
+    with pytest.raises(SchemaError):
+        ShardedEngine(Database(), shards=0)

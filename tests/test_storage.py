@@ -235,3 +235,84 @@ class TestDatabase:
         assert len(fks) == 1
         assert fks[0].parent_table == "parent"
         assert db.foreign_keys_of("parent") == []
+
+
+class TestIndexMaintenanceAccounting:
+    """Cost-accounting consistency of the write paths (paper Section 6).
+
+    Index maintenance is tracked in its own counter (excluded from the
+    paper's ``total`` per the Section 7.2 courtesy), uniformly across
+    every counted write path; the ``*_uncounted`` paths the modification
+    log uses must stay exactly count-neutral.
+    """
+
+    def _table(self):
+        db = Database()
+        t = db.create_table("r", ("k", "a", "b"), ("k",))
+        t.load([(1, 10, "x"), (2, 20, "y"), (3, 30, "z")])
+        t.create_index(("a",))
+        t.create_index(("b",))
+        return db, t
+
+    def test_counted_writes_track_index_maintenance(self):
+        db, t = self._table()
+        db.counters.reset()
+        t.insert((4, 40, "w"))          # 1 entry added per index
+        assert db.counters.total.index_maintenance == 2
+        t.update_key((4,), {"a": 41})   # remove + add per index
+        assert db.counters.total.index_maintenance == 6
+        t.replace_row((4,), (4, 42, "w"))
+        assert db.counters.total.index_maintenance == 10
+        t.write_at((4,), {"b": "v"})
+        assert db.counters.total.index_maintenance == 14
+        t.delete_key((4,))
+        assert db.counters.total.index_maintenance == 16
+        t.insert_checked((4, 40, "w"))
+        assert db.counters.total.index_maintenance == 18
+        t.delete_at((4,))
+        assert db.counters.total.index_maintenance == 20
+        # The paper's headline metric is unaffected.
+        assert db.counters.total.total == (
+            db.counters.total.index_lookups
+            + db.counters.total.tuple_reads
+            + db.counters.total.tuple_writes
+        )
+
+    def test_duplicate_insert_checked_is_maintenance_free(self):
+        db, t = self._table()
+        db.counters.reset()
+        assert t.insert_checked((1, 10, "x")) is False
+        assert db.counters.total.index_maintenance == 0
+        assert db.counters.total.tuple_writes == 0
+
+    def test_uncounted_modlog_paths_are_count_neutral(self):
+        from repro.core.modlog import ModificationLog
+
+        db, t = self._table()
+        log = ModificationLog(db)
+        db.counters.reset()
+        log.insert("r", (5, 50, "q"))
+        log.update("r", (5,), {"a": 51})
+        log.delete("r", (5,))
+        snap = db.counters.total
+        assert (
+            snap.index_lookups,
+            snap.tuple_reads,
+            snap.tuple_writes,
+            snap.index_maintenance,
+        ) == (0, 0, 0, 0)
+        # The indexes were still maintained correctly, just uncounted.
+        assert t.lookup(("a",), (10,)) == [(1, 10, "x")]
+        db.counters.reset()
+        t.load([(6, 60, "p")])
+        assert db.counters.total.index_maintenance == 0
+
+    def test_index_maintenance_excluded_from_total(self):
+        from repro.storage import AccessCounts
+
+        counts = AccessCounts(1, 2, 3, 99)
+        assert counts.total == 6
+        assert counts.as_dict()["index_maintenance"] == 99
+        assert AccessCounts.from_dict(counts.as_dict()) == counts
+        delta = counts - AccessCounts(0, 0, 0, 9)
+        assert delta.index_maintenance == 90
