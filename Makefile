@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-sharded smoke bench
+.PHONY: test test-sharded smoke bench fuzz
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -19,3 +19,10 @@ smoke:
 
 bench:
 	$(PYTHON) -m pytest benchmarks --benchmark-disable -q
+
+# Differential fuzz: every strategy vs the recompute oracle.  Divergent
+# cases are shrunk and saved into tests/regressions/; non-zero exit.
+FUZZ_SEED ?= 0
+FUZZ_CASES ?= 100
+fuzz:
+	$(PYTHON) -m repro crosscheck --seed $(FUZZ_SEED) --cases $(FUZZ_CASES)

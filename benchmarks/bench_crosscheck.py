@@ -1,0 +1,54 @@
+"""Fuzzer throughput: cases/second of the differential crosscheck.
+
+Not a paper figure — an infrastructure benchmark.  The crosscheck CI leg
+budget is set by this number: every generated case runs the recompute
+oracle plus six maintenance strategies over every batch, so cases/second
+bounds how much adversarial coverage a nightly run can afford.  The
+functional assertion (every case clean) doubles as the fuzz smoke test.
+"""
+
+from __future__ import annotations
+
+import time
+from functools import lru_cache
+
+from conftest import write_bench_json
+
+from repro.crosscheck import ALL_STRATEGIES, generate_case, run_case
+
+SEED = 0
+N_CASES = 25
+
+
+@lru_cache(maxsize=1)
+def sweep():
+    start = time.perf_counter()
+    divergent = []
+    for i in range(N_CASES):
+        result = run_case(generate_case(SEED, i))
+        if not result.ok:
+            divergent.append((i, [str(d) for d in result.divergences]))
+    elapsed = time.perf_counter() - start
+    return {
+        "seed": SEED,
+        "cases": N_CASES,
+        "strategies": list(ALL_STRATEGIES),
+        "elapsed_seconds": round(elapsed, 3),
+        "cases_per_second": round(N_CASES / elapsed, 2),
+        "divergent": divergent,
+    }
+
+
+def test_crosscheck_throughput(benchmark):
+    results = sweep()
+    print()
+    print("== crosscheck fuzz throughput ==")
+    print(
+        f"{results['cases']} cases x {len(results['strategies'])} strategies: "
+        f"{results['elapsed_seconds']}s ({results['cases_per_second']} cases/s)"
+    )
+    assert not results["divergent"], results["divergent"]
+    write_bench_json("crosscheck", results)
+    # Wall time of one representative case, for pytest-benchmark trends.
+    case = generate_case(SEED, 3)
+    benchmark(lambda: run_case(case))

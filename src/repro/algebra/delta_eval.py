@@ -239,7 +239,10 @@ def _probe_and_combine(
         rpos = [right.position(b) for b in right_attrs]
         buckets: dict[tuple, list[tuple]] = {}
         for rr in right.rows:
-            buckets.setdefault(tuple(rr[i] for i in rpos), []).append(rr)
+            key = tuple(rr[i] for i in rpos)
+            if None in key:
+                continue  # SQL: NULL never equi-joins
+            buckets.setdefault(key, []).append(rr)
         for lr, probe in zip(left.rows, probe_values):
             for rr in buckets.get(probe, ()):
                 combined = lr + rr
@@ -277,7 +280,10 @@ def _probe_and_combine_reversed(
         lpos = [left.position(a) for a in left_attrs]
         buckets: dict[tuple, list[tuple]] = {}
         for lr in left.rows:
-            buckets.setdefault(tuple(lr[i] for i in lpos), []).append(lr)
+            key = tuple(lr[i] for i in lpos)
+            if None in key:
+                continue  # SQL: NULL never equi-joins
+            buckets.setdefault(key, []).append(lr)
         for rr, probe in zip(right.rows, probe_values):
             for lr in buckets.get(probe, ()):
                 combined = lr + rr
@@ -322,7 +328,10 @@ def _fetch_semi_like(
         rpos = [right.position(b) for b in right_attrs]
         buckets: dict[tuple, list[tuple]] = {}
         for rr in right.rows:
-            buckets.setdefault(tuple(rr[i] for i in rpos), []).append(rr)
+            key = tuple(rr[i] for i in rpos)
+            if None in key:
+                continue  # SQL: NULL never equi-joins
+            buckets.setdefault(key, []).append(rr)
         for lr, probe in zip(left.rows, probe_values):
             candidates = buckets.get(probe, ())
             matched = any(

@@ -111,7 +111,10 @@ def _evaluate_join(node: Join, db: Database) -> Relation:
         rpos = [right.position(b) for _, b in pairs]
         buckets: dict[tuple, list[tuple]] = {}
         for rr in right.rows:
-            buckets.setdefault(tuple(rr[i] for i in rpos), []).append(rr)
+            key = tuple(rr[i] for i in rpos)
+            if None in key:
+                continue  # SQL: NULL never equi-joins
+            buckets.setdefault(key, []).append(rr)
         out_positions = {c: i for i, c in enumerate(out_columns)}
         for lr in left.rows:
             for rr in buckets.get(tuple(lr[i] for i in lpos), ()):
@@ -141,7 +144,10 @@ def _evaluate_semi_like(node, db: Database, negated: bool) -> Relation:
         rpos = [right.position(b) for _, b in pairs]
         buckets: dict[tuple, list[tuple]] = {}
         for rr in right.rows:
-            buckets.setdefault(tuple(rr[i] for i in rpos), []).append(rr)
+            key = tuple(rr[i] for i in rpos)
+            if None in key:
+                continue  # SQL: NULL never equi-joins
+            buckets.setdefault(key, []).append(rr)
         for lr in left.rows:
             candidates = buckets.get(tuple(lr[i] for i in lpos), ())
             matched = any(

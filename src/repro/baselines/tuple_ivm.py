@@ -55,7 +55,7 @@ from ..core.rules.aggregate import OpCacheSpec
 from ..errors import PlanError, ScriptError
 from ..expr import columns_of, equi_join_pairs, evaluate as eval_expr, matches
 from ..obs import spans as obs
-from ..storage import Database, Table
+from ..storage import Database, Table, sort_rows
 
 
 @dataclass
@@ -144,11 +144,15 @@ class TupleIvmEngine:
         view = TupleView(name, annotated, table)
         for node in annotated.walk():
             if isinstance(node, GroupBy):
-                spec = OpCacheSpec(node, f"{name}__tuple_opc_n{node.node_id}")
-                child_rows = evaluate_plan(node.child, self.db)
-                view.opcaches[node.node_id] = spec.build(
-                    child_rows, self.db.counters
-                )
+                # Bookkeeping is only consulted (and maintained) by the
+                # associative delta path; the min/max recompute path
+                # would leave it stale.
+                if all(a.func in ("sum", "count", "avg") for a in node.aggs):
+                    spec = OpCacheSpec(node, f"{name}__tuple_opc_n{node.node_id}")
+                    child_rows = evaluate_plan(node.child, self.db)
+                    view.opcaches[node.node_id] = spec.build(
+                        child_rows, self.db.counters
+                    )
                 if node.node_id != annotated.node_id:
                     view.agg_outputs[node.node_id] = materialize(
                         node, self.db, f"{name}__tuple_out_n{node.node_id}"
@@ -356,7 +360,10 @@ def _join_delta(node: Join, view, net, db_pre, db_post) -> TDelta:
         spos = [rel.position(c) for c in probe_cols[1]]
         buckets: dict[tuple, list[tuple]] = {}
         for r in rel.rows:
-            buckets.setdefault(tuple(r[i] for i in spos), []).append(r)
+            key = tuple(r[i] for i in spos)
+            if None in key:
+                continue  # SQL: NULL never equi-joins
+            buckets.setdefault(key, []).append(r)
         return buckets
 
     lcols = list(node.left.columns)
@@ -615,13 +622,14 @@ def _groupby_delta_recompute(
             groups.add(tuple(pre[i] for i in key_idx))
         if post is not None:
             groups.add(tuple(post[i] for i in key_idx))
-    recomputed = fetch(node, db_post, Bindings(node.keys, sorted(groups)))
+    # sort_rows, not sorted: group keys may hold NULLs / mixed types.
+    ordered_groups = sort_rows(groups)
+    recomputed = fetch(node, db_post, Bindings(node.keys, ordered_groups))
     out_key = [recomputed.position(k) for k in node.keys]
     new_rows = {tuple(r[i] for i in out_key): r for r in recomputed.rows}
     out_table = _output_table(node, view)
     delta = TDelta()
-    applied: list[tuple] = []
-    for g in sorted(groups):
+    for g in ordered_groups:
         keys = out_table.locate(node.keys, g)
         old_row = out_table.get_uncounted(keys[0]) if keys else None
         new_row = new_rows.get(g)

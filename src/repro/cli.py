@@ -14,9 +14,15 @@ Commands
     parameter and print the paper-style table.
 ``bsma [--updates N]``
     Run the Figure 10 social-analytics comparison.
+``crosscheck --seed N --cases K``
+    Run the differential fuzzer: every maintenance strategy against the
+    recompute oracle over K generated cases (see ``docs/CROSSCHECK.md``).
+    Divergent cases are shrunk and saved as replayable reproducers;
+    exits non-zero if any case diverged.
 
-``demo``, ``sweep`` and ``bsma`` accept ``--trace FILE.jsonl`` to record
-every maintenance round as a span tree (see ``docs/OBSERVABILITY.md``).
+``demo``, ``sweep``, ``bsma`` and ``crosscheck`` accept ``--trace
+FILE.jsonl`` to record every maintenance round as a span tree (see
+``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -26,7 +32,8 @@ import sys
 from typing import Sequence
 
 from .algebra.explain import explain_analyze, explain_plan
-from .obs import recording, write_trace
+from .obs import metrics, recording, write_trace
+from .obs import spans as obs
 from .baselines import TupleIvmEngine
 from .bench import SweepPoint, SystemResult, format_figure10, format_sweep, run_system
 from .core import IdIvmEngine, ShardedEngine
@@ -182,6 +189,75 @@ def cmd_bsma(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_crosscheck(args: argparse.Namespace) -> int:
+    """``repro crosscheck``: the differential fuzzer as a gate."""
+    import time
+
+    from .crosscheck import (
+        ALL_STRATEGIES,
+        STRATEGY_FACTORIES,
+        case_label,
+        generate_case,
+        run_case,
+        save_corpus_case,
+        shrink_case,
+    )
+
+    if args.strategies:
+        strategies = tuple(s.strip() for s in args.strategies.split(","))
+        unknown = [s for s in strategies if s not in STRATEGY_FACTORIES]
+        if unknown:
+            print(
+                f"repro crosscheck: unknown strategies {unknown}; "
+                f"choose from {', '.join(STRATEGY_FACTORIES)}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        strategies = ALL_STRATEGIES
+
+    start = time.perf_counter()
+    divergent = 0
+    for index in range(args.cases):
+        case = generate_case(args.seed, index)
+        with obs.span(
+            f"case[{args.seed}:{index}]",
+            kind="crosscheck_case",
+            seed=args.seed,
+            index=index,
+        ):
+            result = run_case(case, strategies)
+        metrics.counter("crosscheck.cases").inc()
+        if result.ok:
+            continue
+        divergent += 1
+        metrics.counter("crosscheck.divergences").inc(len(result.divergences))
+        print(f"case {index} ({case_label(case)}) DIVERGED:")
+        for d in result.divergences:
+            print(f"  {d}")
+        if args.no_shrink:
+            continue
+        small = shrink_case(case, result)
+        print(f"  shrunk to: {case_label(small)}")
+        if not args.no_save:
+            path = save_corpus_case(
+                small,
+                f"fuzz_s{args.seed}_c{index}",
+                label=f"fuzzer seed {args.seed} case {index}",
+                divergence=str(result.divergences[0]),
+            )
+            print(f"  reproducer saved: {path}")
+    elapsed = time.perf_counter() - start
+    rate = args.cases / elapsed if elapsed > 0 else float("inf")
+    metrics.gauge("crosscheck.cases_per_sec").set(round(rate, 2))
+    print(
+        f"crosscheck: {args.cases} cases x {len(strategies)} strategies "
+        f"(seed {args.seed}) in {elapsed:.1f}s ({rate:.1f} cases/s): "
+        + (f"{divergent} DIVERGENT" if divergent else "all clean")
+    )
+    return 1 if divergent else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro command-line argument parser."""
     parser = argparse.ArgumentParser(
@@ -217,14 +293,39 @@ def build_parser() -> argparse.ArgumentParser:
     bsma.add_argument("--updates", type=int, default=100)
     bsma.set_defaults(handler=cmd_bsma)
 
-    for traced in (demo, sweep, bsma):
+    crosscheck = sub.add_parser(
+        "crosscheck", help="differential fuzzer: all strategies vs recompute"
+    )
+    crosscheck.add_argument("--seed", type=int, default=0, help="stream seed")
+    crosscheck.add_argument(
+        "--cases", type=int, default=100, help="number of generated cases"
+    )
+    crosscheck.add_argument(
+        "--strategies",
+        default=None,
+        help="comma-separated subset of strategies (default: all)",
+    )
+    crosscheck.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report divergences without minimizing them",
+    )
+    crosscheck.add_argument(
+        "--no-save",
+        action="store_true",
+        help="do not write shrunken reproducers into tests/regressions/",
+    )
+    crosscheck.set_defaults(handler=cmd_crosscheck)
+
+    for traced in (demo, sweep, bsma, crosscheck):
         traced.add_argument(
             "--trace",
             metavar="FILE.jsonl",
             default=None,
             help="record a JSONL span trace of every maintenance round",
         )
-        traced.add_argument(
+    for sharded in (demo, sweep, bsma):
+        sharded.add_argument(
             "--shards",
             type=int,
             default=1,

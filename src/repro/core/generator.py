@@ -176,9 +176,13 @@ class ScriptGenerator:
                 )
                 self._cached_nodes.add(node.node_id)
             # Operator cache (group bookkeeping) for the delta path.
-            self.opcache_specs.append(
-                OpCacheSpec(node, f"{self.view_name}__opc_n{node.node_id}")
-            )
+            # Only the associative step consults it; the general
+            # (min/max) step recomputes groups and would leave the
+            # bookkeeping to rot.
+            if all(a.func in ASSOCIATIVE_AGGS for a in node.aggs):
+                self.opcache_specs.append(
+                    OpCacheSpec(node, f"{self.view_name}__opc_n{node.node_id}")
+                )
             # Intermediate cache below the aggregate (footnote 6).
             child = node.child
             if (
@@ -367,6 +371,15 @@ class ScriptGenerator:
                 if isinstance(ir, Empty) and step.name not in empty_names:
                     empty_names.add(step.name)
                     changed = True
+        # Dropping an APPLY also drops its RETURNING expansion, so any
+        # aggregate input that consumed it must be pruned too.
+        dead_expansions = {
+            step.returning_name
+            for step in self._steps
+            if isinstance(step, ApplyDiffStep)
+            and step.diff_name in empty_names
+            and step.returning_name is not None
+        }
         live_steps: list[Step] = []
         for step in self._steps:
             if isinstance(step, ComputeDiffStep) and step.name in empty_names:
@@ -378,6 +391,7 @@ class ScriptGenerator:
                     (k, n)
                     for k, n in step.inputs
                     if not (k == "diff" and n in empty_names)
+                    and not (k == "expansion" and n in dead_expansions)
                 ]
             live_steps.append(step)
         self._steps = live_steps

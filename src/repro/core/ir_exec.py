@@ -205,7 +205,10 @@ def _run_probe_join(node: ProbeJoin, ctx: IrContext) -> Relation:
         spos = [sub.position(b) for b in sub_attrs]
         buckets: dict[tuple, list[tuple]] = {}
         for sr in sub.rows:
-            buckets.setdefault(tuple(sr[i] for i in spos), []).append(sr)
+            key = tuple(sr[i] for i in spos)
+            if None in key:
+                continue  # SQL: NULL never equi-joins
+            buckets.setdefault(key, []).append(sr)
         matches_for = lambda probe: buckets.get(probe, ())  # noqa: E731
     else:
         sub = ctx.resolve_subview(node.node, node.state)
@@ -284,7 +287,10 @@ def _run_probe_semi(node: ProbeSemi, ctx: IrContext) -> Relation:
         spos = [sub.position(b) for b in sub_attrs]
         buckets: dict[tuple, list[tuple]] = {}
         for sr in sub.rows:
-            buckets.setdefault(tuple(sr[i] for i in spos), []).append(sr)
+            key = tuple(sr[i] for i in spos)
+            if None in key:
+                continue  # SQL: NULL never equi-joins
+            buckets.setdefault(key, []).append(sr)
         candidates_for = lambda probe: buckets.get(probe, ())  # noqa: E731
     else:
         sub = ctx.resolve_subview(node.node, node.state)

@@ -102,6 +102,14 @@ class ModificationLog:
         old = t.update_uncounted(key, changes)
         if old is None:
             raise WorkloadError(f"cannot update absent key {key} in {table!r}")
+        if _apply_changes(t, old, changes) == old:
+            # The new values equal the old ones: the table is unchanged,
+            # so the update folds to a no-op here rather than forcing the
+            # next maintenance round to reconstruct the pre-state and run
+            # an empty i-diff round (count-neutrality: same cost as not
+            # updating at all).  fold_log keeps the equivalent guard for
+            # hand-built logs.
+            return
         # Trigger-style logging: capture the pre-state row alongside the
         # changed attributes.
         self.entries.append(

@@ -36,7 +36,7 @@ from ...algebra.plan import GroupBy
 from ...algebra.relation import Relation
 from ...errors import ScriptError
 from ...expr import evaluate as eval_expr
-from ...storage import Table, TableSchema
+from ...storage import Table, TableSchema, sort_rows
 from ..apply import AppliedChanges
 from ..diffs import DELETE, INSERT, UPDATE, Diff, DiffSchema
 from ..ir_exec import IrContext
@@ -490,15 +490,17 @@ class GeneralAggregateStep(Step):
             ctx.mark_cache_updated(gnode.node_id)
             return
         # Recompute the affected groups from Input_post (Table 7's
-        # γ(∆ ⋉Ḡ Input_post)).
+        # γ(∆ ⋉Ḡ Input_post)).  sort_rows, not sorted: group keys may
+        # contain NULLs or mixed types, which Python's < cannot order.
+        ordered_groups = sort_rows(groups)
         recomputed = ctx.resolve_subview(
-            gnode, "post", Bindings(gnode.keys, sorted(groups))
+            gnode, "post", Bindings(gnode.keys, ordered_groups)
         )
         key_idx = [recomputed.position(k) for k in gnode.keys]
         new_rows = {tuple(r[i] for i in key_idx): r for r in recomputed.rows}
         applied: list[tuple] = []
         kinds: list[str] = []
-        for g in sorted(groups):
+        for g in ordered_groups:
             keys = out_table.locate(gnode.keys, g)
             old_row = out_table.get_uncounted(keys[0]) if keys else None
             new_row = new_rows.get(g)
@@ -533,7 +535,21 @@ class GeneralAggregateStep(Step):
         """Group keys whose membership may have changed, from both states."""
         gnode = self.gnode
         groups: set[tuple] = set()
-        for _, name in self.inputs:
+        positions = {c: i for i, c in enumerate(gnode.child.columns)}
+        key_idx = [positions[k] for k in gnode.keys]
+        for source_kind, name in self.inputs:
+            if source_kind == "expansion":
+                # Cached child: the APPLY's RETURNING expansion already
+                # carries full (pre, post) child rows — the group keys
+                # are right there, no Input probes needed.
+                applied = ctx.expansions.get(name)
+                if applied is None:
+                    raise ScriptError(f"expansion {name!r} not available")
+                for pre_row, post_row in applied.changes:
+                    for row in (pre_row, post_row):
+                        if row is not None:
+                            groups.add(tuple(row[i] for i in key_idx))
+                continue
             diff = ctx.diffs.get(name)
             if diff is None:
                 raise ScriptError(f"diff {name!r} not available")

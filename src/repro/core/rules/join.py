@@ -26,7 +26,16 @@ from __future__ import annotations
 from typing import Optional
 
 from ...algebra.plan import Join, PlanNode
-from ...expr import Expr, Not, all_of, col, columns_of, equi_join_pairs, rename_columns
+from ...expr import (
+    Expr,
+    Not,
+    all_of,
+    col,
+    columns_of,
+    equi_join_pairs,
+    is_true,
+    rename_columns,
+)
 from ..diffs import DELETE, INSERT, DiffSchema, post_col, pre_col
 from ..ir import POST, PRE, Compute, Filter, IrNode, ProbeJoin
 from .base import (
@@ -260,7 +269,9 @@ def _update_rules(
         stale_probe, in_schema, mine, POST, mine_condition_cols, prefix="vpost__"
     )
     still_joins = _full_condition(pairs, residual, post_values.mapping)
-    delete_base = Filter(post_values.ir, Not(still_joins))
+    # IS TRUE: a post-state condition gone UNKNOWN (NULL join value) also
+    # stops joining; plain NOT would leave the stale combo undeleted.
+    delete_base = Filter(post_values.ir, Not(is_true(still_joins)))
     canon = _canonical_map(op)
     delete_ids: list[str] = []
     items = []

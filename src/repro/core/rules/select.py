@@ -16,7 +16,7 @@
 from __future__ import annotations
 
 from ...algebra.plan import Select
-from ...expr import Expr, Not, all_of, col, columns_of
+from ...expr import Expr, Not, all_of, col, columns_of, is_true
 from ..diffs import DELETE, INSERT, DiffSchema, pre_col
 from ..ir import POST, PRE, Compute, Filter, IrNode
 from .base import (
@@ -76,7 +76,9 @@ def _propagate_update(
     if phi_post is not None:
         seed_filters.append(phi_post)
     if phi_pre is not None:
-        seed_filters.append(Not(phi_pre))
+        # IS TRUE: a row moving UNKNOWN -> TRUE enters the view too, and
+        # plain NOT over an UNKNOWN pre-predicate would drop it here.
+        seed_filters.append(Not(is_true(phi_pre)))
     if seed_filters:
         seed = Filter(source, all_of(*seed_filters))
     values = values_via_probe(seed, in_schema, op.child, POST, list(op.child.columns))
@@ -96,7 +98,8 @@ def _propagate_update(
     if phi_pre is not None:
         delete_filters.append(phi_pre)
     if phi_post is not None:
-        delete_filters.append(Not(phi_post))
+        # IS TRUE: TRUE -> UNKNOWN also leaves the view.
+        delete_filters.append(Not(is_true(phi_post)))
     if delete_filters:
         delete_seed = Filter(source, all_of(*delete_filters))
     if phi_post is None:
@@ -104,7 +107,7 @@ def _propagate_update(
         dvalues = values_via_probe(
             delete_seed, in_schema, op.child, POST, sorted(condition_attrs)
         )
-        delete_seed = Filter(dvalues.ir, Not(dvalues.rewrite(predicate)))
+        delete_seed = Filter(dvalues.ir, Not(is_true(dvalues.rewrite(predicate))))
     delete_schema = DiffSchema(
         DELETE,
         target_name(op),

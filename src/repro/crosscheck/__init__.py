@@ -1,0 +1,51 @@
+"""Differential cross-check fuzzer: every engine vs the recompute oracle.
+
+See docs/CROSSCHECK.md for the design and the seed/corpus workflow.
+"""
+
+from .corpus import corpus_files, load_corpus_case, save_corpus_case
+from .generate import CaseGenerator, generate_case
+from .invariants import check_engine_state, check_report, check_table
+from .runner import (
+    ALL_STRATEGIES,
+    CaseResult,
+    Divergence,
+    STRATEGY_FACTORIES,
+    run_case,
+    run_strategy,
+)
+from .shrink import shrink_case
+from .spec import (
+    apply_modification,
+    build_database,
+    build_plan,
+    case_label,
+    expr_from_spec,
+    expr_to_spec,
+    plan_tables,
+)
+
+__all__ = [
+    "ALL_STRATEGIES",
+    "CaseGenerator",
+    "CaseResult",
+    "Divergence",
+    "STRATEGY_FACTORIES",
+    "apply_modification",
+    "build_database",
+    "build_plan",
+    "case_label",
+    "check_engine_state",
+    "check_report",
+    "check_table",
+    "corpus_files",
+    "expr_from_spec",
+    "expr_to_spec",
+    "generate_case",
+    "load_corpus_case",
+    "plan_tables",
+    "run_case",
+    "run_strategy",
+    "save_corpus_case",
+    "shrink_case",
+]

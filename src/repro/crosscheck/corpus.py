@@ -1,0 +1,74 @@
+"""Regression corpus: shrunken fuzzer cases checked into the tree.
+
+Every divergence the fuzzer finds (and any bug fixed by hand) should
+leave behind a minimal case file in ``tests/regressions/`` so the bug
+stays fixed.  Files are the pure-JSON case spec of :mod:`.spec`, plus
+optional annotation keys (``label``, ``divergence``) that the runner
+ignores; ``tests/test_regressions.py`` replays every file on each test
+run and demands a clean :class:`~repro.crosscheck.runner.CaseResult`.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Mapping, Optional
+
+from ..errors import PlanError
+from .spec import SPEC_VERSION
+
+#: ``tests/regressions`` at the repository root (this file lives at
+#: ``src/repro/crosscheck/corpus.py``).
+DEFAULT_CORPUS_DIR = Path(__file__).resolve().parents[3] / "tests" / "regressions"
+
+_NAME_RE = re.compile(r"[^a-z0-9_]+")
+
+
+def corpus_files(directory: Optional[Path] = None) -> list[Path]:
+    """All corpus case files, sorted for stable test ordering."""
+    directory = Path(directory) if directory is not None else DEFAULT_CORPUS_DIR
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob("*.json"))
+
+
+def load_corpus_case(path: Path) -> dict:
+    """Read one corpus file back into a runnable case spec."""
+    with open(path, encoding="utf-8") as fh:
+        case = json.load(fh)
+    version = case.get("version")
+    if version != SPEC_VERSION:
+        raise PlanError(
+            f"{path}: corpus case version {version!r} != {SPEC_VERSION}"
+        )
+    return case
+
+
+def save_corpus_case(
+    case: Mapping,
+    name: str,
+    directory: Optional[Path] = None,
+    *,
+    label: Optional[str] = None,
+    divergence: Optional[str] = None,
+) -> Path:
+    """Write a (shrunken) case into the corpus; returns the file path.
+
+    *name* is slugified into the filename.  *label* should say what bug
+    the case pinned down; *divergence* records the original failure
+    string — both are documentation, invisible to the replayer.
+    """
+    directory = Path(directory) if directory is not None else DEFAULT_CORPUS_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    slug = _NAME_RE.sub("_", name.lower()).strip("_") or "case"
+    path = directory / f"{slug}.json"
+    payload = dict(case)
+    if label is not None:
+        payload["label"] = label
+    if divergence is not None:
+        payload["divergence"] = divergence
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    return path

@@ -1,0 +1,393 @@
+"""Seeded random case generation for the differential fuzzer.
+
+Everything flows from one ``random.Random(seed)``: schemas (1–4 tables,
+int/str columns, FK-style reference columns), view plans (σ/π/⋈/γ/
+antijoin/union over aliased scans — alias prefixes keep join columns
+disjoint, the raw ``Join`` node's requirement), and modification streams
+with deliberately adversarial value distributions:
+
+* **NULL-heavy** — nullable columns draw NULL with high probability, so
+  three-valued predicate logic, NULL join keys, NULL group keys and
+  all-NULL aggregate groups are all routinely exercised;
+* **duplicate-heavy** — non-key values come from tiny domains, so
+  duplicate extrema (min/max ties) and duplicate join fan-out happen
+  constantly;
+* **skewed keys** — modifications hit low keys far more often than high
+  ones (Zipf-ish), so fold chains (insert∘update∘delete of one tuple in
+  one batch) are common;
+* **type chaos** — with small probability a *string* column receives an
+  int value, exercising the UNKNOWN-on-incomparable comparison semantics
+  (int columns stay int: SUM/AVG over mixed types is a genuine type
+  error, not a semantics corner).
+
+The generator only promises *valid* workloads (inserts of fresh keys,
+deletes/updates of live keys, no key-column updates); it promises
+nothing about usefulness — empty tables, empty batches and predicates
+that select nothing are all fair game and must not diverge either.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from typing import Optional
+
+#: Tiny value domains: heavy duplication by construction.
+INT_DOMAIN = [0, 1, 2, 3, 5, 7, 100]
+STR_DOMAIN = ["a", "b", "c", "x", "aa", ""]
+
+#: Aggregate functions the plan generator may emit.
+AGG_FUNCS = ("count", "sum", "avg", "min", "max")
+
+
+class _ColumnInfo:
+    """Generator-side metadata for one (aliased) plan column."""
+
+    __slots__ = ("name", "ctype", "nullable", "ref_table", "key_of")
+
+    def __init__(
+        self,
+        name: str,
+        ctype: str,
+        nullable: bool,
+        ref_table: Optional[str] = None,
+        key_of: Optional[str] = None,
+    ):
+        self.name = name
+        self.ctype = ctype  # "int" | "str"
+        self.nullable = nullable
+        self.ref_table = ref_table  # FK target table, if any
+        self.key_of = key_of  # base table this column is the key of
+
+
+class CaseGenerator:
+    """Deterministic generator: same seed, same stream of case specs."""
+
+    def __init__(self, seed: int):
+        self.rng = random.Random(seed)
+        # name -> {"key": str, "columns": {name: _ColumnInfo}} (base tables)
+        self._tables: dict[str, dict] = {}
+
+    # ------------------------------------------------------------------
+    # values
+    # ------------------------------------------------------------------
+    def _value(self, info: _ColumnInfo, live_keys: dict[str, list]) -> object:
+        rng = self.rng
+        if info.nullable and rng.random() < 0.30:
+            return None
+        if info.ref_table is not None:
+            keys = live_keys.get(info.ref_table, [])
+            if keys and rng.random() < 0.85:
+                return rng.choice(keys)
+            return rng.choice(INT_DOMAIN)  # dangling reference
+        if info.ctype == "int":
+            return rng.choice(INT_DOMAIN)
+        # Type chaos lives in str columns only (see module docstring).
+        if rng.random() < 0.06:
+            return rng.choice(INT_DOMAIN)
+        return rng.choice(STR_DOMAIN)
+
+    def _skewed_choice(self, items: list):
+        """Pick with bias toward the front of the list (key skew)."""
+        rng = self.rng
+        if len(items) == 1 or rng.random() < 0.5:
+            return items[rng.randrange(max(1, len(items) // 3 + 1))]
+        return rng.choice(items)
+
+    # ------------------------------------------------------------------
+    # schemas + data
+    # ------------------------------------------------------------------
+    def _gen_tables(self) -> list[dict]:
+        rng = self.rng
+        self._tables = {}
+        specs = []
+        n_tables = rng.randint(1, 4)
+        for i in range(n_tables):
+            name = f"t{i}"
+            columns: dict[str, _ColumnInfo] = {}
+            n_data = rng.randint(1, 3)
+            for j in range(n_data):
+                ctype = rng.choice(("int", "int", "str"))
+                columns[f"c{j}"] = _ColumnInfo(f"c{j}", ctype, nullable=True)
+            if i > 0 and rng.random() < 0.75:
+                target = f"t{rng.randrange(i)}"
+                columns["r0"] = _ColumnInfo(
+                    "r0", "int", nullable=rng.random() < 0.3, ref_table=target
+                )
+            self._tables[name] = {"key": "k", "columns": columns}
+            specs.append(
+                {
+                    "name": name,
+                    "columns": ["k"] + list(columns),
+                    "key": ["k"],
+                    "rows": [],
+                }
+            )
+        # Initial rows: keys dense from 0 so modifications can skew low.
+        live_keys: dict[str, list] = {s["name"]: [] for s in specs}
+        for spec in specs:
+            name = spec["name"]
+            n_rows = rng.choice((0, 3, 5, 8, 12, 20))
+            infos = self._tables[name]["columns"]
+            for k in range(n_rows):
+                row = [k] + [self._value(info, live_keys) for info in infos.values()]
+                spec["rows"].append(row)
+                live_keys[name].append(k)
+        return specs
+
+    def _foreign_keys(self) -> list[list]:
+        out = []
+        for name, meta in self._tables.items():
+            for info in meta["columns"].values():
+                if info.ref_table is not None:
+                    out.append([name, [info.name], info.ref_table])
+        return out
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+    def _gen_predicate(self, columns: list[_ColumnInfo], depth: int = 2) -> list:
+        rng = self.rng
+        if depth > 0 and rng.random() < 0.35:
+            kind = rng.choice(("and", "or", "not"))
+            if kind == "not":
+                return ["not", self._gen_predicate(columns, depth - 1)]
+            return [
+                kind,
+                self._gen_predicate(columns, depth - 1),
+                self._gen_predicate(columns, depth - 1),
+            ]
+        info = rng.choice(columns)
+        if rng.random() < 0.2:
+            # IN list over the column's domain, sometimes containing NULL.
+            domain = INT_DOMAIN if info.ctype == "int" else STR_DOMAIN
+            values = rng.sample(domain, rng.randint(1, 3))
+            if rng.random() < 0.35:
+                values.append(None)
+            return ["in", ["col", info.name], values]
+        op = rng.choice(("=", "<>", "<", "<=", ">", ">="))
+        if rng.random() < 0.12:
+            # Column-vs-column comparison (same source relation).
+            other = rng.choice(columns)
+            return ["cmp", op, ["col", info.name], ["col", other.name]]
+        if rng.random() < 0.08:
+            literal: object = None  # NULL literal: the predicate is UNKNOWN
+        elif rng.random() < 0.08:
+            # Cross-type literal: UNKNOWN under orderings post-fix.
+            literal = (
+                rng.choice(STR_DOMAIN)
+                if info.ctype == "int"
+                else rng.choice(INT_DOMAIN)
+            )
+        else:
+            domain = INT_DOMAIN if info.ctype == "int" else STR_DOMAIN
+            literal = rng.choice(domain)
+        return ["cmp", op, ["col", info.name], ["lit", literal]]
+
+    # ------------------------------------------------------------------
+    # plans
+    # ------------------------------------------------------------------
+    def _source(self, idx: int) -> tuple[dict, list[_ColumnInfo], list[str]]:
+        """One aliased scan (plus optional σ): (spec, columns, id columns)."""
+        rng = self.rng
+        table = rng.choice(list(self._tables))
+        alias = f"s{idx}"
+        meta = self._tables[table]
+        columns = [_ColumnInfo(f"{alias}_k", "int", False, key_of=table)] + [
+            _ColumnInfo(f"{alias}_{info.name}", info.ctype, info.nullable, info.ref_table)
+            for info in meta["columns"].values()
+        ]
+        spec: dict = {"op": "scan", "table": table, "alias": alias}
+        if rng.random() < 0.4:
+            spec = {
+                "op": "select",
+                "child": spec,
+                "predicate": self._gen_predicate(columns),
+            }
+        return spec, columns, [f"{alias}_k"]
+
+    def _join_pair(
+        self, left: list[_ColumnInfo], right: list[_ColumnInfo]
+    ) -> Optional[list]:
+        """Pick an equi-join pair, preferring FK -> key references."""
+        rng = self.rng
+        fk_pairs = []
+        for lc in left:
+            for rc in right:
+                if lc.ref_table is not None and rc.key_of == lc.ref_table:
+                    fk_pairs.append([lc.name, rc.name])
+                if rc.ref_table is not None and lc.key_of == rc.ref_table:
+                    fk_pairs.append([lc.name, rc.name])
+        typed_pairs = [
+            [lc.name, rc.name]
+            for lc in left
+            for rc in right
+            if lc.ctype == rc.ctype
+        ]
+        pool = fk_pairs if fk_pairs and rng.random() < 0.8 else typed_pairs
+        if not pool:
+            return None
+        return rng.choice(pool)
+
+    def _gen_plan(self) -> dict:
+        rng = self.rng
+        n_sources = rng.choice((1, 1, 1, 2, 2, 3))
+        spec, columns, ids = self._source(0)
+        for i in range(1, n_sources):
+            rspec, rcolumns, rids = self._source(i)
+            pair = self._join_pair(columns, rcolumns)
+            if pair is None:
+                continue
+            spec = {"op": "join", "left": spec, "right": rspec, "on": [pair]}
+            columns = columns + rcolumns
+            ids = ids + rids
+
+        if rng.random() < 0.25:
+            spec = {
+                "op": "select",
+                "child": spec,
+                "predicate": self._gen_predicate(columns),
+            }
+
+        shape = rng.random()
+        if shape < 0.30:
+            # γ root: group keys may be nullable (NULL group keys) and
+            # min/max over tiny domains tie constantly.
+            keys = [
+                c.name
+                for c in rng.sample(columns, rng.randint(1, min(2, len(columns))))
+            ]
+            int_cols = [c for c in columns if c.ctype == "int"]
+            aggs: list[list] = []
+            for i in range(rng.randint(1, 3)):
+                func = rng.choice(AGG_FUNCS)
+                if func == "count":
+                    aggs.append(["count", None, f"agg{i}"])
+                elif func in ("sum", "avg"):
+                    if not int_cols:
+                        aggs.append(["count", None, f"agg{i}"])
+                    else:
+                        aggs.append([func, rng.choice(int_cols).name, f"agg{i}"])
+                else:
+                    aggs.append([func, rng.choice(columns).name, f"agg{i}"])
+            spec = {"op": "groupby", "child": spec, "keys": keys, "aggs": aggs}
+        elif shape < 0.45:
+            # Union of two σ branches over the same core (identical
+            # columns by construction; distinct node objects on build).
+            spec = {
+                "op": "union",
+                "left": {
+                    "op": "select",
+                    "child": spec,
+                    "predicate": self._gen_predicate(columns),
+                },
+                "right": {
+                    "op": "select",
+                    # Deep copy: the shrinker must be able to mutate one
+                    # branch without aliasing the other.
+                    "child": copy.deepcopy(spec),
+                    "predicate": self._gen_predicate(columns),
+                },
+                "branch": "ub",
+            }
+        elif shape < 0.58:
+            # Antijoin against a fresh aliased scan.
+            rspec, rcolumns, _ = self._source(9)
+            pair = self._join_pair(columns, rcolumns)
+            if pair is not None:
+                spec = {
+                    "op": "antijoin",
+                    "left": spec,
+                    "right": rspec,
+                    "on": [pair],
+                }
+        elif shape < 0.75 and len(columns) > len(ids):
+            # π root: keep the IDs (the engines require them) plus a
+            # random subset of the rest.
+            non_ids = [c.name for c in columns if c.name not in ids]
+            keep = ids + [
+                c for c in non_ids if rng.random() < 0.6
+            ]
+            spec = {"op": "project", "child": spec, "columns": keep}
+        return spec
+
+    # ------------------------------------------------------------------
+    # modifications
+    # ------------------------------------------------------------------
+    def _gen_batches(self, table_specs: list[dict]) -> list[list[dict]]:
+        rng = self.rng
+        # Shadow state: live rows per table, kept current batch by batch.
+        live: dict[str, dict[int, list]] = {
+            spec["name"]: {row[0]: list(row) for row in spec["rows"]}
+            for spec in table_specs
+        }
+        next_key = {name: max(rows, default=-1) + 1 for name, rows in live.items()}
+        batches = []
+        for _ in range(rng.randint(1, 4)):
+            batch = []
+            for _ in range(rng.randint(1, 6)):
+                name = rng.choice(list(live))
+                rows = live[name]
+                infos = self._tables[name]["columns"]
+                live_keys = {t: sorted(v) for t, v in live.items()}
+                roll = rng.random()
+                if not rows or roll < 0.35:
+                    key = next_key[name]
+                    next_key[name] += 1
+                    row = [key] + [
+                        self._value(info, live_keys) for info in infos.values()
+                    ]
+                    rows[key] = row
+                    batch.append({"op": "insert", "table": name, "row": list(row)})
+                elif roll < 0.65:
+                    key = self._skewed_choice(sorted(rows))
+                    changes = {}
+                    for cname in rng.sample(
+                        list(infos), rng.randint(1, max(1, len(infos) - 1))
+                    ):
+                        if rng.random() < 0.08:
+                            # Same-value update: must fold to a no-op.
+                            changes[cname] = rows[key][
+                                list(infos).index(cname) + 1
+                            ]
+                        else:
+                            changes[cname] = self._value(infos[cname], live_keys)
+                    for cname, value in changes.items():
+                        rows[key][list(infos).index(cname) + 1] = value
+                    batch.append(
+                        {
+                            "op": "update",
+                            "table": name,
+                            "key": [key],
+                            "changes": changes,
+                        }
+                    )
+                else:
+                    key = self._skewed_choice(sorted(rows))
+                    del rows[key]
+                    batch.append({"op": "delete", "table": name, "key": [key]})
+            batches.append(batch)
+        return batches
+
+    # ------------------------------------------------------------------
+    def generate(self) -> dict:
+        """One complete case spec."""
+        tables = self._gen_tables()
+        plan = self._gen_plan()
+        batches = self._gen_batches(tables)
+        return {
+            "version": 1,
+            "tables": tables,
+            "foreign_keys": self._foreign_keys(),
+            "plan": plan,
+            "batches": batches,
+        }
+
+
+def generate_case(seed: int, index: int) -> dict:
+    """The *index*-th case of the stream seeded with *seed*.
+
+    Each case gets its own Random derived from (seed, index), so case N
+    is reproducible without generating cases 0..N-1 first.
+    """
+    return CaseGenerator(seed * 1_000_003 + index).generate()

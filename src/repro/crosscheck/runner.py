@@ -1,0 +1,158 @@
+"""Run one crosscheck case: every strategy against the recompute oracle.
+
+The oracle is :func:`repro.algebra.evaluate_plan` — the same from-scratch
+evaluator :class:`repro.baselines.recompute.RecomputeEngine` swaps in,
+applied after every batch to a private database that receives the same
+modification stream.  Each maintenance strategy then runs on its *own*
+fresh database; after every batch its view table must equal the oracle's
+multiset exactly, and the engine must pass every invariant in
+:mod:`repro.crosscheck.invariants`.
+
+A divergence names the strategy, the batch and what went wrong; the
+shrinker and the regression corpus both consume this structure.
+"""
+
+from __future__ import annotations
+
+import traceback
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional, Sequence
+
+from ..baselines import TupleIvmEngine
+from ..core import IdIvmEngine
+from ..core.idinfer import annotate_plan
+from ..core.modlog import ModificationLog
+from ..core.sharded import ShardedEngine
+from ..algebra.evaluate import evaluate_plan
+from .invariants import check_engine_state
+from .spec import apply_modification, build_database, build_plan
+
+#: Every maintenance strategy under test, in reporting order.
+STRATEGY_FACTORIES: dict[str, Callable] = {
+    "eager": lambda db: IdIvmEngine(db, optimize=False),
+    "minimized": lambda db: IdIvmEngine(db, optimize=True),
+    "tuple": TupleIvmEngine,
+    "sharded1": lambda db: ShardedEngine(db, shards=1),
+    "sharded2": lambda db: ShardedEngine(db, shards=2),
+    "sharded4": lambda db: ShardedEngine(db, shards=4),
+}
+
+ALL_STRATEGIES = tuple(STRATEGY_FACTORIES)
+
+
+@dataclass
+class Divergence:
+    """One way one strategy disagreed with the oracle (or itself)."""
+
+    strategy: str
+    batch: int  # -1: view definition / initial state
+    kind: str  # "view_mismatch" | "invariant" | "exception" | "oracle_error"
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        where = "setup" if self.batch < 0 else f"batch {self.batch}"
+        return f"[{self.strategy} @ {where}] {self.kind}: {self.detail}"
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one case across all requested strategies."""
+
+    divergences: list[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+def _tail(exc: BaseException) -> str:
+    lines = traceback.format_exception(type(exc), exc, exc.__traceback__)
+    return lines[-1].strip() + (
+        f"  (at {traceback.extract_tb(exc.__traceback__)[-1].name})"
+        if exc.__traceback__ is not None
+        else ""
+    )
+
+
+def _multiset_detail(expected: Counter, actual: Counter) -> str:
+    missing = list((expected - actual).elements())[:4]
+    extra = list((actual - expected).elements())[:4]
+    parts = []
+    if missing:
+        parts.append(f"missing={missing!r}")
+    if extra:
+        parts.append(f"extra={extra!r}")
+    return " ".join(parts) or "multisets differ"
+
+
+def oracle_states(case: Mapping) -> list[Counter]:
+    """Expected view multisets after each batch (full recomputation).
+
+    Raises whatever the evaluator raises — the caller classifies an
+    oracle failure as ``oracle_error`` (the case is unusable as a
+    differential test, but a *crashing* oracle is still a finding: the
+    shared expression/algebra layer blew up).
+    """
+    db = build_database(case)
+    plan = annotate_plan(build_plan(case["plan"], db))
+    log = ModificationLog(db)
+    states = []
+    for batch in case["batches"]:
+        for op in batch:
+            apply_modification(log, op)
+        log.take()
+        states.append(Counter(evaluate_plan(plan, db).rows))
+    return states
+
+
+def run_strategy(
+    case: Mapping, strategy: str, expected: Sequence[Counter]
+) -> Optional[Divergence]:
+    """Run one strategy over the case; return its first divergence."""
+    factory = STRATEGY_FACTORIES[strategy]
+    try:
+        db = build_database(case)
+        plan = build_plan(case["plan"], db)
+        engine = factory(db)
+        view = engine.define_view("V", plan)
+    except Exception as exc:  # noqa: BLE001 - the fuzzer reports, never raises
+        return Divergence(strategy, -1, "exception", _tail(exc))
+    for bi, batch in enumerate(case["batches"]):
+        try:
+            for op in batch:
+                apply_modification(engine.log, op)
+            report = engine.maintain()["V"]
+        except Exception as exc:  # noqa: BLE001
+            return Divergence(strategy, bi, "exception", _tail(exc))
+        actual = Counter(view.table.rows_uncounted())
+        if actual != expected[bi]:
+            return Divergence(
+                strategy, bi, "view_mismatch", _multiset_detail(expected[bi], actual)
+            )
+        try:
+            problems = check_engine_state(view, db, report)
+        except Exception as exc:  # noqa: BLE001
+            return Divergence(strategy, bi, "exception", _tail(exc))
+        if problems:
+            return Divergence(strategy, bi, "invariant", "; ".join(problems[:3]))
+    return None
+
+
+def run_case(
+    case: Mapping, strategies: Sequence[str] = ALL_STRATEGIES
+) -> CaseResult:
+    """Differential-check one case across *strategies*."""
+    result = CaseResult()
+    try:
+        expected = oracle_states(case)
+    except Exception as exc:  # noqa: BLE001
+        result.divergences.append(
+            Divergence("oracle", -1, "oracle_error", _tail(exc))
+        )
+        return result
+    for strategy in strategies:
+        divergence = run_strategy(case, strategy, expected)
+        if divergence is not None:
+            result.divergences.append(divergence)
+    return result

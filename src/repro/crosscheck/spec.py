@@ -1,0 +1,185 @@
+"""Serializable crosscheck case specifications.
+
+A *case* is a pure-JSON description of one differential test: base-table
+schemas + initial rows, a view plan, and a stream of modification
+batches.  Keeping cases as data (rather than closures) is what makes the
+fuzzer's output durable — a failing case shrinks by editing the spec and
+lands in ``tests/regressions/`` as a replayable file.
+
+Spec layout::
+
+    {
+      "version": 1,
+      "tables": [
+        {"name": "t0", "columns": ["k", "c0"], "key": ["k"],
+         "rows": [[0, 5], [1, null]]}
+      ],
+      "foreign_keys": [["t1", ["r0"], "t0"]],
+      "plan": {"op": "scan", "table": "t0", "alias": "s0"},
+      "batches": [
+        [{"op": "insert", "table": "t0", "row": [2, 7]},
+         {"op": "update", "table": "t0", "key": [0], "changes": {"c0": 9}},
+         {"op": "delete", "table": "t0", "key": [1]}]
+      ]
+    }
+
+Plan nodes are ``{"op": ...}`` dicts (scan/select/project/join/antijoin/
+union/groupby); predicates are nested tagged lists (``["cmp", "<",
+["col", "a"], ["lit", 5]]``).  Everything survives a JSON round trip:
+only str/int/float/bool/None values are allowed.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..algebra import (
+    AntiJoin,
+    PlanNode,
+    UnionAll,
+    equi_join,
+    group_by,
+    project_columns,
+    scan,
+    where,
+)
+from ..errors import PlanError
+from ..expr import And, Cmp, Col, Expr, InList, Lit, Not, Or, all_of, col, lit
+from ..storage import Database
+
+SPEC_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+def expr_from_spec(spec: Sequence) -> Expr:
+    """Decode a tagged-list predicate spec into an :class:`Expr`."""
+    tag = spec[0]
+    if tag == "col":
+        return col(spec[1])
+    if tag == "lit":
+        return lit(spec[1])
+    if tag == "cmp":
+        return Cmp(spec[1], expr_from_spec(spec[2]), expr_from_spec(spec[3]))
+    if tag == "and":
+        return And([expr_from_spec(s) for s in spec[1:]])
+    if tag == "or":
+        return Or([expr_from_spec(s) for s in spec[1:]])
+    if tag == "not":
+        return Not(expr_from_spec(spec[1]))
+    if tag == "in":
+        return InList(expr_from_spec(spec[1]), tuple(spec[2]))
+    raise PlanError(f"unknown expression spec tag {tag!r}")
+
+
+def expr_to_spec(expr: Expr) -> list:
+    """Inverse of :func:`expr_from_spec` (for the node types it emits)."""
+    if isinstance(expr, Lit):
+        return ["lit", expr.value]
+    if isinstance(expr, Cmp):
+        return ["cmp", expr.op, expr_to_spec(expr.left), expr_to_spec(expr.right)]
+    if isinstance(expr, And):
+        return ["and"] + [expr_to_spec(e) for e in expr.items]
+    if isinstance(expr, Or):
+        return ["or"] + [expr_to_spec(e) for e in expr.items]
+    if isinstance(expr, Not):
+        return ["not", expr_to_spec(expr.item)]
+    if isinstance(expr, InList):
+        return ["in", expr_to_spec(expr.item), list(expr.values)]
+    if isinstance(expr, Col):
+        return ["col", expr.name]
+    raise PlanError(f"cannot serialize expression {expr!r}")
+
+
+# ----------------------------------------------------------------------
+# databases
+# ----------------------------------------------------------------------
+def build_database(case: Mapping) -> Database:
+    """Fresh live database for one case (each strategy gets its own)."""
+    db = Database()
+    for spec in case["tables"]:
+        table = db.create_table(spec["name"], spec["columns"], spec["key"])
+        table.load(tuple(row) for row in spec["rows"])
+    for child, columns, parent in case.get("foreign_keys", []):
+        db.add_foreign_key(child, columns, parent)
+    return db
+
+
+# ----------------------------------------------------------------------
+# plans
+# ----------------------------------------------------------------------
+def build_plan(spec: Mapping, db: Database) -> PlanNode:
+    """Instantiate a plan spec against *db* (fresh nodes every call)."""
+    op = spec["op"]
+    if op == "scan":
+        return scan(db, spec["table"], alias=spec.get("alias"))
+    if op == "select":
+        return where(
+            build_plan(spec["child"], db), expr_from_spec(spec["predicate"])
+        )
+    if op == "project":
+        return project_columns(build_plan(spec["child"], db), spec["columns"])
+    if op == "join":
+        return equi_join(
+            build_plan(spec["left"], db),
+            build_plan(spec["right"], db),
+            [tuple(pair) for pair in spec["on"]],
+        )
+    if op == "antijoin":
+        condition = all_of(*[col(a).eq(col(b)) for a, b in spec["on"]])
+        return AntiJoin(
+            build_plan(spec["left"], db), build_plan(spec["right"], db), condition
+        )
+    if op == "union":
+        return UnionAll(
+            build_plan(spec["left"], db),
+            build_plan(spec["right"], db),
+            branch_column=spec.get("branch", "b"),
+        )
+    if op == "groupby":
+        aggs = [
+            (func, None if arg is None else col(arg), name)
+            for func, arg, name in spec["aggs"]
+        ]
+        return group_by(build_plan(spec["child"], db), spec["keys"], aggs)
+    raise PlanError(f"unknown plan spec op {op!r}")
+
+
+def plan_tables(spec: Mapping) -> set[str]:
+    """Base tables a plan spec reads."""
+    op = spec["op"]
+    if op == "scan":
+        return {spec["table"]}
+    out: set[str] = set()
+    for key in ("child", "left", "right"):
+        child = spec.get(key)
+        if child is not None:
+            out |= plan_tables(child)
+    return out
+
+
+# ----------------------------------------------------------------------
+# modifications
+# ----------------------------------------------------------------------
+def apply_modification(log, op: Mapping) -> None:
+    """Apply one modification spec through a :class:`ModificationLog`."""
+    kind = op["op"]
+    if kind == "insert":
+        log.insert(op["table"], tuple(op["row"]))
+    elif kind == "delete":
+        log.delete(op["table"], tuple(op["key"]))
+    elif kind == "update":
+        log.update(op["table"], tuple(op["key"]), dict(op["changes"]))
+    else:
+        raise PlanError(f"unknown modification op {kind!r}")
+
+
+def case_label(case: Mapping) -> str:
+    """Short human-readable summary of a case spec."""
+    n_mods = sum(len(batch) for batch in case.get("batches", []))
+    n_rows = sum(len(t["rows"]) for t in case["tables"])
+    return (
+        f"{len(case['tables'])} tables / {n_rows} rows / "
+        f"{len(case.get('batches', []))} batches ({n_mods} mods)"
+    )

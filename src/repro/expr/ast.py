@@ -32,10 +32,14 @@ SCALAR_FUNCTIONS: dict[str, Callable] = {
     # Null-safe inequality (SQL's IS DISTINCT FROM); used by the σ_isupd
     # filter of the projection rules (Table 8).
     "is_distinct": lambda a, b: a != b,
+    # SQL's IS TRUE: collapses UNKNOWN to False, so its negation is
+    # definite.  The update-split rules need this to catch rows whose
+    # predicate moves between UNKNOWN and TRUE.
+    "is_true": lambda a: a is True,
 }
 
 #: Functions that receive None arguments instead of short-circuiting to None.
-NULL_TOLERANT_FUNCTIONS = frozenset({"coalesce", "is_distinct"})
+NULL_TOLERANT_FUNCTIONS = frozenset({"coalesce", "is_distinct", "is_true"})
 
 
 class Expr:
@@ -346,3 +350,13 @@ def any_of(*exprs: Expr) -> Expr:
     if len(exprs) == 1:
         return exprs[0]
     return Or(exprs)
+
+
+def is_true(expr: Expr) -> Call:
+    """SQL's ``IS TRUE``: UNKNOWN collapses to False.
+
+    Use ``Not(is_true(p))`` where "p did not hold" must include rows on
+    which *p* is UNKNOWN — plain ``Not(p)`` stays UNKNOWN there and a
+    filter drops the row.
+    """
+    return Call("is_true", (expr,))

@@ -38,6 +38,24 @@ _CMP_OPS = {
 }
 
 
+def compare(op: str, left, right):
+    """Three-valued comparison primitive.
+
+    A NULL operand yields UNKNOWN (``None``), and so does an ordering
+    comparison between values with no common order (``3 < "x"`` raises
+    ``TypeError`` in Python; in a modification stream that writes mixed
+    types into a column it must degrade to UNKNOWN, not crash the
+    maintenance round).  Equality never raises, so ``=``/``<>`` keep
+    Python semantics on mixed types (always False / True).
+    """
+    if left is None or right is None:
+        return None
+    try:
+        return _CMP_OPS[op](left, right)
+    except TypeError:
+        return None
+
+
 def evaluate(expr: Expr, positions: Mapping[str, int], row: tuple):
     """Evaluate *expr* on *row*, using *positions* to resolve column names.
 
@@ -63,9 +81,7 @@ def evaluate(expr: Expr, positions: Mapping[str, int], row: tuple):
     if isinstance(expr, Cmp):
         left = evaluate(expr.left, positions, row)
         right = evaluate(expr.right, positions, row)
-        if left is None or right is None:
-            return None
-        return _CMP_OPS[expr.op](left, right)
+        return compare(expr.op, left, right)
     if isinstance(expr, And):
         result: object = True
         for item in expr.items:
@@ -93,7 +109,17 @@ def evaluate(expr: Expr, positions: Mapping[str, int], row: tuple):
         value = evaluate(expr.item, positions, row)
         if value is None:
             return None
-        return value in expr.values
+        # x IN (a, b, ...) is x=a OR x=b OR ...: a NULL list element
+        # contributes UNKNOWN, so a non-match is UNKNOWN (filtered out at
+        # a σ boundary, but NOT(...) must not turn it into True).
+        unknown = False
+        for item in expr.values:
+            verdict = compare("=", value, item)
+            if verdict is True:
+                return True
+            if verdict is None:
+                unknown = True
+        return None if unknown else False
     if isinstance(expr, Call):
         args = [evaluate(a, positions, row) for a in expr.args]
         if expr.func not in NULL_TOLERANT_FUNCTIONS and any(a is None for a in args):

@@ -88,6 +88,58 @@ class TestEvaluation:
             evaluate(col("zzz"), POS, ROW)
 
 
+class TestThreeValuedNullLogic:
+    """SQL three-valued semantics at σ boundaries: NULL-vs-value (and
+    order-incomparable operands) yield UNKNOWN — never a Python
+    TypeError, and never a definite True/False that NOT could flip."""
+
+    def test_null_ordering_comparisons_are_unknown(self):
+        row = (None, 4, "x")
+        for cmp in ("lt", "le", "gt", "ge", "eq", "ne"):
+            assert evaluate(getattr(col("a"), cmp)(lit(3)), POS, row) is None
+            assert evaluate(getattr(col("b"), cmp)(col("a")), POS, row) is None
+
+    def test_mixed_type_ordering_is_unknown_not_typeerror(self):
+        # A modification stream can write a string into an int column;
+        # the ordering comparison must degrade to UNKNOWN, not crash
+        # the whole maintenance round.
+        row = (3, 4, "x")
+        assert evaluate(col("a").lt(col("c")), POS, row) is None
+        assert evaluate(col("c").ge(lit(10)), POS, row) is None
+        # Equality across types never raises in Python: keep it definite.
+        assert evaluate(col("a").eq(col("c")), POS, row) is False
+        assert evaluate(col("a").ne(col("c")), POS, row) is True
+
+    def test_mixed_type_comparison_under_not(self):
+        row = (3, 4, "x")
+        assert evaluate(~col("a").lt(col("c")), POS, row) is None
+        assert matches(~col("a").lt(col("c")), POS, row) is False
+
+    def test_in_list_with_null_element(self):
+        # x IN (a, NULL) == (x=a OR UNKNOWN): True on a match, UNKNOWN
+        # (not False) otherwise.
+        assert evaluate(col("a").isin([3, None]), POS, ROW) is True
+        assert evaluate(col("a").isin([7, None]), POS, ROW) is None
+        assert evaluate(col("a").isin([7, 8]), POS, ROW) is False
+
+    def test_not_in_list_with_null_element(self):
+        # The case where UNKNOWN vs False is observable: NOT (x IN
+        # (7, NULL)) must be UNKNOWN (filtered out), not True.
+        assert evaluate(~col("a").isin([7, None]), POS, ROW) is None
+        assert matches(~col("a").isin([7, None]), POS, ROW) is False
+        assert evaluate(~col("a").isin([3, None]), POS, ROW) is False
+
+    def test_null_tested_value_in_list(self):
+        row = (None, 4, "x")
+        assert evaluate(col("a").isin([1, 2]), POS, row) is None
+        assert evaluate(col("a").isin([None]), POS, row) is None
+
+    def test_matches_treats_unknown_as_false(self):
+        row = (None, 4, "x")
+        assert matches(col("a").lt(lit(3)), POS, row) is False
+        assert matches(~col("a").lt(lit(3)), POS, row) is False
+
+
 class TestAnalysis:
     def test_columns_of(self):
         expr = (col("a") + col("b")).lt(Call("abs", [col("c")]))

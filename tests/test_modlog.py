@@ -280,3 +280,50 @@ class TestFoldLogProperty:
                     assert change.pre_row != change.post_row
                     replayed[key] = change.post_row
             assert set(replayed.values()) == db.table("r").as_set()
+
+
+class TestNoOpUpdateFolding:
+    """An UPDATE whose new values equal the old ones is a no-op: it must
+    not survive into the log (count-neutrality — the next maintenance
+    round must cost exactly what an empty round costs)."""
+
+    def test_same_value_update_is_not_logged(self, db):
+        log = ModificationLog(db)
+        log.update("r", (1,), {"a": 10})  # a is already 10
+        assert log.entries == []
+        assert db.table("r").as_set() == {(1, 10, "x"), (2, 20, "y")}
+
+    def test_multi_column_noop_update_is_not_logged(self, db):
+        log = ModificationLog(db)
+        log.update("r", (1,), {"a": 10, "b": "x"})
+        assert log.entries == []
+
+    def test_partial_noop_update_is_logged(self, db):
+        log = ModificationLog(db)
+        log.update("r", (1,), {"a": 10, "b": "q"})  # b actually changes
+        assert len(log.entries) == 1
+        net = fold_log(log.take(), db)["r"]
+        assert net[(1,)].post_row == (1, 10, "q")
+
+    def test_fold_log_still_guards_hand_built_logs(self, db):
+        from repro.core.modlog import LoggedModification
+
+        entries = [
+            LoggedModification(
+                UPDATE, "r", (1,), row=(1, 10, "x"), changes={"a": 10}
+            )
+        ]
+        assert fold_log(entries, db) == {"r": {}}
+
+    def test_noop_update_round_is_count_neutral(self, db):
+        from repro.core import IdIvmEngine
+        from repro.expr import col, lit
+        from repro.algebra import scan, where
+
+        engine = IdIvmEngine(db)
+        view = engine.define_view("V", where(scan(db, "r"), col("a").le(lit(50))))
+        empty_report = engine.maintain()["V"]
+        engine.log.update("r", (1,), {"a": 10})  # no-op
+        noop_report = engine.maintain()["V"]
+        assert noop_report.total_cost == empty_report.total_cost == 0
+        assert view.table.as_set() == {(1, 10, "x"), (2, 20, "y")}

@@ -1,0 +1,27 @@
+"""Replay the shrunken-reproducer corpus in ``tests/regressions/``.
+
+Every file is a minimal case the fuzzer (or a manual bisection) once
+found a real bug with; each must stay clean across every maintenance
+strategy forever.  ``repro crosscheck`` appends new files here when it
+finds and shrinks a divergence — nothing else should edit them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crosscheck import corpus_files, load_corpus_case, run_case
+
+FILES = corpus_files()
+
+
+def test_corpus_is_not_empty():
+    """The fixed bugs of the initial fuzzing sweep left reproducers."""
+    assert len(FILES) >= 5
+
+
+@pytest.mark.parametrize("path", FILES, ids=lambda p: p.stem)
+def test_regression_case_stays_fixed(path):
+    case = load_corpus_case(path)
+    result = run_case(case)
+    assert result.ok, "\n".join(str(d) for d in result.divergences)

@@ -205,3 +205,94 @@ class TestGeneralStep:
         )
         assert out.as_set() == {("a", 7)}
         assert len(ctx.diffs["emit_del"]) == 1
+
+
+def _minmax_engines():
+    """Every maintenance strategy with a min/max rescan path."""
+    from repro.baselines import TupleIvmEngine
+    from repro.core import IdIvmEngine
+
+    return [
+        pytest.param(lambda db: IdIvmEngine(db, optimize=False), id="eager"),
+        pytest.param(lambda db: IdIvmEngine(db, optimize=True), id="minimized"),
+        pytest.param(TupleIvmEngine, id="tuple"),
+    ]
+
+
+@pytest.mark.parametrize("make_engine", _minmax_engines())
+class TestMinMaxDeleteRescan:
+    """DELETE of the cached extremum must fire the Table 7 rescan —
+    including with duplicate extrema, NULL-only groups and NULL/mixed
+    group keys (which Python's ``sorted`` cannot order)."""
+
+    def _engine(self, make_engine, rows):
+        db = Database()
+        db.create_table("m", ("k", "g", "v"), ("k",))
+        db.table("m").load(rows)
+        engine = make_engine(db)
+        plan = group_by(
+            scan(db, "m"), ("g",),
+            [("min", col("v"), "lo"), ("max", col("v"), "hi")],
+        )
+        view = engine.define_view("V", plan)
+        return engine, view
+
+    def test_delete_unique_extremum_rescans_and_is_costed(self, make_engine):
+        engine, view = self._engine(
+            make_engine, [(1, "a", 5), (2, "a", 7), (3, "b", 2)]
+        )
+        engine.log.delete("m", (2,))
+        report = engine.maintain()["V"]
+        assert view.table.as_set() == {("a", 5, 5), ("b", 2, 2)}
+        # The rescan touched the surviving group members and was counted.
+        total = report.phase_counts["__total__"]
+        assert total.tuple_reads > 0
+        assert total.tuple_writes > 0
+        assert report.total_cost > 0
+
+    def test_delete_duplicate_extremum_keeps_value(self, make_engine):
+        engine, view = self._engine(
+            make_engine, [(1, "a", 7), (2, "a", 7), (3, "a", 1)]
+        )
+        engine.log.delete("m", (2,))
+        engine.maintain()
+        assert view.table.as_set() == {("a", 1, 7)}
+
+    def test_delete_last_extremum_drops_to_next(self, make_engine):
+        engine, view = self._engine(
+            make_engine, [(1, "a", 7), (2, "a", 7), (3, "a", 1)]
+        )
+        engine.log.delete("m", (1,))
+        engine.log.delete("m", (2,))
+        engine.maintain()
+        assert view.table.as_set() == {("a", 1, 1)}
+
+    def test_null_only_group_survives_extremum_delete(self, make_engine):
+        engine, view = self._engine(
+            make_engine, [(1, "a", None), (2, "a", None), (3, "b", 4)]
+        )
+        engine.log.delete("m", (1,))
+        engine.maintain()
+        # The group still has a member; min/max over all-NULL is NULL.
+        assert view.table.as_set() == {("a", None, None), ("b", 4, 4)}
+        engine.log.delete("m", (2,))
+        engine.maintain()
+        assert view.table.as_set() == {("b", 4, 4)}
+
+    def test_null_group_key_delete_does_not_crash_sort(self, make_engine):
+        # Pre-fix: sorted() over {("a",), (None,)} raised TypeError.
+        engine, view = self._engine(
+            make_engine, [(1, None, 5), (2, None, 7), (3, "a", 2)]
+        )
+        engine.log.delete("m", (2,))
+        engine.maintain()
+        assert view.table.as_set() == {(None, 5, 5), ("a", 2, 2)}
+
+    def test_mixed_type_group_keys_delete(self, make_engine):
+        # Pre-fix: sorted() over {(1,), ("a",)} raised TypeError.
+        engine, view = self._engine(
+            make_engine, [(1, 1, 5), (2, 1, 9), (3, "a", 2)]
+        )
+        engine.log.delete("m", (2,))
+        engine.maintain()
+        assert view.table.as_set() == {(1, 5, 5), ("a", 2, 2)}
