@@ -1,0 +1,95 @@
+"""Static verifier + lint framework for plans, expressions and ∆-scripts.
+
+Four passes over a shared diagnostic model (see docs/ANALYSIS.md):
+
+* ``typecheck`` — 3VL-aware type & nullability inference (TC1xx)
+* ``keys``      — key/FD audit of the ID inference claims (KEY2xx)
+* ``script``    — ∆-script IR read/write-set checker (SC3xx)
+* ``shard``     — shard routability classification (SH4xx)
+
+Entry points: :func:`analyze_plan` for a bare algebra plan,
+:func:`analyze_generated` for compiler output, :func:`check_generated`
+as the strict post-generation assertion (raises on error-severity
+diagnostics).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.idinfer import annotate_plan
+from ..errors import StaticAnalysisError
+from .diagnostics import (
+    ERROR,
+    INFO,
+    RULES,
+    WARNING,
+    AnalysisReport,
+    Diagnostic,
+    Rule,
+)
+from .registry import AnalysisContext, pass_names, register_pass, run_passes
+
+# Importing the pass modules registers them (registration order = run
+# order: cheap local checks first, router probing last).
+from . import typecheck as _typecheck  # noqa: F401
+from . import keys as _keys  # noqa: F401
+from . import script_check as _script_check  # noqa: F401
+from . import shard_check as _shard_check  # noqa: F401
+
+
+def analyze_plan(plan, names=None) -> AnalysisReport:
+    """Run the plan-level passes over a (possibly un-annotated) plan."""
+    if plan.node_id == -1:
+        plan = annotate_plan(plan)
+    ctx = AnalysisContext(plan=plan)
+    return run_passes(ctx, names)
+
+
+def analyze_generated(
+    generated, db=None, n_shards: int = 2, names=None
+) -> AnalysisReport:
+    """Run every applicable pass over a :class:`GeneratedPlan`.
+
+    Without *db* the shard pass skips itself (routability needs the
+    foreign-key graph); everything else runs.
+    """
+    ctx = AnalysisContext(
+        plan=generated.plan,
+        script=generated.script,
+        base_schemas=list(generated.base_schemas),
+        generated=generated,
+        db=db,
+        n_shards=n_shards,
+    )
+    return run_passes(ctx, names)
+
+
+def check_generated(generated, db=None) -> AnalysisReport:
+    """Strict gate: analyze and raise on error-severity diagnostics."""
+    report = analyze_generated(generated, db=db)
+    if report.has_errors():
+        lines = [d.render() for d in report.errors]
+        raise StaticAnalysisError(
+            f"static analysis rejected the generated plan for "
+            f"{generated.view_name!r}:\n" + "\n".join(lines)
+        )
+    return report
+
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "INFO",
+    "RULES",
+    "Rule",
+    "Diagnostic",
+    "AnalysisReport",
+    "AnalysisContext",
+    "register_pass",
+    "pass_names",
+    "run_passes",
+    "analyze_plan",
+    "analyze_generated",
+    "check_generated",
+]

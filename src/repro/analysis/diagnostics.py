@@ -1,0 +1,139 @@
+"""Shared diagnostic model for the static analyzer.
+
+Every pass reports through the same vocabulary: a *rule* (stable id from
+the catalog below), a *severity* (fixed per rule), a *location* (a plan
+node, a script step, or a free-form anchor), a message, and an optional
+fix hint.  Severity policy:
+
+* ``error`` — the generated program is wrong or will crash: maintenance
+  results can diverge from recomputation.  ``repro lint`` exits nonzero;
+  a strict generator refuses to emit the script.
+* ``warning`` — legal but suspicious; a known hazard class that needs
+  data to bite (e.g. a NULL-unsafe equi key over a column that happens
+  never to hold NULL).
+* ``info`` — neutral classification facts (e.g. shard routability per
+  base table) surfaced for operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+SEVERITIES = (ERROR, WARNING, INFO)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One catalog entry; the severity is a property of the rule."""
+
+    rule_id: str
+    severity: str
+    title: str
+
+
+#: The rule catalog.  Ids are grouped by pass: TC1xx type/nullability,
+#: KEY2xx key inference, SC3xx ∆-script IR, SH4xx shard safety.
+RULES: dict[str, Rule] = {
+    r.rule_id: r
+    for r in (
+        Rule("TC101", WARNING, "ordering comparison between incompatible types"),
+        Rule("TC102", ERROR, "non-boolean expression at a filter position"),
+        Rule("TC103", ERROR, "plain NOT over a nullable split predicate"),
+        Rule("TC104", WARNING, "sum/avg over a non-numeric argument"),
+        Rule("TC106", ERROR, "arithmetic over non-numeric operands"),
+        Rule("KEY201", ERROR, "claimed ID attributes are not provably a key"),
+        Rule("KEY202", ERROR, "claimed ID attributes missing from the output"),
+        Rule("SC301", ERROR, "read of an undefined diff or expansion"),
+        Rule("SC302", ERROR, "pre-state read of a cache while its update is in flight"),
+        Rule("SC304", ERROR, "diff applied to a cache already marked post-state"),
+        Rule("SC305", WARNING, "RETURNING expansion is never consumed"),
+        Rule("SC306", ERROR, "operator cache over a non-associative aggregate"),
+        Rule("SC307", WARNING, "NULL-unsafe equi-join key column"),
+        Rule("SH401", WARNING, "maintenance rounds fall back to broadcast"),
+        Rule("SH402", INFO, "per-table shard routability classification"),
+    )
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: rule + location + message (+ optional fix hint)."""
+
+    rule_id: str
+    severity: str
+    location: str
+    message: str
+    hint: str = ""
+
+    def render(self) -> str:
+        text = f"{self.severity:7s} {self.rule_id} {self.location}: {self.message}"
+        if self.hint:
+            text += f"\n        hint: {self.hint}"
+        return text
+
+    def to_json(self) -> dict:
+        out = {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "location": self.location,
+            "message": self.message,
+        }
+        if self.hint:
+            out["hint"] = self.hint
+        return out
+
+
+@dataclass
+class AnalysisReport:
+    """Accumulated diagnostics across all passes of one analysis run."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def add(self, rule_id: str, location: str, message: str, hint: str = "") -> None:
+        rule = RULES[rule_id]
+        self.diagnostics.append(
+            Diagnostic(rule_id, rule.severity, location, message, hint)
+        )
+
+    def extend(self, other: "AnalysisReport") -> None:
+        self.diagnostics.extend(other.diagnostics)
+
+    # ------------------------------------------------------------------
+    def by_severity(self, severity: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == severity]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return self.by_severity(ERROR)
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return self.by_severity(WARNING)
+
+    def has_errors(self) -> bool:
+        return any(d.severity == ERROR for d in self.diagnostics)
+
+    def rule_ids(self) -> set[str]:
+        return {d.rule_id for d in self.diagnostics}
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        if not self.diagnostics:
+            return "no diagnostics"
+        order = {ERROR: 0, WARNING: 1, INFO: 2}
+        ranked = sorted(
+            self.diagnostics, key=lambda d: (order[d.severity], d.rule_id)
+        )
+        lines = [d.render() for d in ranked]
+        lines.append(
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.by_severity(INFO))} info"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> list[dict]:
+        return [d.to_json() for d in self.diagnostics]

@@ -1,0 +1,70 @@
+"""Pluggable pass registry for the static analyzer.
+
+A pass is a callable ``(AnalysisContext) -> None`` that appends to
+``ctx.report``.  Registration order is execution order; passes declare
+what they need (a script, a database) by returning early when the
+context lacks it, so one registry serves plan-only, post-generation and
+full-workload analyses alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..algebra.plan import PlanNode
+from ..core.diffs import DiffSchema
+from ..core.script import DeltaScript
+from ..storage import Database
+from .diagnostics import AnalysisReport
+
+
+@dataclass
+class AnalysisContext:
+    """Everything a pass may consult.  Only *plan* is mandatory."""
+
+    plan: PlanNode
+    script: Optional[DeltaScript] = None
+    base_schemas: list[DiffSchema] = field(default_factory=list)
+    #: the full GeneratedPlan when analyzing compiler output (duck-typed
+    #: to avoid importing the generator from the analyzer)
+    generated: object = None
+    db: Optional[Database] = None
+    n_shards: int = 2
+    report: AnalysisReport = field(default_factory=AnalysisReport)
+
+
+PassFn = Callable[[AnalysisContext], None]
+
+_PASSES: dict[str, PassFn] = {}
+
+
+def register_pass(name: str) -> Callable[[PassFn], PassFn]:
+    """Decorator: register a pass under *name* (registration order runs)."""
+
+    def deco(fn: PassFn) -> PassFn:
+        if name in _PASSES:
+            raise ValueError(f"analysis pass {name!r} already registered")
+        _PASSES[name] = fn
+        return fn
+
+    return deco
+
+
+def pass_names() -> tuple[str, ...]:
+    return tuple(_PASSES)
+
+
+def run_passes(
+    ctx: AnalysisContext, names: Optional[Sequence[str]] = None
+) -> AnalysisReport:
+    """Run the selected passes (all, by default) over *ctx*."""
+    for name in names if names is not None else _PASSES:
+        try:
+            fn = _PASSES[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown analysis pass {name!r}; have {sorted(_PASSES)}"
+            ) from None
+        fn(ctx)
+    return ctx.report

@@ -1,0 +1,78 @@
+"""Pass 4: shard-safety classification (rules SH4xx).
+
+The shard router (:mod:`repro.shard.router`) proves per *round* that
+splitting the base i-diff instances across workers is exact, falling
+back to broadcast when any obligation fails.  That decision depends
+only on which instances are non-empty — never on row values — so it can
+be taken statically at view-definition time by probing the router with
+one-row dummy instances, once per base diff schema (table × kind):
+
+* SH401 — *no* single-schema round routes in parallel: the view always
+  falls back to broadcast, silently, no matter what is modified.  The
+  router's reason for the mixed (all-schemas-active) case is surfaced
+  so the plan can be fixed or the fallback accepted knowingly.
+* SH402 — the full classification: which modification kinds route in
+  parallel (and through which anchor), which broadcast and why.
+  Neutral information for capacity planning.
+
+Needs a database (for foreign keys and anchor keys); skipped without.
+"""
+
+from __future__ import annotations
+
+from ..core.diffs import Diff, DiffSchema
+from ..core.modlog import schema_instance_name
+from ..shard.router import plan_route
+from .registry import AnalysisContext, register_pass
+
+
+def _dummy_instances(base_schemas: list[DiffSchema], active: set[str]) -> dict:
+    """One placeholder row per active instance (the router only inspects
+    row *presence*, schemas and FK metadata — never values)."""
+    out = {}
+    for schema in base_schemas:
+        name = schema_instance_name(schema)
+        rows = [tuple(range(len(schema.columns)))] if name in active else []
+        out[name] = Diff(schema, rows)
+    return out
+
+
+@register_pass("shard")
+def shard_pass(ctx: AnalysisContext) -> None:
+    if ctx.script is None or ctx.db is None or not ctx.base_schemas:
+        return
+    report = ctx.report
+    schemas = ctx.base_schemas
+
+    routable = []
+    broadcast = []
+    for schema in schemas:
+        name = schema_instance_name(schema)
+        route = plan_route(
+            ctx.script, _dummy_instances(schemas, {name}), ctx.db, ctx.n_shards
+        )
+        if route.parallel:
+            routable.append(f"{name} via anchor {route.anchor}")
+        else:
+            broadcast.append(f"{name} ({route.reason})")
+
+    if not routable:
+        all_active = {schema_instance_name(s) for s in schemas}
+        route = plan_route(
+            ctx.script, _dummy_instances(schemas, all_active), ctx.db, ctx.n_shards
+        )
+        report.add(
+            "SH401",
+            "script",
+            f"no modification round routes in parallel — every batch "
+            f"silently broadcasts to all shards: {route.reason}",
+            hint="broadcast is exact but serial; add the missing foreign "
+            "key or keep the anchor key in group keys / probe bindings",
+        )
+
+    parts = []
+    if routable:
+        parts.append("parallel: " + ", ".join(routable))
+    if broadcast:
+        parts.append("broadcast: " + "; ".join(broadcast))
+    report.add("SH402", "script", "routability per base diff: " + " | ".join(parts))

@@ -19,6 +19,11 @@ Commands
     recompute oracle over K generated cases (see ``docs/CROSSCHECK.md``).
     Divergent cases are shrunk and saved as replayable reproducers;
     exits non-zero if any case diverged.
+``lint [--json]``
+    Run the static analyzer (see ``docs/ANALYSIS.md``) over every
+    shipped workload view — devices flat + aggregate and all eight BSMA
+    queries — and print the diagnostics.  Exits non-zero if any view
+    carries error-severity diagnostics.
 
 ``demo``, ``sweep``, ``bsma`` and ``crosscheck`` accept ``--trace
 FILE.jsonl`` to record every maintenance round as a span tree (see
@@ -61,9 +66,27 @@ def _id_engine_factory(shards: int):
 def demo_database() -> Database:
     """The Figure 1 instance, used by ``demo`` and ``explain``."""
     db = Database()
-    db.create_table("devices", ("did", "category"), ("did",))
-    db.create_table("parts", ("pid", "price"), ("pid",))
-    db.create_table("devices_parts", ("did", "pid"), ("did", "pid"))
+    db.create_table(
+        "devices",
+        ("did", "category"),
+        ("did",),
+        nullable=(),
+        types={"did": "str", "category": "str"},
+    )
+    db.create_table(
+        "parts",
+        ("pid", "price"),
+        ("pid",),
+        nullable=(),
+        types={"pid": "str", "price": "int"},
+    )
+    db.create_table(
+        "devices_parts",
+        ("did", "pid"),
+        ("did", "pid"),
+        nullable=(),
+        types={"did": "str", "pid": "str"},
+    )
     db.table("devices").load([("D1", "phone"), ("D2", "phone"), ("D3", "tablet")])
     db.table("parts").load([("P1", 10), ("P2", 20)])
     db.table("devices_parts").load([("D1", "P1"), ("D2", "P1"), ("D1", "P2")])
@@ -258,6 +281,76 @@ def cmd_crosscheck(args: argparse.Namespace) -> int:
     return 1 if divergent else 0
 
 
+def lint_targets():
+    """(label, plan, db) for every shipped workload view.
+
+    Small config sizes: the analyzer is static, the data only feeds key
+    and foreign-key metadata to the passes.
+    """
+    from .workloads.devices import build_flat_view
+
+    dev_config = DevicesConfig(n_parts=20, n_devices=20, diff_size=4, fanout=2)
+    dev_db = build_devices_database(dev_config)
+    yield "devices/flat", build_flat_view(dev_db, dev_config), dev_db
+    yield "devices/aggregate", build_aggregate_view(dev_db, dev_config), dev_db
+    bsma_config = BsmaConfig(n_users=30, friends_per_user=3, n_tweets=60)
+    bsma_db = build_bsma_database(bsma_config)
+    for name in sorted(BSMA_QUERIES):
+        yield f"bsma/{name}", BSMA_QUERIES[name](bsma_db, bsma_config), bsma_db
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """``repro lint``: static analysis over every shipped view."""
+    import json
+
+    from .analysis import analyze_generated
+    from .core.generator import ScriptGenerator
+    from .core.schema_gen import generate_base_schemas
+
+    reports = []
+    for label, plan, db in lint_targets():
+        generator = ScriptGenerator(label, plan)
+        generated = generator.generate(
+            generate_base_schemas(generator.plan, db)
+        )
+        reports.append((label, analyze_generated(generated, db=db)))
+
+    n_errors = sum(len(r.errors) for _, r in reports)
+    n_warnings = sum(len(r.warnings) for _, r in reports)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "views": [
+                        {"view": label, "diagnostics": report.to_json()}
+                        for label, report in reports
+                    ],
+                    "errors": n_errors,
+                    "warnings": n_warnings,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for label, report in reports:
+            interesting = report.errors + report.warnings
+            status = "clean" if not interesting else (
+                f"{len(report.errors)} error(s), "
+                f"{len(report.warnings)} warning(s)"
+            )
+            print(f"== {label}: {status}")
+            if args.verbose:
+                print(report.render())
+            else:
+                for diag in interesting:
+                    print(diag.render())
+        print(
+            f"lint: {len(reports)} views, {n_errors} error(s), "
+            f"{n_warnings} warning(s)"
+        )
+    return 1 if n_errors else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro command-line argument parser."""
     parser = argparse.ArgumentParser(
@@ -316,6 +409,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="do not write shrunken reproducers into tests/regressions/",
     )
     crosscheck.set_defaults(handler=cmd_crosscheck)
+
+    lint = sub.add_parser(
+        "lint", help="static analysis of every shipped workload view"
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="machine-readable diagnostics"
+    )
+    lint.add_argument(
+        "--verbose",
+        action="store_true",
+        help="include info-severity diagnostics (routability reports)",
+    )
+    lint.set_defaults(handler=cmd_lint)
 
     for traced in (demo, sweep, bsma, crosscheck):
         traced.add_argument(

@@ -91,10 +91,14 @@ class IdIvmEngine:
         optimize: bool = True,
         cache_policy: str = "equi",
         view_reuse: bool = False,
+        strict: bool = False,
     ):
         self.db = db
         self.optimize = optimize
         self.cache_policy = cache_policy
+        #: refuse view definitions whose generated plans fail the static
+        #: analyzer (repro.analysis) with error-severity diagnostics
+        self.strict = strict
         #: Section 9 extension: answer insert probes from the view when
         #: the probed tables are untouched in a batch.  Off by default to
         #: keep the paper's cost profile.
@@ -115,6 +119,7 @@ class IdIvmEngine:
             optimize=self.optimize,
             cache_policy=self.cache_policy,
             view_reuse=self.view_reuse,
+            strict=self.strict,
         )
         base_schemas = generate_base_schemas(generator.plan, self.db)
         generated = generator.generate(base_schemas)

@@ -144,12 +144,16 @@ class ScriptGenerator:
         optimize: bool = True,
         cache_policy: str = "equi",
         view_reuse: bool = False,
+        strict: bool = False,
     ):
         self.view_name = view_name
         self.plan = annotate_plan(plan)
         self.optimize = optimize
         self.cache_policy = cache_policy
         self.view_reuse = view_reuse
+        #: run the static analyzer over the output and refuse to hand
+        #: back a plan carrying error-severity diagnostics
+        self.strict = strict
         self._parents: dict[int, tuple[PlanNode, int]] = {}
         for node in self.plan.walk():
             for side, child in enumerate(node.children):
@@ -211,7 +215,7 @@ class ScriptGenerator:
         if self.view_reuse:
             self._attach_view_reuse_hints()
         script = DeltaScript(self._steps, self.plan.node_id)
-        return GeneratedPlan(
+        generated = GeneratedPlan(
             view_name=self.view_name,
             plan=self.plan,
             script=script,
@@ -219,6 +223,12 @@ class ScriptGenerator:
             cache_specs=self.cache_specs,
             opcache_specs=self.opcache_specs,
         )
+        if self.strict:
+            # Deferred import: repro.analysis consumes this module.
+            from ..analysis import check_generated
+
+            check_generated(generated)
+        return generated
 
     # ------------------------------------------------------------------
     def _fresh(self, hint: str) -> str:

@@ -115,12 +115,21 @@ class CaseGenerator:
                     "r0", "int", nullable=rng.random() < 0.3, ref_table=target
                 )
             self._tables[name] = {"key": "k", "columns": columns}
+            # Declared metadata for the static analyzer: nullability is
+            # exact; str columns get no type claim (they deliberately mix
+            # in int values — "type chaos" — so any claim would lie).
+            types = {"k": "int"}
+            types.update(
+                {c: info.ctype for c, info in columns.items() if info.ctype == "int"}
+            )
             specs.append(
                 {
                     "name": name,
                     "columns": ["k"] + list(columns),
                     "key": ["k"],
                     "rows": [],
+                    "nullable": [c for c, info in columns.items() if info.nullable],
+                    "types": types,
                 }
             )
         # Initial rows: keys dense from 0 so modifications can skew low.

@@ -47,7 +47,8 @@ class Divergence:
 
     strategy: str
     batch: int  # -1: view definition / initial state
-    kind: str  # "view_mismatch" | "invariant" | "exception" | "oracle_error"
+    kind: str  # "view_mismatch" | "invariant" | "exception" |
+    #          # "oracle_error" | "analysis"
     detail: str
 
     def __str__(self) -> str:  # pragma: no cover - display helper
@@ -60,6 +61,9 @@ class CaseResult:
     """Outcome of one case across all requested strategies."""
 
     divergences: list[Divergence] = field(default_factory=list)
+    #: every static-analyzer diagnostic (rendered), informational;
+    #: error-severity ones also land in ``divergences`` as "analysis"
+    diagnostics: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -139,11 +143,44 @@ def run_strategy(
     return None
 
 
+def analyze_case(case: Mapping):
+    """Static analysis of the case's generated plan (own database)."""
+    from ..analysis import analyze_generated
+    from ..core.generator import ScriptGenerator
+    from ..core.schema_gen import generate_base_schemas
+
+    db = build_database(case)
+    generator = ScriptGenerator("V", build_plan(case["plan"], db))
+    generated = generator.generate(generate_base_schemas(generator.plan, db))
+    return analyze_generated(generated, db=db)
+
+
 def run_case(
     case: Mapping, strategies: Sequence[str] = ALL_STRATEGIES
 ) -> CaseResult:
-    """Differential-check one case across *strategies*."""
+    """Differential-check one case across *strategies*.
+
+    The static analyzer runs first, as one more cross-check: a crash is
+    an ``exception`` divergence, an error-severity diagnostic on a plan
+    the generator was happy to emit is an ``analysis`` divergence —
+    either the generator produced a hazard or the analyzer cried wolf,
+    and both are findings.
+    """
     result = CaseResult()
+    try:
+        report = analyze_case(case)
+    except Exception as exc:  # noqa: BLE001
+        result.divergences.append(
+            Divergence("analyzer", -1, "exception", _tail(exc))
+        )
+    else:
+        result.diagnostics = [d.render() for d in report.diagnostics]
+        for diag in report.errors:
+            result.divergences.append(
+                Divergence(
+                    "analyzer", -1, "analysis", diag.render().splitlines()[0]
+                )
+            )
     try:
         expected = oracle_states(case)
     except Exception as exc:  # noqa: BLE001

@@ -95,11 +95,77 @@ def expr_to_spec(expr: Expr) -> list:
 # ----------------------------------------------------------------------
 # databases
 # ----------------------------------------------------------------------
+def _column_values(spec: Mapping, case: Mapping) -> dict[str, list]:
+    """Every value each column of *spec*'s table will ever hold: initial
+    rows plus the full modification stream.  The case is a closed world,
+    so metadata inferred from this census is sound for the whole run."""
+    columns = list(spec["columns"])
+    values: dict[str, list] = {c: [] for c in columns}
+    for row in spec["rows"]:
+        for c, v in zip(columns, row):
+            values[c].append(v)
+    for batch in case.get("batches", []):
+        for op in batch:
+            if op.get("table") != spec["name"]:
+                continue
+            if op["op"] == "insert":
+                for c, v in zip(columns, op["row"]):
+                    values[c].append(v)
+            elif op["op"] == "update":
+                for c, v in op["changes"].items():
+                    values[c].append(v)
+    return values
+
+
+def infer_table_metadata(spec: Mapping, case: Mapping) -> tuple[list, dict]:
+    """(nullable, types) for one table spec, from the value census.
+
+    A column is nullable iff a NULL actually occurs; it gets a type iff
+    every non-NULL value agrees on one.  ``bool`` is checked before
+    ``int`` (Python bools are ints).
+    """
+    key = set(spec["key"])
+    nullable = []
+    types = {}
+    for column, values in _column_values(spec, case).items():
+        if column not in key and any(v is None for v in values):
+            nullable.append(column)
+        observed = {
+            "bool" if isinstance(v, bool) else type(v).__name__
+            for v in values
+            if v is not None
+        }
+        if len(observed) == 1 and (only := observed.pop()) in (
+            "int",
+            "float",
+            "str",
+            "bool",
+        ):
+            types[column] = only
+    return nullable, types
+
+
 def build_database(case: Mapping) -> Database:
-    """Fresh live database for one case (each strategy gets its own)."""
+    """Fresh live database for one case (each strategy gets its own).
+
+    Nullability/type metadata comes from explicit ``"nullable"`` /
+    ``"types"`` spec keys when present (the fuzzer emits them), and from
+    :func:`infer_table_metadata` otherwise (hand-written corpus cases).
+    """
     db = Database()
     for spec in case["tables"]:
-        table = db.create_table(spec["name"], spec["columns"], spec["key"])
+        inferred = None
+        nullable = spec.get("nullable")
+        types = spec.get("types")
+        if nullable is None or types is None:
+            inferred = infer_table_metadata(spec, case)
+        table = db.create_table(
+            spec["name"],
+            spec["columns"],
+            spec["key"],
+            nullable=inferred[0] if nullable is None else nullable,
+            types=inferred[1] if types is None else types,
+        )
         table.load(tuple(row) for row in spec["rows"])
     for child, columns, parent in case.get("foreign_keys", []):
         db.add_foreign_key(child, columns, parent)

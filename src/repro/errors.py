@@ -65,3 +65,12 @@ class SqlError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator received inconsistent parameters."""
+
+
+class StaticAnalysisError(ReproError):
+    """The static analyzer found error-severity diagnostics in strict mode.
+
+    Raised by :class:`~repro.core.generator.ScriptGenerator` (and hence
+    :class:`~repro.core.engine.IdIvmEngine`) when constructed with
+    ``strict=True`` and the generated ∆-script fails verification.
+    """

@@ -124,3 +124,61 @@ def equi_join_pairs(
 def is_column_only(expr: Expr) -> bool:
     """True when *expr* is a bare column reference."""
     return isinstance(expr, Col)
+
+
+# ----------------------------------------------------------------------
+# nullability
+# ----------------------------------------------------------------------
+def nullable_columns_of(schema) -> frozenset[str]:
+    """Columns of a :class:`~repro.storage.TableSchema` that may be NULL.
+
+    This follows the schema declaration exactly.  In particular a
+    foreign-key column is nullable if and only if the schema says so: SQL
+    foreign keys do NOT imply NOT NULL (a NULL child column simply opts
+    out of the reference), so treating FK columns as implicitly non-null
+    would hide NULL-join and 3VL hazards on exactly the columns most
+    likely to appear as join keys.
+    """
+    return frozenset(schema.nullable)
+
+
+def may_be_null(expr: Expr, nullable_columns) -> bool:
+    """Whether *expr* can evaluate to NULL (UNKNOWN, for predicates).
+
+    *nullable_columns* is the set of column names that may hold NULL.
+    The test is conservative (may return True for expressions that are
+    never NULL on the actual data) but never wrongly returns False:
+
+    * a column is NULL-free iff it is outside *nullable_columns*;
+    * arithmetic and comparisons propagate NULL from either operand
+      (and a comparison may also degrade to UNKNOWN on its own — mixed
+      type orderings — which :mod:`repro.analysis.typecheck` handles
+      with declared-type information);
+    * AND/OR/NOT follow 3VL: the result is definite when every operand
+      is definite;
+    * NULL-tolerant scalar functions (``is_true``, ``is_distinct``)
+      always return a definite boolean; ``coalesce`` is NULL only when
+      every argument can be; every other function propagates NULL.
+    """
+    nullable = set(nullable_columns)
+    if isinstance(expr, Col):
+        return expr.name in nullable
+    if isinstance(expr, Lit):
+        return expr.value is None
+    if isinstance(expr, (Arith, Cmp)):
+        return may_be_null(expr.left, nullable) or may_be_null(expr.right, nullable)
+    if isinstance(expr, (And, Or)):
+        return any(may_be_null(i, nullable) for i in expr.items)
+    if isinstance(expr, Not):
+        return may_be_null(expr.item, nullable)
+    if isinstance(expr, InList):
+        return may_be_null(expr.item, nullable) or any(
+            v is None for v in expr.values
+        )
+    if isinstance(expr, Call):
+        if expr.func in ("is_true", "is_distinct"):
+            return False
+        if expr.func == "coalesce":
+            return all(may_be_null(a, nullable) for a in expr.args)
+        return any(may_be_null(a, nullable) for a in expr.args)
+    raise TypeError(f"unknown expression node {expr!r}")

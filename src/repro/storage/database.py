@@ -33,11 +33,13 @@ class Database:
         name: str,
         columns: Sequence[str],
         key: Sequence[str],
+        nullable: Sequence[str] | None = None,
+        types: dict[str, str] | None = None,
     ) -> Table:
         """Create and register an empty table."""
         if name in self.tables:
             raise SchemaError(f"relation {name!r} already exists")
-        schema = TableSchema(name, columns, key)
+        schema = TableSchema(name, columns, key, nullable=nullable, types=types)
         table = Table(schema, counters=self.counters, auto_index=self.auto_index)
         self.tables[name] = table
         return table

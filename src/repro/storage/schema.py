@@ -11,6 +11,9 @@ from typing import Iterable, Sequence
 
 from ..errors import SchemaError, UnknownColumnError
 
+#: Declared column types understood by the catalog and the static analyzer.
+COLUMN_TYPES = ("int", "float", "str", "bool")
+
 
 class TableSchema:
     """Schema of a stored relation: ordered columns and a primary key.
@@ -24,11 +27,31 @@ class TableSchema:
     key:
         Subset of *columns* forming the primary key.  Every base table in
         idIVM must have a key (the paper's core assumption).
+    nullable:
+        Columns that may hold NULL.  ``None`` (the default) keeps the
+        historical behaviour: every non-key column is assumed nullable.
+        Pass an explicit (possibly empty) sequence to declare NOT NULL
+        columns; key columns are never nullable.  Declarative only — the
+        storage layer does not enforce it; the static analyzer
+        (:mod:`repro.analysis`) consumes it.
+    types:
+        Optional declared column types, a mapping ``column -> type name``
+        from :data:`COLUMN_TYPES`.  Declarative only, like *nullable*.
     """
 
-    __slots__ = ("name", "columns", "key", "_positions", "_key_positions")
+    __slots__ = (
+        "name", "columns", "key", "nullable", "types",
+        "_positions", "_key_positions",
+    )
 
-    def __init__(self, name: str, columns: Sequence[str], key: Sequence[str]):
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[str],
+        key: Sequence[str],
+        nullable: Sequence[str] | None = None,
+        types: "dict[str, str] | None" = None,
+    ):
         columns = tuple(columns)
         key = tuple(key)
         if not name:
@@ -47,6 +70,33 @@ class TableSchema:
         self.name = name
         self.columns = columns
         self.key = key
+        if nullable is None:
+            self.nullable = frozenset(c for c in columns if c not in key)
+        else:
+            nullable = tuple(nullable)
+            unknown = [c for c in nullable if c not in columns]
+            if unknown:
+                raise SchemaError(
+                    f"nullable columns {unknown} of {name!r} are not in the schema"
+                )
+            in_key = [c for c in nullable if c in key]
+            if in_key:
+                raise SchemaError(
+                    f"key columns {in_key} of {name!r} cannot be nullable"
+                )
+            self.nullable = frozenset(nullable)
+        types = dict(types or {})
+        for column, type_name in types.items():
+            if column not in columns:
+                raise SchemaError(
+                    f"typed column {column!r} of {name!r} is not in the schema"
+                )
+            if type_name not in COLUMN_TYPES:
+                raise SchemaError(
+                    f"unknown type {type_name!r} for {name}.{column}; "
+                    f"have {COLUMN_TYPES}"
+                )
+        self.types = types
         self._positions = {c: i for i, c in enumerate(columns)}
         self._key_positions = tuple(self._positions[k] for k in key)
 
@@ -85,8 +135,21 @@ class TableSchema:
                 f"with {len(self.columns)} columns"
             )
 
+    def is_nullable(self, column: str) -> bool:
+        """Whether *column* may hold NULL (key columns never do)."""
+        self.position(column)  # raise on unknown columns
+        return column in self.nullable
+
+    def column_type(self, column: str) -> "str | None":
+        """Declared type of *column*, or None when undeclared."""
+        self.position(column)
+        return self.types.get(column)
+
     def rename(self, name: str) -> "TableSchema":
-        return TableSchema(name, self.columns, self.key)
+        return TableSchema(
+            name, self.columns, self.key,
+            nullable=tuple(self.nullable), types=self.types,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - display helper
         cols = ", ".join(f"{c}*" if c in self.key else c for c in self.columns)

@@ -79,14 +79,21 @@ class BsmaConfig:
 def build_database(config: BsmaConfig) -> Database:
     rng = random.Random(config.seed)
     db = Database()
-    db.create_table(
-        "users", ("uid", "city", "tweetsnum", "favornum"), ("uid",)
-    )
-    db.create_table("friendlist", ("uid", "fid"), ("uid", "fid"))
-    db.create_table("microblog", ("mid", "uid", "ts", "topic"), ("mid",))
-    db.create_table("retweets", ("rwid", "mid", "uid", "rts"), ("rwid",))
-    db.create_table("mentions", ("mnid", "mid", "uid"), ("mnid",))
-    db.create_table("rel_event_microblog", ("remid", "eid", "mid"), ("remid",))
+    def _table(name, columns, key):
+        db.create_table(
+            name,
+            columns,
+            key,
+            nullable=(),
+            types={c: "int" for c in columns},
+        )
+
+    _table("users", ("uid", "city", "tweetsnum", "favornum"), ("uid",))
+    _table("friendlist", ("uid", "fid"), ("uid", "fid"))
+    _table("microblog", ("mid", "uid", "ts", "topic"), ("mid",))
+    _table("retweets", ("rwid", "mid", "uid", "rts"), ("rwid",))
+    _table("mentions", ("mnid", "mid", "uid"), ("mnid",))
+    _table("rel_event_microblog", ("remid", "eid", "mid"), ("remid",))
 
     db.table("users").load(
         (u, rng.randrange(config.n_cities), rng.randint(0, 500), rng.randint(0, 100))

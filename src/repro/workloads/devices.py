@@ -60,11 +60,35 @@ def build_database(config: DevicesConfig) -> Database:
     """Create and populate the devices schema per *config* (seeded)."""
     rng = random.Random(config.seed)
     db = Database()
-    db.create_table("devices", ("did", "category"), ("did",))
-    db.create_table("parts", ("pid", "price"), ("pid",))
-    db.create_table("devices_parts", ("did", "pid"), ("did", "pid"))
+    db.create_table(
+        "devices",
+        ("did", "category"),
+        ("did",),
+        nullable=(),
+        types={"did": "str", "category": "str"},
+    )
+    db.create_table(
+        "parts",
+        ("pid", "price"),
+        ("pid",),
+        nullable=(),
+        types={"pid": "str", "price": "int"},
+    )
+    db.create_table(
+        "devices_parts",
+        ("did", "pid"),
+        ("did", "pid"),
+        nullable=(),
+        types={"did": "str", "pid": "str"},
+    )
     for name in config.extra_join_tables:
-        db.create_table(name, ("did", "pid", f"{name}_payload"), ("did", "pid"))
+        db.create_table(
+            name,
+            ("did", "pid", f"{name}_payload"),
+            ("did", "pid"),
+            nullable=(),
+            types={"did": "str", "pid": "str", f"{name}_payload": "int"},
+        )
 
     n_phones = max(1, round(config.n_devices * config.selectivity))
     devices = []

@@ -1,0 +1,203 @@
+"""Integration points of the static analyzer: the strict generator gate,
+the ``repro lint`` CLI, the crosscheck runner wiring, the diagnostic
+model, and the schema metadata it all rests on."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.algebra import scan, where
+from repro.analysis import AnalysisContext, RULES, analyze_plan, run_passes
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic
+from repro.analysis.registry import pass_names, register_pass
+from repro.cli import main
+from repro.core.engine import IdIvmEngine
+from repro.errors import SchemaError, StaticAnalysisError
+from repro.expr import Cmp, Col, Lit
+from repro.storage import Database
+from repro.storage.schema import TableSchema
+
+
+def make_db() -> Database:
+    db = Database()
+    db.create_table(
+        "t", ("k", "a"), ("k",), nullable=("a",), types={"k": "int", "a": "int"}
+    )
+    db.table("t").load([(1, 5), (2, None)])
+    return db
+
+
+# ----------------------------------------------------------------------
+# the strict generator / engine gate
+# ----------------------------------------------------------------------
+class TestStrictGate:
+    def test_strict_engine_rejects_non_boolean_filter(self):
+        """σ(a) is a TC102 error: the truthiness filter silently drops
+        rows under 3VL.  A strict engine must refuse the definition."""
+        db = make_db()
+        engine = IdIvmEngine(db, strict=True)
+        with pytest.raises(StaticAnalysisError) as exc:
+            engine.define_view("V", where(scan(db, "t"), Col("a")))
+        assert "TC102" in str(exc.value)
+        assert "V" in str(exc.value)
+
+    def test_default_engine_accepts_the_same_view(self):
+        db = make_db()
+        engine = IdIvmEngine(db)
+        view = engine.define_view("V", where(scan(db, "t"), Col("a")))
+        assert view is engine.views["V"]
+
+    def test_strict_engine_accepts_clean_view(self):
+        db = make_db()
+        engine = IdIvmEngine(db, strict=True)
+        view = engine.define_view(
+            "V", where(scan(db, "t"), Cmp(">", Col("a"), Lit(0)))
+        )
+        assert view is engine.views["V"]
+
+
+# ----------------------------------------------------------------------
+# the CLI
+# ----------------------------------------------------------------------
+class TestLintCommand:
+    def test_lint_shipped_workloads_is_clean(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "devices/flat" in out
+        assert "bsma/Q7" in out
+        assert "0 error(s)" in out.splitlines()[-1]
+
+    def test_lint_json_output(self, capsys):
+        assert main(["lint", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 0
+        views = {entry["view"] for entry in payload["views"]}
+        assert "devices/aggregate" in views and len(views) == 10
+        for entry in payload["views"]:
+            for diag in entry["diagnostics"]:
+                assert diag["severity"] in ("warning", "info")
+
+    def test_lint_verbose_shows_info_diagnostics(self, capsys):
+        main(["lint", "--verbose"])
+        out = capsys.readouterr().out
+        assert "SH402" in out
+
+
+# ----------------------------------------------------------------------
+# the crosscheck runner
+# ----------------------------------------------------------------------
+class TestCrosscheckWiring:
+    def test_run_case_collects_diagnostics(self):
+        from repro.crosscheck import generate_case, run_case
+
+        result = run_case(generate_case(0, 0))
+        assert result.divergences == []
+        assert isinstance(result.diagnostics, list)
+
+    def test_analysis_error_is_a_divergence(self):
+        """A case whose generated plan carries an error diagnostic must
+        surface as an ``analysis`` divergence, not pass silently."""
+        from repro.crosscheck import run_case
+
+        case = {
+            "version": 1,
+            "tables": [
+                {
+                    "name": "t0",
+                    "columns": ["k", "c0"],
+                    "key": ["k"],
+                    "rows": [[0, 1], [1, 0]],
+                    "nullable": [],
+                    "types": {"k": "int", "c0": "int"},
+                }
+            ],
+            "plan": {
+                "op": "select",
+                "child": {"op": "scan", "table": "t0"},
+                "predicate": ["col", "c0"],
+            },
+            "batches": [[{"op": "insert", "table": "t0", "row": [2, 1]}]],
+        }
+        result = run_case(case)
+        analysis = [d for d in result.divergences if d.kind == "analysis"]
+        assert analysis and analysis[0].strategy == "analyzer"
+        assert "TC102" in analysis[0].detail
+
+
+# ----------------------------------------------------------------------
+# the diagnostic model and registry
+# ----------------------------------------------------------------------
+class TestDiagnosticModel:
+    def test_severity_is_fixed_per_rule(self):
+        report = AnalysisReport()
+        report.add("TC102", "n0", "boom")
+        [diag] = report.diagnostics
+        assert diag.severity == RULES["TC102"].severity == "error"
+
+    def test_unknown_rule_id_rejected(self):
+        with pytest.raises(KeyError):
+            AnalysisReport().add("TC999", "n0", "boom")
+
+    def test_render_and_json_carry_hint(self):
+        diag = Diagnostic("SC307", "warning", "step 3", "msg", hint="wrap it")
+        assert "hint: wrap it" in diag.render()
+        assert diag.to_json()["hint"] == "wrap it"
+        assert "hint" not in Diagnostic("SC307", "warning", "s", "m").to_json()
+
+    def test_has_errors_tracks_severity(self):
+        report = AnalysisReport()
+        report.add("SH402", "t", "routable")
+        assert not report.has_errors()
+        report.add("KEY201", "n1", "not a key")
+        assert report.has_errors()
+        assert len(report.errors) == 1 and len(report.warnings) == 0
+
+    def test_pass_registry_is_ordered_and_guarded(self):
+        assert pass_names() == ("typecheck", "keys", "script", "shard")
+        with pytest.raises(ValueError):
+            register_pass("typecheck")(lambda ctx: None)
+        db = make_db()
+        ctx = AnalysisContext(plan=scan(db, "t"))
+        with pytest.raises(ValueError):
+            run_passes(ctx, ["nonexistent"])
+
+    def test_analyze_plan_annotates_unannotated_input(self):
+        db = make_db()
+        report = analyze_plan(where(scan(db, "t"), Cmp(">", Col("a"), Lit(0))))
+        assert report.diagnostics == []
+
+
+# ----------------------------------------------------------------------
+# schema metadata the analyzer rests on
+# ----------------------------------------------------------------------
+class TestSchemaMetadata:
+    def test_default_nullability_is_all_non_key(self):
+        schema = TableSchema("t", ("k", "a", "b"), ("k",))
+        assert schema.nullable == frozenset({"a", "b"})
+        assert schema.is_nullable("a") and not schema.is_nullable("k")
+
+    def test_unknown_nullable_column_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", ("k", "a"), ("k",), nullable=("zz",))
+
+    def test_key_column_cannot_be_nullable(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", ("k", "a"), ("k",), nullable=("k",))
+
+    def test_unknown_type_name_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", ("k", "a"), ("k",), types={"a": "decimal"})
+
+    def test_type_for_unknown_column_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", ("k", "a"), ("k",), types={"zz": "int"})
+
+    def test_rename_preserves_metadata(self):
+        schema = TableSchema(
+            "t", ("k", "a"), ("k",), nullable=("a",), types={"a": "int"}
+        )
+        renamed = schema.rename("t2")
+        assert renamed.nullable == frozenset({"a"})
+        assert renamed.column_type("a") == "int"

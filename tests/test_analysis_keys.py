@@ -1,0 +1,122 @@
+"""Pass 2 (keys) unit tests: the FD audit vs. tampered ID claims."""
+
+from __future__ import annotations
+
+from repro.algebra import equi_join, group_by, scan, where
+from repro.algebra.plan import Join, Project, Scan, UnionAll
+from repro.analysis import analyze_plan
+from repro.analysis.keys import audit_plan_keys, closure
+from repro.analysis.diagnostics import AnalysisReport
+from repro.core.idinfer import annotate_plan
+from repro.expr import Arith, Cmp, Col, Lit
+from repro.storage import Database
+from repro.workloads.devices import (
+    DevicesConfig,
+    build_aggregate_view,
+    build_database,
+    build_flat_view,
+)
+
+
+def make_db() -> Database:
+    db = Database()
+    db.create_table("t", ("k", "x", "y"), ("k",))
+    db.create_table("u", ("j", "k"), ("j",))
+    return db
+
+
+def keys_report(plan) -> AnalysisReport:
+    report = AnalysisReport()
+    audit_plan_keys(plan, report)
+    return report
+
+
+def test_closure_fixpoint():
+    fds = [(frozenset("a"), frozenset("b")), (frozenset("b"), frozenset("c"))]
+    assert closure({"a"}, fds) == frozenset("abc")
+    assert closure({"b"}, fds) == frozenset("bc")
+
+
+def test_inferred_plans_audit_clean():
+    cfg = DevicesConfig(n_parts=10, n_devices=10, diff_size=2, fanout=2)
+    db = build_database(cfg)
+    for build in (build_flat_view, build_aggregate_view):
+        report = analyze_plan(build(db, cfg))
+        assert not [d for d in report.diagnostics if d.rule_id.startswith("KEY")]
+
+
+def test_key201_on_tampered_join_ids():
+    """Drop one side's key from a join's claimed ids: the remaining ids
+    no longer determine that side's columns."""
+    db = make_db()
+    plan = annotate_plan(
+        equi_join(scan(db, "t", alias="a"), scan(db, "u", alias="b"), [("a_k", "b_k")])
+    )
+    join = next(n for n in plan.walk() if isinstance(n, Join))
+    assert "b_j" in join.ids
+    join.ids = tuple(i for i in join.ids if i != "b_j")
+    report = keys_report(plan)
+    [diag] = [d for d in report.diagnostics if d.rule_id == "KEY201"]
+    assert diag.severity == "error"
+    assert "b_j" in diag.message
+
+
+def test_key202_on_ids_outside_output():
+    db = make_db()
+    plan = annotate_plan(scan(db, "t"))
+    plan.ids = ("k", "phantom")
+    report = keys_report(plan)
+    [diag] = [d for d in report.diagnostics if d.rule_id == "KEY202"]
+    assert diag.severity == "error" and "phantom" in diag.message
+
+
+def test_key201_on_union_missing_branch_column():
+    db = make_db()
+    plan = annotate_plan(UnionAll(scan(db, "t"), scan(db, "t")))
+    union = next(n for n in plan.walk() if isinstance(n, UnionAll))
+    union.ids = tuple(i for i in union.ids if i != union.branch_column)
+    report = keys_report(plan)
+    assert any(
+        d.rule_id == "KEY201" and "branch column" in d.message
+        for d in report.diagnostics
+    )
+
+
+def test_union_with_branch_column_is_clean():
+    db = make_db()
+    plan = annotate_plan(UnionAll(scan(db, "t"), scan(db, "t")))
+    assert keys_report(plan).diagnostics == []
+
+
+def test_project_computed_item_covered_through_extended_space():
+    """π(k, x+y AS s): the FD {x,y}→s lives outside the output columns;
+    the audit must still prove ids (k,) cover s via the child space."""
+    db = make_db()
+    plan = annotate_plan(
+        Project(scan(db, "t"), [("k", Col("k")), ("s", Arith("+", Col("x"), Col("y")))])
+    )
+    assert keys_report(plan).diagnostics == []
+
+
+def test_flagged_node_does_not_cascade():
+    """One wrong claim is reported once; ancestors audit against the
+    assumed (claimed) FD instead of re-flagging."""
+    db = make_db()
+    plan = annotate_plan(
+        where(
+            equi_join(scan(db, "t", alias="a"), scan(db, "u", alias="b"), [("a_k", "b_k")]),
+            Cmp(">", Col("a_x"), Lit(0)),
+        )
+    )
+    join = next(n for n in plan.walk() if isinstance(n, Join))
+    join.ids = tuple(i for i in join.ids if i != "b_j")
+    report = keys_report(plan)
+    assert len([d for d in report.diagnostics if d.rule_id == "KEY201"]) == 1
+
+
+def test_groupby_keys_trivially_keyed():
+    db = make_db()
+    plan = annotate_plan(
+        group_by(scan(db, "t"), ["x"], [("count", None, "n")])
+    )
+    assert keys_report(plan).diagnostics == []

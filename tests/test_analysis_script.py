@@ -1,0 +1,272 @@
+"""Pass 3 (script) unit tests: SC301/302/304/305/306/307 on seeded scripts."""
+
+from __future__ import annotations
+
+from repro.algebra import group_by, scan, where
+from repro.analysis import AnalysisContext, run_passes
+from repro.core.diffs import insert_schema_for
+from repro.core.idinfer import annotate_plan
+from repro.core.ir import (
+    POST,
+    PRE,
+    DiffSource,
+    Filter,
+    ProbeJoin,
+    SubviewSource,
+)
+from repro.core.modlog import schema_instance_name
+from repro.core.rules.aggregate import (
+    AssociativeAggregateStep,
+    GeneralAggregateStep,
+    OpCacheSpec,
+)
+from repro.core.script import (
+    PHASE_CACHE_DIFF,
+    PHASE_VIEW_DIFF,
+    ApplyDiffStep,
+    ComputeDiffStep,
+    DeltaScript,
+    MarkCacheUpdatedStep,
+)
+from repro.expr import Cmp, Col, Lit
+from repro.storage import Database
+
+
+def make_db() -> Database:
+    db = Database()
+    db.create_table(
+        "t",
+        ("k", "a"),
+        ("k",),
+        nullable=("a",),
+        types={"k": "int", "a": "int"},
+    )
+    db.table("t").load([(1, 5)])
+    return db
+
+
+def make_plan(db):
+    """σ(a>0)(t): node 0 is the Select (view), node 1 the Scan."""
+    return annotate_plan(where(scan(db, "t"), Cmp(">", Col("a"), Lit(0))))
+
+
+def script_report(plan, steps, base_schemas, generated=None):
+    ctx = AnalysisContext(
+        plan=plan,
+        script=DeltaScript(list(steps), plan.node_id),
+        base_schemas=list(base_schemas),
+        generated=generated,
+    )
+    return run_passes(ctx, ["script"])
+
+
+def rule_ids(report):
+    return [d.rule_id for d in report.diagnostics]
+
+
+def base_ins(db):
+    schema = insert_schema_for(db.table("t").schema)
+    return schema, schema_instance_name(schema)
+
+
+def test_sc301_read_of_undefined_diff():
+    db = make_db()
+    plan = make_plan(db)
+    schema, _ = base_ins(db)
+    steps = [
+        ComputeDiffStep(
+            "d1", schema, DiffSource("never_defined", schema), PHASE_VIEW_DIFF
+        )
+    ]
+    report = script_report(plan, steps, [schema])
+    [diag] = report.diagnostics
+    assert diag.rule_id == "SC301" and diag.severity == "error"
+    assert "never_defined" in diag.message
+
+
+def test_sc301_base_instance_reads_are_defined():
+    db = make_db()
+    plan = make_plan(db)
+    schema, name = base_ins(db)
+    steps = [
+        ComputeDiffStep("d1", schema, DiffSource(name, schema), PHASE_VIEW_DIFF)
+    ]
+    assert script_report(plan, steps, [schema]).diagnostics == []
+
+
+def test_sc302_pre_read_during_cache_update_window():
+    db = make_db()
+    plan = make_plan(db)
+    scan_node = plan.child
+    schema, name = base_ins(db)
+    steps = [
+        ComputeDiffStep("d1", schema, DiffSource(name, schema), PHASE_VIEW_DIFF),
+        ApplyDiffStep("d1", scan_node.node_id, "cache", PHASE_CACHE_DIFF),
+        ComputeDiffStep(
+            "d2", schema, SubviewSource(scan_node, PRE), PHASE_VIEW_DIFF
+        ),
+    ]
+    report = script_report(plan, steps, [schema])
+    [diag] = [d for d in report.diagnostics if d.rule_id == "SC302"]
+    assert diag.severity == "error"
+    assert f"n{scan_node.node_id}" in diag.message
+
+
+def test_sc302_clean_after_mark_and_for_post_reads():
+    db = make_db()
+    plan = make_plan(db)
+    scan_node = plan.child
+    schema, name = base_ins(db)
+    steps = [
+        ComputeDiffStep("d1", schema, DiffSource(name, schema), PHASE_VIEW_DIFF),
+        # A post-state read inside the window recomputes from the post
+        # database; a pre-state read after the mark hits valid caches.
+        ApplyDiffStep("d1", scan_node.node_id, "cache", PHASE_CACHE_DIFF),
+        ComputeDiffStep(
+            "d2", schema, SubviewSource(scan_node, POST), PHASE_VIEW_DIFF
+        ),
+        MarkCacheUpdatedStep(scan_node.node_id, "cache"),
+        ComputeDiffStep(
+            "d3", schema, SubviewSource(scan_node, PRE), PHASE_VIEW_DIFF
+        ),
+    ]
+    assert "SC302" not in rule_ids(script_report(plan, steps, [schema]))
+
+
+def test_sc304_apply_after_mark_double_counts():
+    db = make_db()
+    plan = make_plan(db)
+    scan_node = plan.child
+    schema, name = base_ins(db)
+    steps = [
+        ComputeDiffStep("d1", schema, DiffSource(name, schema), PHASE_VIEW_DIFF),
+        ApplyDiffStep("d1", scan_node.node_id, "cache", PHASE_CACHE_DIFF),
+        MarkCacheUpdatedStep(scan_node.node_id, "cache"),
+        ApplyDiffStep("d1", scan_node.node_id, "cache", PHASE_CACHE_DIFF),
+    ]
+    report = script_report(plan, steps, [schema])
+    [diag] = [d for d in report.diagnostics if d.rule_id == "SC304"]
+    assert diag.severity == "error"
+
+
+def test_sc304_view_applies_are_exempt():
+    """The view (root) takes one apply per diff kind in the update phase;
+    kind-ordered multi-applies after its mark are the normal shape."""
+    db = make_db()
+    plan = make_plan(db)
+    schema, name = base_ins(db)
+    steps = [
+        ComputeDiffStep("d1", schema, DiffSource(name, schema), PHASE_VIEW_DIFF),
+        ApplyDiffStep("d1", plan.node_id, "view", PHASE_VIEW_DIFF),
+        MarkCacheUpdatedStep(plan.node_id, "view"),
+        ApplyDiffStep("d1", plan.node_id, "view", PHASE_VIEW_DIFF),
+    ]
+    assert "SC304" not in rule_ids(script_report(plan, steps, [schema]))
+
+
+def test_sc305_dead_returning_expansion():
+    db = make_db()
+    plan = make_plan(db)
+    scan_node = plan.child
+    schema, name = base_ins(db)
+    steps = [
+        ComputeDiffStep("d1", schema, DiffSource(name, schema), PHASE_VIEW_DIFF),
+        ApplyDiffStep(
+            "d1",
+            scan_node.node_id,
+            "cache",
+            PHASE_CACHE_DIFF,
+            returning_name="ret_d1",
+        ),
+    ]
+    report = script_report(plan, steps, [schema])
+    [diag] = [d for d in report.diagnostics if d.rule_id == "SC305"]
+    assert diag.severity == "warning" and "ret_d1" in diag.message
+
+
+def test_sc306_associative_step_over_min():
+    db = make_db()
+    gb = annotate_plan(group_by(scan(db, "t"), ["a"], [("min", Col("k"), "m")]))
+    schema, name = base_ins(db)
+    step = AssociativeAggregateStep(
+        gb, [("diff", name)], "opc", "g", PHASE_CACHE_DIFF
+    )
+    report = script_report(gb, [step], [schema])
+    [diag] = [d for d in report.diagnostics if d.rule_id == "SC306"]
+    assert diag.severity == "error" and "min" in diag.message
+
+
+def test_sc306_general_step_over_min_is_clean():
+    db = make_db()
+    gb = annotate_plan(group_by(scan(db, "t"), ["a"], [("min", Col("k"), "m")]))
+    schema, name = base_ins(db)
+    step = GeneralAggregateStep(gb, [("diff", name)], "g", PHASE_CACHE_DIFF)
+    assert "SC306" not in rule_ids(script_report(gb, [step], [schema]))
+
+
+def test_sc306_opcache_placed_over_min():
+    db = make_db()
+    gb = annotate_plan(group_by(scan(db, "t"), ["a"], [("min", Col("k"), "m")]))
+    schema, _ = base_ins(db)
+
+    class FakeGenerated:
+        opcache_specs = [OpCacheSpec(gb, "bad_opc")]
+
+    report = script_report(gb, [], [schema], generated=FakeGenerated())
+    [diag] = [d for d in report.diagnostics if d.rule_id == "SC306"]
+    assert "bad_opc" in diag.location
+
+
+def test_sc307_probe_on_nullable_key():
+    db = make_db()
+    plan = make_plan(db)
+    scan_node = plan.child
+    schema, name = base_ins(db)
+    probe = ProbeJoin(
+        DiffSource(name, schema),
+        scan_node,
+        POST,
+        on=[("a__post", "a")],
+        keep=[],
+    )
+    steps = [ComputeDiffStep("d1", schema, probe, PHASE_VIEW_DIFF)]
+    report = script_report(plan, steps, [schema])
+    [diag] = [d for d in report.diagnostics if d.rule_id == "SC307"]
+    assert diag.severity == "warning"
+    assert "a__post" in diag.message
+
+
+def test_sc307_probe_on_key_columns_is_clean():
+    db = make_db()
+    plan = make_plan(db)
+    scan_node = plan.child
+    schema, name = base_ins(db)
+    probe = ProbeJoin(
+        DiffSource(name, schema), scan_node, POST, on=[("k", "k")], keep=[]
+    )
+    steps = [ComputeDiffStep("d1", schema, probe, PHASE_VIEW_DIFF)]
+    assert "SC307" not in rule_ids(script_report(plan, steps, [schema]))
+
+
+def test_generated_devices_scripts_are_script_clean():
+    from repro.core.generator import ScriptGenerator
+    from repro.core.schema_gen import generate_base_schemas
+    from repro.workloads.devices import (
+        DevicesConfig,
+        build_aggregate_view,
+        build_database,
+        build_flat_view,
+    )
+
+    cfg = DevicesConfig(n_parts=10, n_devices=10, diff_size=2, fanout=2)
+    db = build_database(cfg)
+    for build in (build_flat_view, build_aggregate_view):
+        generator = ScriptGenerator("V", build(db, cfg))
+        generated = generator.generate(generate_base_schemas(generator.plan, db))
+        ctx = AnalysisContext(
+            plan=generated.plan,
+            script=generated.script,
+            base_schemas=list(generated.base_schemas),
+            generated=generated,
+        )
+        assert run_passes(ctx, ["script"]).diagnostics == []

@@ -1,0 +1,78 @@
+"""Pass 4 (shard) unit tests: SH401/SH402 against the live router."""
+
+from __future__ import annotations
+
+from repro.algebra import group_by, scan
+from repro.analysis import AnalysisContext, analyze_generated, run_passes
+from repro.core.generator import ScriptGenerator
+from repro.core.schema_gen import generate_base_schemas
+from repro.expr import Col
+from repro.storage import Database
+from repro.workloads.devices import (
+    DevicesConfig,
+    build_aggregate_view,
+    build_database,
+    build_flat_view,
+)
+
+
+def generate(db, plan):
+    generator = ScriptGenerator("V", plan)
+    return generator.generate(generate_base_schemas(generator.plan, db))
+
+
+def shard_diags(generated, db):
+    report = analyze_generated(generated, db=db, names=["shard"])
+    return report.diagnostics
+
+
+def test_flat_view_partially_routable_no_sh401():
+    """Price updates route via anchor parts (the test_sharded contract),
+    so the view is not *always* broadcast: SH402 info only."""
+    cfg = DevicesConfig(n_parts=10, n_devices=10, diff_size=2, fanout=2)
+    db = build_database(cfg)
+    diags = shard_diags(generate(db, build_flat_view(db, cfg)), db)
+    assert [d.rule_id for d in diags] == ["SH402"]
+    [info] = diags
+    assert "base_u_parts__price via anchor parts" in info.message
+    assert "base_ins_parts" in info.message  # inserts broadcast, with reason
+
+
+def test_aggregate_view_routes_only_devices_side():
+    """γ(did) keeps the devices anchor but drops parts: update rounds on
+    parts must show as broadcast with the group-keys reason."""
+    cfg = DevicesConfig(n_parts=10, n_devices=10, diff_size=2, fanout=2)
+    db = build_database(cfg)
+    [info] = shard_diags(generate(db, build_aggregate_view(db, cfg)), db)
+    assert info.rule_id == "SH402"
+    assert "base_u_devices__category via anchor devices" in info.message
+    assert "group keys" in info.message
+
+
+def test_sh401_on_view_with_no_routable_round():
+    """min/max γ runs the general (recompute) rule: the router refuses
+    every round, and the pass must surface the silent fallback."""
+    db = Database()
+    db.create_table(
+        "t", ("k", "g", "v"), ("k",), nullable=(), types={c: "int" for c in ("k", "g", "v")}
+    )
+    db.table("t").load([(1, 1, 10)])
+    plan = group_by(scan(db, "t"), ["g"], [("min", Col("v"), "lowest")])
+    diags = shard_diags(generate(db, plan), db)
+    sh401 = [d for d in diags if d.rule_id == "SH401"]
+    assert len(sh401) == 1 and sh401[0].severity == "warning"
+    assert "broadcast" in sh401[0].message
+
+
+def test_shard_pass_skips_without_database():
+    cfg = DevicesConfig(n_parts=10, n_devices=10, diff_size=2, fanout=2)
+    db = build_database(cfg)
+    generated = generate(db, build_flat_view(db, cfg))
+    ctx = AnalysisContext(
+        plan=generated.plan,
+        script=generated.script,
+        base_schemas=list(generated.base_schemas),
+        generated=generated,
+        db=None,
+    )
+    assert run_passes(ctx, ["shard"]).diagnostics == []

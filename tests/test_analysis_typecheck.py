@@ -1,0 +1,248 @@
+"""Pass 1 (typecheck) unit tests: TC101/102/103/104/106 + fact inference."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import equi_join, group_by, scan, where
+from repro.algebra.plan import Project
+from repro.analysis import analyze_plan
+from repro.analysis.typecheck import (
+    ColumnFact,
+    check_split_complement,
+    plan_column_facts,
+)
+from repro.analysis.diagnostics import AnalysisReport
+from repro.expr import (
+    And,
+    Arith,
+    Call,
+    Cmp,
+    Col,
+    Lit,
+    Not,
+    may_be_null,
+    nullable_columns_of,
+)
+from repro.storage import Database
+
+
+def make_db() -> Database:
+    db = Database()
+    db.create_table(
+        "t",
+        ("k", "a", "s"),
+        ("k",),
+        nullable=("a",),
+        types={"k": "int", "a": "int", "s": "str"},
+    )
+    db.table("t").load([(1, 2, "x"), (2, None, "y")])
+    return db
+
+
+def rule_ids(report):
+    return [d.rule_id for d in report.diagnostics]
+
+
+# ----------------------------------------------------------------------
+# TC101: mixed-type comparisons
+# ----------------------------------------------------------------------
+def test_tc101_mixed_type_ordering_warns():
+    db = make_db()
+    plan = where(scan(db, "t"), Cmp("<=", Col("a"), Lit("zz")))
+    report = analyze_plan(plan)
+    [diag] = [d for d in report.diagnostics if d.rule_id == "TC101"]
+    assert diag.severity == "warning"
+    assert "UNKNOWN" in diag.message
+
+
+def test_tc101_mixed_type_equality_is_constant():
+    db = make_db()
+    plan = where(scan(db, "t"), Cmp("=", Col("s"), Lit(7)))
+    [diag] = [d for d in analyze_plan(plan).diagnostics if d.rule_id == "TC101"]
+    assert "constant" in diag.message and "False" in diag.message
+
+
+def test_tc101_same_type_comparison_is_clean():
+    db = make_db()
+    plan = where(scan(db, "t"), Cmp("<", Col("a"), Lit(10)))
+    assert "TC101" not in rule_ids(analyze_plan(plan))
+
+
+def test_tc101_unknown_type_is_clean():
+    """No declaration, no judgment: unknown types check against anything."""
+    db = Database()
+    db.create_table("u", ("k", "c"), ("k",))  # no types declared
+    plan = where(scan(db, "u"), Cmp("<", Col("c"), Lit("zz")))
+    assert "TC101" not in rule_ids(analyze_plan(plan))
+
+
+# ----------------------------------------------------------------------
+# TC102: non-boolean filter predicates
+# ----------------------------------------------------------------------
+def test_tc102_non_boolean_predicate_is_error():
+    db = make_db()
+    plan = where(scan(db, "t"), Col("a"))
+    [diag] = [d for d in analyze_plan(plan).diagnostics if d.rule_id == "TC102"]
+    assert diag.severity == "error"
+
+
+def test_tc102_boolean_predicate_is_clean():
+    db = make_db()
+    plan = where(scan(db, "t"), Cmp(">", Col("a"), Lit(0)))
+    assert "TC102" not in rule_ids(analyze_plan(plan))
+
+
+# ----------------------------------------------------------------------
+# TC104 / TC106
+# ----------------------------------------------------------------------
+def test_tc104_sum_over_string_warns():
+    db = make_db()
+    plan = group_by(scan(db, "t"), ["k"], [("sum", Col("s"), "total")])
+    [diag] = [d for d in analyze_plan(plan).diagnostics if d.rule_id == "TC104"]
+    assert diag.severity == "warning"
+
+
+def test_tc104_min_over_string_is_clean():
+    db = make_db()
+    plan = group_by(scan(db, "t"), ["k"], [("min", Col("s"), "lowest")])
+    assert "TC104" not in rule_ids(analyze_plan(plan))
+
+
+def test_tc106_str_int_arithmetic_is_error():
+    db = make_db()
+    plan = Project(scan(db, "t"), [("k", Col("k")), ("odd", Arith("-", Col("s"), Lit(1)))])
+    [diag] = [d for d in analyze_plan(plan).diagnostics if d.rule_id == "TC106"]
+    assert diag.severity == "error"
+    assert "TypeError" in diag.message
+
+
+def test_tc106_str_concat_and_repeat_are_clean():
+    db = make_db()
+    plan = Project(
+        scan(db, "t"),
+        [
+            ("k", Col("k")),
+            ("twice", Arith("+", Col("s"), Col("s"))),
+            ("rep", Arith("*", Col("s"), Lit(3))),
+        ],
+    )
+    assert "TC106" not in rule_ids(analyze_plan(plan))
+
+
+# ----------------------------------------------------------------------
+# TC103: the split-complement shape
+# ----------------------------------------------------------------------
+PHI_PRE = Cmp(">", Col("a__pre"), Lit(0))
+PHI_POST = Cmp(">", Col("a__post"), Lit(0))
+NULLABLE = {"a__pre": ColumnFact("int", True), "a__post": ColumnFact("int", True)}
+NOT_NULL = {"a__pre": ColumnFact("int", False), "a__post": ColumnFact("int", False)}
+
+
+def split_report(predicate, facts):
+    report = AnalysisReport()
+    check_split_complement(predicate, facts, "step 1", report)
+    return report
+
+
+def test_tc103_plain_not_over_nullable_complement_fires():
+    report = split_report(And([PHI_PRE, Not(PHI_POST)]), NULLABLE)
+    [diag] = report.diagnostics
+    assert diag.rule_id == "TC103" and diag.severity == "error"
+
+
+def test_tc103_is_true_wrapped_complement_is_clean():
+    fixed = And([PHI_PRE, Not(Call("is_true", (PHI_POST,)))])
+    assert split_report(fixed, NULLABLE).diagnostics == []
+
+
+def test_tc103_non_nullable_predicate_is_clean():
+    """NULL-free φ can't be UNKNOWN: plain Not is exact."""
+    assert split_report(And([PHI_PRE, Not(PHI_POST)]), NOT_NULL).diagnostics == []
+
+
+def test_tc103_keep_branch_both_negated_is_clean():
+    """The update keep-branch negates BOTH sides; there is no un-negated
+    counterpart conjunct, so the shape gate must not fire."""
+    keep = And([Not(PHI_PRE), Not(PHI_POST)])
+    assert split_report(keep, NULLABLE).diagnostics == []
+
+
+def test_tc103_user_authored_negation_is_clean():
+    """A lone Not over state columns without the counterpart sibling is
+    the view's own semantics, not a generated complement."""
+    assert split_report(And([Cmp("<", Col("k"), Lit(5)), Not(PHI_POST)]), NULLABLE).diagnostics == []
+
+
+# ----------------------------------------------------------------------
+# fact inference
+# ----------------------------------------------------------------------
+def test_scan_facts_from_declarations():
+    db = make_db()
+    facts = plan_column_facts(scan(db, "t"))
+    assert facts["k"] == ColumnFact("int", False)
+    assert facts["a"] == ColumnFact("int", True)
+    assert facts["s"] == ColumnFact("str", False)
+
+
+def test_equi_join_strips_nullability_from_key_columns():
+    db = Database()
+    db.create_table("l", ("k", "x"), ("k",), types={"x": "int"})
+    db.create_table("r", ("j", "x2"), ("j",), types={"x2": "int"})
+    plan = equi_join(scan(db, "l"), scan(db, "r"), [("x", "x2")])
+    facts = plan_column_facts(plan)
+    # x/x2 are nullable on their scans, but rows surviving x = x2 under
+    # 3VL have both non-NULL.
+    assert facts["x"].nullable is False
+    assert facts["x2"].nullable is False
+
+
+def test_groupby_count_fact_and_avg_fact():
+    db = make_db()
+    plan = group_by(
+        scan(db, "t"),
+        ["s"],
+        [("count", None, "n"), ("avg", Col("a"), "mean"), ("sum", Col("a"), "tot")],
+    )
+    facts = plan_column_facts(plan)
+    assert facts["n"] == ColumnFact("int", False)
+    assert facts["mean"] == ColumnFact("float", True)
+    assert facts["tot"] == ColumnFact("int", True)
+
+
+# ----------------------------------------------------------------------
+# expr.analysis nullability helpers (the FK-column regression)
+# ----------------------------------------------------------------------
+def test_fk_column_nullability_follows_declaration():
+    """A foreign-key column is NOT implicitly NOT NULL: SQL permits NULL
+    FK values (the reference is simply not checked).  The helpers must
+    follow the schema declaration, both ways."""
+    db = Database()
+    db.create_table("parent", ("p",), ("p",))
+    db.create_table(
+        "child_loose", ("k", "ref"), ("k",), nullable=("ref",)
+    )
+    db.create_table("child_tight", ("k", "ref"), ("k",), nullable=())
+    db.add_foreign_key("child_loose", ("ref",), "parent")
+    db.add_foreign_key("child_tight", ("ref",), "parent")
+    loose = db.table("child_loose").schema
+    tight = db.table("child_tight").schema
+    assert nullable_columns_of(loose) == frozenset({"ref"})
+    assert nullable_columns_of(tight) == frozenset()
+    assert may_be_null(Col("ref"), nullable_columns_of(loose)) is True
+    assert may_be_null(Col("ref"), nullable_columns_of(tight)) is False
+
+
+def test_may_be_null_structure():
+    nullable = frozenset({"a"})
+    assert may_be_null(Cmp("<", Col("a"), Lit(1)), nullable) is True
+    assert may_be_null(Cmp("<", Col("b"), Lit(1)), nullable) is False
+    assert may_be_null(Lit(None), nullable) is True
+    assert may_be_null(Call("is_true", (Col("a"),)), nullable) is False
+    assert may_be_null(Call("coalesce", (Col("a"), Lit(0))), nullable) is False
+    assert may_be_null(Call("coalesce", (Col("a"), Lit(None))), nullable) is True
+
+
+def test_may_be_null_rejects_unknown_nodes():
+    with pytest.raises(TypeError):
+        may_be_null(object(), frozenset())
