@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-sharded smoke bench fuzz lint lint-static
+.PHONY: test test-sharded smoke bench perf-gate fuzz lint lint-static
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -19,6 +19,19 @@ smoke:
 
 bench:
 	$(PYTHON) -m pytest benchmarks --benchmark-disable -q
+
+# Perf-regression gate: re-run the fast access-count benchmarks and
+# diff each fresh BENCH_*.json against benchmarks/baselines/.  Access
+# counts must match exactly (they are deterministic); wall times gate
+# with a one-sided slack factor (REPRO_PERF_GATE_SLACK, default 3x).
+PERF_GATE_BENCHES = \
+    benchmarks/bench_table2_spj_costs.py \
+    benchmarks/bench_table3_agg_costs.py \
+    benchmarks/bench_speedup_model.py \
+    benchmarks/bench_eager_vs_deferred.py \
+    benchmarks/bench_minimization.py
+perf-gate:
+	REPRO_PERF_GATE=1 $(PYTHON) -m pytest $(PERF_GATE_BENCHES) --benchmark-disable -q
 
 # Domain lint: the repro.analysis static verifier over every shipped
 # workload view.  Exits non-zero on error-severity diagnostics.

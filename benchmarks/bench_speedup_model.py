@@ -1,8 +1,21 @@
 """Section 6 equations 1–2: predicted vs measured speedups.
 
 Sweeps the fanout (which drives both a and p) on the SPJ view and the
-aggregate view, and checks the analytical speedup formulas against the
-observed access-count ratios.
+aggregate view.  The workload parameters (a, p, g) feeding the
+analytical speedup formulas come from TWO independent paths:
+
+* **symbolic** — :func:`repro.analysis.cost.estimate_chain_parameters`
+  derives them from the plan shape + database statistics alone, before
+  any maintenance runs (what a planner would have);
+* **measured** — backed out of the instrumented engines' per-phase
+  access counters after the fact.
+
+Both predictions are checked against the observed access-count ratio,
+and the two parameter paths are checked against each other.  The
+symbolic path is a per-diff-row model: its *a* ignores that the
+executor dedupes repeated probes, and its *g* cannot see cross-row
+group overlap within one batch — both make it an upper-bound-flavoured
+estimate, hence the looser (documented) tolerances on that leg.
 """
 
 from __future__ import annotations
@@ -11,6 +24,7 @@ from functools import lru_cache
 
 from conftest import SYSTEMS, write_bench_json
 
+from repro.analysis.cost import estimate_chain_parameters
 from repro.bench import format_table, run_system
 from repro.costmodel import agg_update_speedup, spj_update_speedup
 from repro.workloads import (
@@ -23,6 +37,15 @@ from repro.workloads import (
 
 FANOUTS = (5, 10, 20)
 D = 100
+
+#: Measured-parameter predictions must track the observed ratio tightly.
+MEASURED_TOL = 0.05
+#: Symbolic-parameter predictions carry the estimate error of a and g
+#: (probe dedupe, batch group overlap) on top of the formula error.
+SYMBOLIC_TOL = 0.35
+#: Path agreement: symbolic vs measured a (probe dedupe gap) and p.
+A_AGREE_TOL = 0.35
+P_AGREE_TOL = 0.10
 
 
 def _run(config, build_view):
@@ -40,6 +63,12 @@ def _run(config, build_view):
     return out
 
 
+def _profile(config, build_view):
+    """The symbolic-path parameters for updates on ``parts``."""
+    db = build_devices_database(config)
+    return estimate_chain_parameters(build_view(db, config), db, "parts")
+
+
 @lru_cache(maxsize=1)
 def spj_points():
     rows = []
@@ -47,12 +76,25 @@ def spj_points():
         config = DevicesConfig(
             n_parts=600, n_devices=600, diff_size=D, fanout=f
         )
+        profile = _profile(config, build_flat_view)
         results = _run(config, build_flat_view)
         p = results["idIVM"].writes / D
         a = results["tuple"].phase("view_diff") / D
         predicted = spj_update_speedup(a, p)
+        predicted_sym = spj_update_speedup(profile.a, profile.p)
         observed = results["tuple"].total_cost / results["idIVM"].total_cost
-        rows.append((f, round(a, 2), round(p, 2), predicted, observed))
+        rows.append(
+            (
+                f,
+                round(a, 2),
+                round(p, 2),
+                round(profile.a, 2),
+                round(profile.p, 2),
+                predicted,
+                predicted_sym,
+                observed,
+            )
+        )
     return rows
 
 
@@ -63,6 +105,7 @@ def agg_points():
         config = DevicesConfig(
             n_parts=600, n_devices=600, diff_size=D, fanout=f
         )
+        profile = _profile(config, build_aggregate_view)
         results = _run(config, build_aggregate_view)
         id_result = results["idIVM"]
         p = (id_result.phase("cache_update") - D) / D
@@ -70,21 +113,52 @@ def agg_points():
         g = pg / p if p else 1.0
         a = results["tuple"].phase("view_diff") / D
         predicted = agg_update_speedup(a, p, g)
+        predicted_sym = agg_update_speedup(profile.a, profile.p, profile.g)
         observed = results["tuple"].total_cost / id_result.total_cost
-        rows.append((f, round(a, 2), round(p, 2), predicted, observed))
+        rows.append(
+            (
+                f,
+                round(a, 2),
+                round(p, 2),
+                round(g, 2),
+                round(profile.a, 2),
+                round(profile.p, 2),
+                round(profile.g, 2),
+                predicted,
+                predicted_sym,
+                observed,
+            )
+        )
     return rows
+
+
+SPJ_COLUMNS = (
+    "f", "a", "p", "a_sym", "p_sym", "predicted", "predicted_sym", "measured"
+)
+AGG_COLUMNS = (
+    "f", "a", "p", "g", "a_sym", "p_sym", "g_sym",
+    "predicted", "predicted_sym", "measured",
+)
 
 
 def test_speedup_model_spj(benchmark):
     rows = spj_points()
     print()
     print("== Equation 1 (SPJ): predicted vs measured speedup ==")
-    print(format_table(("f", "a", "p", "predicted", "measured"), rows))
-    for f, a, p, predicted, observed in rows:
-        assert abs(predicted - observed) / observed < 0.05, (f, predicted, observed)
+    print(format_table(SPJ_COLUMNS, rows))
+    for f, a, p, a_sym, p_sym, predicted, predicted_sym, observed in rows:
+        assert abs(predicted - observed) / observed < MEASURED_TOL, (
+            f, predicted, observed,
+        )
+        # The symbolic and measured parameter paths agree (satellite
+        # check: the statistics-only estimate is usable for planning).
+        assert abs(a_sym - a) / a < A_AGREE_TOL, (f, a_sym, a)
+        assert abs(p_sym - p) / p < P_AGREE_TOL, (f, p_sym, p)
+        assert abs(predicted_sym - observed) / observed < SYMBOLIC_TOL, (
+            f, predicted_sym, observed,
+        )
     write_bench_json(
-        "speedup_model_spj",
-        {"columns": ["f", "a", "p", "predicted", "measured"], "rows": rows},
+        "speedup_model_spj", {"columns": list(SPJ_COLUMNS), "rows": rows}
     )
     benchmark.pedantic(spj_points, rounds=1, iterations=1)
 
@@ -93,12 +167,22 @@ def test_speedup_model_agg(benchmark):
     rows = agg_points()
     print()
     print("== Equation 2 (aggregate): predicted vs measured speedup ==")
-    print(format_table(("f", "a", "p", "predicted", "measured"), rows))
-    for f, a, p, predicted, observed in rows:
-        assert abs(predicted - observed) / observed < 0.05, (f, predicted, observed)
+    print(format_table(AGG_COLUMNS, rows))
+    for row in rows:
+        f, a, p, g, a_sym, p_sym, g_sym = row[:7]
+        predicted, predicted_sym, observed = row[7:]
+        assert abs(predicted - observed) / observed < MEASURED_TOL, (
+            f, predicted, observed,
+        )
         assert observed >= 1.0  # Section 6.2: tuple-based can never win here
+        assert abs(a_sym - a) / a < A_AGREE_TOL, (f, a_sym, a)
+        assert abs(p_sym - p) / p < P_AGREE_TOL, (f, p_sym, p)
+        # g_sym is a per-diff-row bound: batch overlap only compresses.
+        assert g <= g_sym + 1e-9, (f, g, g_sym)
+        assert abs(predicted_sym - observed) / observed < SYMBOLIC_TOL, (
+            f, predicted_sym, observed,
+        )
     write_bench_json(
-        "speedup_model_agg",
-        {"columns": ["f", "a", "p", "predicted", "measured"], "rows": rows},
+        "speedup_model_agg", {"columns": list(AGG_COLUMNS), "rows": rows}
     )
     benchmark.pedantic(agg_points, rounds=1, iterations=1)

@@ -16,6 +16,7 @@ from functools import lru_cache
 
 from conftest import SYSTEMS, write_bench_json
 
+from repro.analysis.cost import estimate_chain_parameters
 from repro.bench import format_table, run_system
 from repro.workloads import (
     DevicesConfig,
@@ -25,6 +26,13 @@ from repro.workloads import (
 )
 
 CONFIG = DevicesConfig(n_parts=800, n_devices=800, diff_size=100)
+
+
+@lru_cache(maxsize=1)
+def symbolic_profile():
+    """(a, p, g) from plan shape + statistics alone (no maintenance run)."""
+    db = build_devices_database(CONFIG)
+    return estimate_chain_parameters(build_flat_view(db, CONFIG), db, "parts")
 
 
 @lru_cache(maxsize=1)
@@ -80,9 +88,20 @@ def test_table2_costs(benchmark):
     predicted = (a + 2 * p) / (1 + p)
     observed = tuple_result.total_cost / id_result.total_cost
     assert abs(predicted - observed) / observed < 0.05, (predicted, observed)
+    # The symbolic path (plan + statistics, no run) agrees with the
+    # measured parameters: p tightly, a within the probe-dedupe gap.
+    profile = symbolic_profile()
+    assert abs(profile.p - p) / p < 0.10, (profile.p, p)
+    assert abs(profile.a - a) / a < 0.35, (profile.a, a)
+    assert profile.g == 1.0  # SPJ view: no grouping compression
 
     write_bench_json(
         "table2_spj_costs",
-        {"diff_size": d, "view_rows_touched": touched, "systems": results},
+        {
+            "diff_size": d,
+            "view_rows_touched": touched,
+            "symbolic": {"a": profile.a, "p": profile.p, "g": profile.g},
+            "systems": results,
+        },
     )
     benchmark.pedantic(measurements, rounds=1, iterations=1)

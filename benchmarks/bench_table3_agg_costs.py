@@ -16,6 +16,7 @@ from functools import lru_cache
 
 from conftest import SYSTEMS, write_bench_json
 
+from repro.analysis.cost import estimate_chain_parameters
 from repro.bench import format_table, run_system
 from repro.workloads import (
     DevicesConfig,
@@ -25,6 +26,15 @@ from repro.workloads import (
 )
 
 CONFIG = DevicesConfig(n_parts=800, n_devices=800, diff_size=100)
+
+
+@lru_cache(maxsize=1)
+def symbolic_profile():
+    """(a, p, g) from plan shape + statistics alone (no maintenance run)."""
+    db = build_devices_database(CONFIG)
+    return estimate_chain_parameters(
+        build_aggregate_view(db, CONFIG), db, "parts"
+    )
 
 
 @lru_cache(maxsize=1)
@@ -85,8 +95,20 @@ def test_table3_costs(benchmark):
     )
     assert abs(predicted - observed) / observed < 0.05, (predicted, observed)
     assert observed > 1.0
+    # Symbolic path agreement: p tightly, a within the probe-dedupe
+    # gap, and its per-diff-row g bounds the batch-level compression.
+    profile = symbolic_profile()
+    assert abs(profile.p - p) / p < 0.10, (profile.p, p)
+    assert abs(profile.a - a) / a < 0.35, (profile.a, a)
+    g = pg_rows / (p * d)
+    assert g <= profile.g + 1e-9, (g, profile.g)
 
     write_bench_json(
-        "table3_agg_costs", {"diff_size": d, "systems": results}
+        "table3_agg_costs",
+        {
+            "diff_size": d,
+            "symbolic": {"a": profile.a, "p": profile.p, "g": profile.g},
+            "systems": results,
+        },
     )
     benchmark.pedantic(measurements, rounds=1, iterations=1)

@@ -9,6 +9,7 @@ measures wall time with pytest-benchmark.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Callable, Sequence
 
@@ -18,10 +19,12 @@ from repro.baselines import SdbtEngine, TupleIvmEngine
 from repro.bench import (
     SweepPoint,
     SystemResult,
+    run_gate,
     run_system,
     sweep_point_to_dict,
     system_result_to_dict,
 )
+from repro.bench.perfgate import DEFAULT_WALL_SLACK
 from repro.core import IdIvmEngine
 from repro.storage import AccessCounts
 from repro.workloads import (
@@ -49,6 +52,10 @@ BENCH_SCHEMA_VERSION = 1
 
 #: The repo root, where the ``BENCH_*.json`` files live.
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Committed reference payloads for the perf-regression gate
+#: (``make perf-gate`` / the CI perf-gate job).
+BASELINES_DIR = Path(__file__).resolve().parent / "baselines"
 
 
 def _jsonable(obj: object) -> object:
@@ -79,9 +86,23 @@ def write_bench_json(name: str, data: object) -> Path:
     }
     path = REPO_ROOT / f"BENCH_{name}.json"
     # sort_keys: byte-identical output for identical runs (diffable in CI).
-    path.write_text(
-        json.dumps(payload, indent=2, sort_keys=True, default=_jsonable) + "\n"
-    )
+    text = json.dumps(payload, indent=2, sort_keys=True, default=_jsonable)
+    path.write_text(text + "\n")
+    if os.environ.get("REPRO_PERF_GATE"):
+        # Perf-regression gate: access-count metrics must match the
+        # committed baseline exactly (they are deterministic); wall
+        # times only canary gross slowdowns via a slack factor.
+        slack = float(
+            os.environ.get("REPRO_PERF_GATE_SLACK", DEFAULT_WALL_SLACK)
+        )
+        violations = run_gate(name, json.loads(text), BASELINES_DIR, slack)
+        if violations:
+            pytest.fail(
+                f"perf gate: BENCH_{name}.json regressed vs "
+                f"benchmarks/baselines/ ({len(violations)} violation(s)):\n"
+                + "\n".join(f"  - {v}" for v in violations),
+                pytrace=False,
+            )
     return path
 
 

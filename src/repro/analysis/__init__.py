@@ -6,6 +6,7 @@ Four passes over a shared diagnostic model (see docs/ANALYSIS.md):
 * ``keys``      — key/FD audit of the ID inference claims (KEY2xx)
 * ``script``    — ∆-script IR read/write-set checker (SC3xx)
 * ``shard``     — shard routability classification (SH4xx)
+* ``cost``      — symbolic cost inference & minimality lints (COST5xx)
 
 Entry points: :func:`analyze_plan` for a bare algebra plan,
 :func:`analyze_generated` for compiler output, :func:`check_generated`
@@ -36,6 +37,7 @@ from . import typecheck as _typecheck  # noqa: F401
 from . import keys as _keys  # noqa: F401
 from . import script_check as _script_check  # noqa: F401
 from . import shard_check as _shard_check  # noqa: F401
+from . import cost as _cost  # noqa: F401
 
 
 def analyze_plan(plan, names=None) -> AnalysisReport:

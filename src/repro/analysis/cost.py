@@ -1,0 +1,828 @@
+"""Pass 5: symbolic cost inference over ∆-scripts (COST5xx).
+
+Walks a generated ∆-script step by step — replaying the same cache
+apply→mark state machine the executor runs — and derives, per maintenance
+phase, a closed-form :class:`~repro.costmodel.symbolic.CostVector` over
+workload parameters: base i-diff cardinalities ``card[...]``, probe
+fanouts ``f[...]``, selectivities ``s[...]``, apply locate fanouts
+``loc[...]`` and grouping compressions ``g[...]``.  This generalizes the
+two hand-derived closed forms in :mod:`repro.costmodel.model` (Table 2
+SPJ, Table 3 aggregate) to every view the generator can produce.
+
+The model is an *upper bound given observed cardinalities*: probe costs
+are charged per left row (the executor dedupes probe values), filter and
+semijoin retentions default to 1, and operator-cache bookkeeping is
+charged whenever it *may* be touched.  Index lookups of pure
+apply/locate phases (SPJ update rounds) carry no estimated symbols and
+are exact.
+
+Three consumers:
+
+* the registered ``cost`` pass — minimality lints COST501 (the emitted
+  script predicts costlier than an enumerated generator alternative) and
+  COST502 (intermediate caches whose predicted amortized benefit is
+  negative under the no-cache alternative);
+* :func:`reconcile_counts` / :func:`cost_diagnostics` — COST503,
+  flagging measured ``MaintenanceReport.phase_counts`` that *exceed* the
+  prediction beyond the per-metric tolerance (the S2 counters report
+  work the model cannot account for);
+* :func:`estimate_chain_parameters` — derives the paper's (a, p, g)
+  workload parameters from a plan + database, replacing hand-entered
+  constants in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from ..algebra.evaluate import evaluate_plan
+from ..algebra.plan import (
+    AntiJoin,
+    GroupBy,
+    Join,
+    PlanNode,
+    Project,
+    Scan,
+    Select,
+    SemiJoin,
+    UnionAll,
+)
+from ..algebra.relation import Relation
+from ..core.diffs import DELETE, INSERT, UPDATE, DiffSchema
+from ..core.ir import (
+    AppliedSource,
+    Compute,
+    DiffSource,
+    Distinct,
+    Empty,
+    Filter,
+    GroupAgg,
+    IrNode,
+    ProbeJoin,
+    ProbeSemi,
+    SubviewSource,
+    UnionRows,
+)
+from ..core.modlog import schema_instance_name
+from ..core.rules.aggregate import AssociativeAggregateStep, GeneralAggregateStep
+from ..core.script import (
+    PHASE_CACHE_DIFF,
+    PHASE_CACHE_UPDATE,
+    PHASE_VIEW_DIFF,
+    PHASE_VIEW_UPDATE,
+    ApplyDiffStep,
+    ComputeDiffStep,
+    MarkCacheUpdatedStep,
+)
+from ..costmodel.symbolic import (
+    CostExpr,
+    CostVector,
+    ScriptCostModel,
+    card_symbol,
+    lookups,
+    reads,
+    writes,
+)
+from ..expr import Col, columns_of, equi_join_pairs
+from ..storage import Database
+from .registry import AnalysisContext, register_pass
+
+#: Nominal per-instance diff cardinality used when no observation binds
+#: the base ``card[...]`` symbols (the minimality lint's working point).
+NOMINAL_DIFF_CARD = 16.0
+
+#: The four ∆-script phases the model predicts (measured phases outside
+#: this set — instance population, setup — are not part of the script).
+SCRIPT_PHASES = (
+    PHASE_CACHE_DIFF,
+    PHASE_CACHE_UPDATE,
+    PHASE_VIEW_DIFF,
+    PHASE_VIEW_UPDATE,
+)
+
+#: COST503 tolerance per metric: ``(relative, absolute)``.  A measured
+#: count deviates when ``measured > predicted * (1 + rel) + abs``.  The
+#: check is one-sided — the model is a documented upper bound, so only
+#: *under*-prediction (counters reporting work the formulas cannot
+#: explain) is a defect.  See docs/COST_MODEL.md for the policy.
+RECONCILE_TOLERANCES: dict[str, tuple[float, float]] = {
+    "index_lookups": (0.25, 4.0),
+    "tuple_reads": (0.50, 12.0),
+    "tuple_writes": (0.25, 6.0),
+}
+
+#: Margin for the minimality comparisons (COST501/COST502): predicted
+#: totals within ``max(ABS, REL * baseline)`` are considered equal.
+_MARGIN_ABS = 8.0
+_MARGIN_REL = 0.05
+
+
+# ----------------------------------------------------------------------
+# node statistics
+# ----------------------------------------------------------------------
+class PlanStats:
+    """Per-plan-node row statistics measured from a live database.
+
+    Evaluation is counted (it goes through the ordinary evaluator); the
+    callers that care — ``IdIvmEngine.define_view`` — run inference
+    before their counter reset, so inference never pollutes maintenance
+    phase counts.
+    """
+
+    def __init__(self, db: Database):
+        self.db = db
+        self._rows: dict[int, Relation] = {}
+
+    def rows(self, node: PlanNode) -> Relation:
+        cached = self._rows.get(node.node_id)
+        if cached is not None:
+            return cached
+        if isinstance(node, Scan):
+            table = self.db.table(node.table)
+            rel = Relation(node.columns, list(table.rows_uncounted()))
+        else:
+            rel = evaluate_plan(node, self.db)
+        self._rows[node.node_id] = rel
+        return rel
+
+    def n(self, node: PlanNode) -> int:
+        return len(self.rows(node).rows)
+
+    def distinct(self, node: PlanNode, cols: Sequence[str]) -> int:
+        rel = self.rows(node)
+        idx = [rel.position(c) for c in cols]
+        return len({tuple(r[i] for i in idx) for r in rel.rows})
+
+    def fanout(self, node: PlanNode, cols: Sequence[str]) -> float:
+        """Average matching rows per distinct value of *cols*."""
+        rel = self.rows(node)
+        if not rel.rows:
+            return 0.0
+        return len(rel.rows) / max(self.distinct(node, cols), 1)
+
+    def has_nulls(self, node: PlanNode, cols: Sequence[str]) -> bool:
+        rel = self.rows(node)
+        idx = [rel.position(c) for c in cols if c in rel.columns]
+        return any(r[i] is None for r in rel.rows for i in idx)
+
+    def grouping_compression(
+        self, node: PlanNode, id_cols: Sequence[str], key_cols: Sequence[str]
+    ) -> float:
+        """Average ``distinct(key_cols) / rows`` within each *id_cols*
+        group — the paper's g: groups touched per view row touched."""
+        rel = self.rows(node)
+        if not rel.rows:
+            return 1.0
+        id_idx = [rel.position(c) for c in id_cols]
+        key_idx = [rel.position(c) for c in key_cols]
+        groups: dict[tuple, list[tuple]] = {}
+        for r in rel.rows:
+            groups.setdefault(tuple(r[i] for i in id_idx), []).append(
+                tuple(r[i] for i in key_idx)
+            )
+        ratios = [len(set(keys)) / len(keys) for keys in groups.values()]
+        return sum(ratios) / len(ratios)
+
+
+# ----------------------------------------------------------------------
+# the script walker
+# ----------------------------------------------------------------------
+class CostInferenceError(Exception):
+    """The walker met a construct it cannot cost."""
+
+
+class _CostWalker:
+    def __init__(self, generated: object, db: Database, nominal_card: float):
+        self.gp = generated
+        self.db = db
+        self.plan: PlanNode = generated.plan  # type: ignore[attr-defined]
+        self.script = generated.script  # type: ignore[attr-defined]
+        self.model = ScriptCostModel(generated.view_name)  # type: ignore[attr-defined]
+        self.stats = PlanStats(db)
+        self.nodes: dict[int, PlanNode] = {n.node_id: n for n in self.plan.walk()}
+        cache_specs = list(generated.cache_specs)  # type: ignore[attr-defined]
+        self.cache_ids: set[int] = {s.node_id for s in cache_specs}
+        self.cache_ids.add(self.script.view_node_id)
+        self.cache_state: dict[int, str] = {nid: "pre" for nid in self.cache_ids}
+        self.diff_schemas: dict[str, DiffSchema] = {}
+        #: RETURNING expansion name -> the diff name whose APPLY produced it
+        self.returning_source: dict[str, str] = {}
+        for schema in generated.base_schemas:  # type: ignore[attr-defined]
+            name = schema_instance_name(schema)
+            self.diff_schemas[name] = schema
+            self.model.estimate(card_symbol(name), nominal_card)
+
+    # -- symbols -------------------------------------------------------
+    def _sym(self, name: str, estimate: float) -> CostExpr:
+        self.model.estimate(name, estimate)
+        return CostExpr.var(name)
+
+    def _fan(self, node: PlanNode, attrs: Sequence[str]) -> CostExpr:
+        """Rows matched per probe value on *node* bound by *attrs*."""
+        if set(attrs) >= set(node.ids):
+            return CostExpr.const(1.0)
+        label = ",".join(sorted(attrs))
+        return self._sym(
+            f"f[n{node.node_id}.{label}]", self.stats.fanout(node, attrs)
+        )
+
+    def _valid_caches(self, state: str) -> set[int]:
+        return {nid for nid, st in self.cache_state.items() if st == state}
+
+    # -- probe unit costs ----------------------------------------------
+    def probe_unit(
+        self, node: PlanNode, attrs: Sequence[str], state: str
+    ) -> tuple[CostVector, CostExpr]:
+        """(cost, matching rows) for probing *node* with one binding value
+        on *attrs*, mirroring :func:`repro.algebra.delta_eval.fetch`."""
+        attrs = tuple(attrs)
+        if node.node_id in self._valid_caches(state):
+            fan = self._fan(node, attrs)
+            return lookups(1) + reads(fan), fan
+        if isinstance(node, Scan):
+            fan = self._fan(node, attrs)
+            return lookups(1) + reads(fan), fan
+        if isinstance(node, Select):
+            vec, rows = self.probe_unit(node.child, attrs, state)
+            n_child = self.stats.n(node.child)
+            sel_est = self.stats.n(node) / n_child if n_child else 1.0
+            sel = self._sym(f"s[n{node.node_id}]", sel_est)
+            return vec, rows * sel
+        if isinstance(node, Project):
+            passthrough = {
+                name: expr.name
+                for name, expr in node.items
+                if isinstance(expr, Col)
+            }
+            if all(a in passthrough for a in attrs):
+                return self.probe_unit(
+                    node.child, tuple(passthrough[a] for a in attrs), state
+                )
+            # fetch-all and filter (counted) — charged once per value.
+            return self.cost_full(node.child, state), self._fan(node, attrs)
+        if isinstance(node, Join):
+            return self._probe_join_node(node, attrs, state)
+        if isinstance(node, (SemiJoin, AntiJoin)):
+            vec, rows = self.probe_unit(node.left, attrs, state)
+            pairs, _res = equi_join_pairs(
+                node.condition, node.left.columns, node.right.columns
+            )
+            if pairs:
+                rvec, _rrows = self.probe_unit(
+                    node.right, tuple(b for _, b in pairs), state
+                )
+                vec = vec + rvec.scale(rows)
+            else:
+                vec = vec + self.cost_full(node.right, state)
+            return vec, rows  # retention ≤ 1: upper bound
+        if isinstance(node, UnionAll):
+            branch = node.branch_column
+            child_attrs = tuple(a for a in attrs if a != branch)
+            lvec, lrows = self.probe_unit(node.left, child_attrs, state)
+            rvec, rrows = self.probe_unit(node.right, child_attrs, state)
+            return lvec + rvec, lrows + rrows
+        if isinstance(node, GroupBy):
+            if set(attrs) <= set(node.keys):
+                vec, _crows = self.probe_unit(node.child, attrs, state)
+                return vec, self._fan(node, attrs)
+            return self.cost_full(node.child, state), self._fan(node, attrs)
+        raise CostInferenceError(f"cannot cost probe into {node.label()!r}")
+
+    def _probe_join_node(
+        self, node: Join, attrs: tuple[str, ...], state: str
+    ) -> tuple[CostVector, CostExpr]:
+        left_cols = set(node.left.columns)
+        right_cols = set(node.right.columns)
+        attrs_left = tuple(a for a in attrs if a in left_cols)
+        attrs_right = tuple(a for a in attrs if a in right_cols)
+        pairs, _res = (
+            equi_join_pairs(node.condition, node.left.columns, node.right.columns)
+            if node.condition is not None
+            else ([], None)
+        )
+        if attrs_left:
+            vec, rows = self.probe_unit(node.left, attrs_left, state)
+            if pairs:
+                rvec, rrows = self.probe_unit(
+                    node.right, tuple(b for _, b in pairs), state
+                )
+                return vec + rvec.scale(rows), rows * rrows
+            return vec + self.cost_full(node.right, state), rows * self.stats.n(
+                node.right
+            )
+        # Bindings only on the right side: drive from the right.
+        vec, rows = self.probe_unit(node.right, attrs_right, state)
+        if pairs:
+            lvec, lrows = self.probe_unit(
+                node.left, tuple(a for a, _ in pairs), state
+            )
+            return vec + lvec.scale(rows), rows * lrows
+        return vec + self.cost_full(node.left, state), rows * self.stats.n(node.left)
+
+    def cost_full(self, node: PlanNode, state: str) -> CostVector:
+        """Cost of fetching *node* without bindings (full recompute or a
+        cache scan); row counts come from the measured statistics."""
+        if node.node_id in self._valid_caches(state) or isinstance(node, Scan):
+            return reads(self.stats.n(node))
+        if isinstance(node, (Select, Project, GroupBy)):
+            child = node.children[0]
+            return self.cost_full(child, state)
+        if isinstance(node, Join):
+            vec = self.cost_full(node.left, state)
+            pairs, _res = (
+                equi_join_pairs(node.condition, node.left.columns, node.right.columns)
+                if node.condition is not None
+                else ([], None)
+            )
+            if pairs:
+                rvec, _rows = self.probe_unit(
+                    node.right, tuple(b for _, b in pairs), state
+                )
+                return vec + rvec.scale(self.stats.n(node.left))
+            return vec + self.cost_full(node.right, state)
+        if isinstance(node, (SemiJoin, AntiJoin)):
+            vec = self.cost_full(node.left, state)
+            pairs, _res = equi_join_pairs(
+                node.condition, node.left.columns, node.right.columns
+            )
+            if pairs:
+                rvec, _rows = self.probe_unit(
+                    node.right, tuple(b for _, b in pairs), state
+                )
+                return vec + rvec.scale(self.stats.n(node.left))
+            return vec + self.cost_full(node.right, state)
+        if isinstance(node, UnionAll):
+            return self.cost_full(node.left, state) + self.cost_full(node.right, state)
+        raise CostInferenceError(f"cannot cost full fetch of {node.label()!r}")
+
+    # -- IR costing ----------------------------------------------------
+    def ir_cost(self, node: IrNode) -> tuple[CostVector, CostExpr]:
+        """(cost, output cardinality) of evaluating an IR tree once."""
+        if isinstance(node, DiffSource):
+            return CostVector(), CostExpr.var(card_symbol(node.name))
+        if isinstance(node, AppliedSource):
+            return CostVector(), CostExpr.var(card_symbol(node.apply_name))
+        if isinstance(node, SubviewSource):
+            pnode = node.node
+            return self.cost_full(pnode, node.state), CostExpr.const(
+                self.stats.n(pnode)
+            )
+        if isinstance(node, Empty):
+            return CostVector(), CostExpr.zero()
+        if isinstance(node, Filter):
+            return self.ir_cost(node.child)  # retention ≤ 1: upper bound
+        if isinstance(node, (Compute, Distinct)):
+            return self.ir_cost(node.child)
+        if isinstance(node, UnionRows):
+            vec = CostVector()
+            card = CostExpr.zero()
+            for part in node.parts:
+                pvec, pcard = self.ir_cost(part)
+                vec = vec + pvec
+                card = card + pcard
+            return vec, card
+        if isinstance(node, GroupAgg):
+            return self.ir_cost(node.child)  # groups ≤ rows: upper bound
+        if isinstance(node, ProbeJoin):
+            lvec, lcard = self.ir_cost(node.left)
+            if node.on:
+                sub_attrs = tuple(b for _, b in node.on)
+                uvec, urows = self.probe_unit(node.node, sub_attrs, node.state)
+                return lvec + uvec.scale(lcard), lcard * urows
+            vec = lvec + self.cost_full(node.node, node.state)
+            return vec, lcard * self.stats.n(node.node)
+        if isinstance(node, ProbeSemi):
+            lvec, lcard = self.ir_cost(node.left)
+            if node.on:
+                sub_attrs = tuple(b for _, b in node.on)
+                uvec, _urows = self.probe_unit(node.node, sub_attrs, node.state)
+                return lvec + uvec.scale(lcard), lcard
+            return lvec + self.cost_full(node.node, node.state), lcard
+        raise CostInferenceError(f"cannot cost IR node {node!r}")
+
+    # -- steps ---------------------------------------------------------
+    def walk(self) -> ScriptCostModel:
+        for step in self.script.steps:
+            if isinstance(step, ComputeDiffStep):
+                self._compute_step(step)
+            elif isinstance(step, ApplyDiffStep):
+                self._apply_step(step)
+            elif isinstance(step, MarkCacheUpdatedStep):
+                self.cache_state[step.node_id] = "post"
+            elif isinstance(step, AssociativeAggregateStep):
+                self._assoc_step(step)
+            elif isinstance(step, GeneralAggregateStep):
+                self._general_step(step)
+            else:
+                raise CostInferenceError(f"unknown step type {type(step).__name__}")
+        return self.model
+
+    def _compute_step(self, step: ComputeDiffStep) -> None:
+        vec, card = self.ir_cost(step.ir)
+        self.model.add(f"COMPUTE {step.name}", step.phase, vec)
+        self.model.define_card(card_symbol(step.name), card)
+        self.diff_schemas[step.name] = step.schema
+
+    def _apply_locate_fan(self, schema: DiffSchema, target: PlanNode) -> CostExpr:
+        key = tuple(target.ids)
+        if set(schema.id_attrs) >= set(key):
+            return CostExpr.const(1.0)
+        label = ",".join(sorted(schema.id_attrs))
+        return self._sym(
+            f"loc[n{target.node_id}.{label}]",
+            self.stats.fanout(target, schema.id_attrs),
+        )
+
+    def _apply_step(self, step: ApplyDiffStep) -> None:
+        schema = self.diff_schemas.get(step.diff_name)
+        if schema is None:
+            raise CostInferenceError(f"APPLY of unknown diff {step.diff_name!r}")
+        target = self.nodes.get(step.target_node_id)
+        if target is None:
+            raise CostInferenceError(f"APPLY to unknown node n{step.target_node_id}")
+        card = CostExpr.var(card_symbol(step.diff_name))
+        if schema.kind == INSERT:
+            vec = lookups(card) + writes(card)
+            touched = card
+        else:
+            loc = self._apply_locate_fan(schema, target)
+            touched = card * loc
+            vec = lookups(card) + writes(touched)
+        self.model.add(f"APPLY {step.diff_name} -> {step.target_label}", step.phase, vec)
+        if step.returning_name is not None:
+            self.model.define_card(card_symbol(step.returning_name), touched)
+            self.returning_source[step.returning_name] = step.diff_name
+
+    # -- aggregate steps -----------------------------------------------
+    def _agg_input_schema(self, source_kind: str, name: str) -> Optional[DiffSchema]:
+        if source_kind == "expansion":
+            source = self.returning_source.get(name)
+            return self.diff_schemas.get(source) if source else None
+        return self.diff_schemas.get(name)
+
+    def _assoc_step(self, step: AssociativeAggregateStep) -> None:
+        gnode = step.gnode
+        child = gnode.child
+        vec = CostVector()
+        changes: dict[str, CostExpr] = {
+            INSERT: CostExpr.zero(),
+            DELETE: CostExpr.zero(),
+            UPDATE: CostExpr.zero(),
+        }
+        key_moving = False
+        arg_cols: list[str] = []
+        for agg in gnode.aggs:
+            if agg.arg is not None:
+                arg_cols.extend(columns_of(agg.arg))
+        for source_kind, name in step.inputs:
+            schema = self._agg_input_schema(source_kind, name)
+            if schema is None:
+                raise CostInferenceError(f"aggregate input {name!r} has no schema")
+            card = CostExpr.var(card_symbol(name))
+            if source_kind == "diff":
+                # Counted Input_pre probes (Table 9's ∆ ⋈ Input_pre).
+                uvec, urows = self.probe_unit(child, schema.id_attrs, "pre")
+                vec = vec + uvec.scale(card)
+                n_changes = card if schema.kind == INSERT else card * urows
+            else:
+                n_changes = card  # RETURNING expansions are free
+            changes[schema.kind] = changes[schema.kind] + n_changes
+            if schema.kind == UPDATE and set(schema.post_attrs) & set(gnode.keys):
+                key_moving = True
+        has_avg = any(a.func == "avg" for a in gnode.aggs)
+        touch_updates = (
+            has_avg or key_moving or self.stats.has_nulls(child, arg_cols)
+        )
+        g = self._sym(f"g[n{gnode.node_id}]", 1.0)
+        emit_ins = changes[INSERT] * g
+        emit_del = changes[DELETE] * g
+        emit_upd = changes[UPDATE] * g
+        if key_moving:
+            # A group-key update bumps two groups; either may be created
+            # or emptied by the move.
+            emit_ins = emit_ins + changes[UPDATE] * g
+            emit_del = emit_del + changes[UPDATE] * g
+        for kind, expr in ((INSERT, emit_ins), (DELETE, emit_del), (UPDATE, emit_upd)):
+            self.model.define_card(card_symbol(step.emitted[kind]), expr)
+            self.diff_schemas[step.emitted[kind]] = _emitted_schema(gnode, kind)
+        e_ins = CostExpr.var(card_symbol(step.emitted[INSERT]))
+        e_del = CostExpr.var(card_symbol(step.emitted[DELETE]))
+        e_upd = CostExpr.var(card_symbol(step.emitted[UPDATE]))
+        t = 1.0 if touch_updates else 0.0
+        # Per-group read-modify-write costs by emitted kind (see
+        # apply_group_deltas): update = book(t) + locate + write(+book);
+        # delete = book + locate + delete + book-delete; insert = book
+        # miss + locate miss + out insert + book insert.
+        vec = vec + lookups(e_upd * (1.0 + t)) + reads(e_upd * t) + writes(
+            e_upd * (1.0 + t)
+        )
+        vec = vec + lookups(e_del * 2.0) + reads(e_del) + writes(e_del * 2.0)
+        vec = vec + lookups(e_ins * 4.0) + writes(e_ins * 2.0)
+        self.model.add(f"γ-delta n{gnode.node_id}", step.phase, vec)
+        self.cache_state[gnode.node_id] = "post"
+
+    def _general_step(self, step: GeneralAggregateStep) -> None:
+        gnode = step.gnode
+        child = gnode.child
+        vec = CostVector()
+        groups = CostExpr.zero()
+        for source_kind, name in step.inputs:
+            schema = self._agg_input_schema(source_kind, name)
+            if schema is None:
+                raise CostInferenceError(f"aggregate input {name!r} has no schema")
+            card = CostExpr.var(card_symbol(name))
+            if source_kind == "expansion":
+                groups = groups + card * 2.0  # pre+post group keys per change
+                continue
+            # Counted pre- AND post-state probes of the child.
+            for state in ("pre", "post"):
+                uvec, urows = self.probe_unit(child, schema.id_attrs, state)
+                vec = vec + uvec.scale(card)
+                groups = groups + card * urows
+            if schema.kind == INSERT:
+                groups = groups + card
+        g_sym = card_symbol(f"{step.emit_prefix}__groups")
+        self.model.define_card(g_sym, groups)
+        g_var = CostExpr.var(g_sym)
+        # Recompute γ(∆ ⋉ Input_post) per affected group: the γ probe
+        # pushes the group-key binding down to the child.
+        uvec, _rows = self.probe_unit(gnode, gnode.keys, "post")
+        vec = vec + uvec.scale(g_var)
+        vec = vec + lookups(g_var)  # out_table.locate per group
+        for kind in (INSERT, DELETE, UPDATE):
+            self.diff_schemas[step.emitted[kind]] = _emitted_schema(gnode, kind)
+        # A-priori: assume every affected group yields an update; inserts
+        # and deletes are observed at reconciliation time.
+        self.model.define_card(card_symbol(step.emitted[UPDATE]), g_var)
+        self.model.define_card(card_symbol(step.emitted[INSERT]), CostExpr.zero())
+        self.model.define_card(card_symbol(step.emitted[DELETE]), CostExpr.zero())
+        e_ins = CostExpr.var(card_symbol(step.emitted[INSERT]))
+        e_del = CostExpr.var(card_symbol(step.emitted[DELETE]))
+        e_upd = CostExpr.var(card_symbol(step.emitted[UPDATE]))
+        vec = vec + lookups(e_ins) + writes(e_ins + e_del + e_upd)
+        self.model.add(f"γ-recompute n{gnode.node_id}", step.phase, vec)
+        self.cache_state[gnode.node_id] = "post"
+
+
+def _emitted_schema(gnode: GroupBy, kind: str) -> DiffSchema:
+    non_ids = tuple(c for c in gnode.columns if c not in set(gnode.keys))
+    target = f"n{gnode.node_id}"
+    if kind == INSERT:
+        return DiffSchema(INSERT, target, gnode.keys, post_attrs=non_ids)
+    if kind == DELETE:
+        return DiffSchema(DELETE, target, gnode.keys, pre_attrs=non_ids)
+    return DiffSchema(
+        UPDATE, target, gnode.keys, pre_attrs=non_ids, post_attrs=non_ids
+    )
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+def infer_script_cost(
+    generated: object, db: Database, nominal_card: float = NOMINAL_DIFF_CARD
+) -> ScriptCostModel:
+    """Symbolic per-phase cost model for a :class:`GeneratedPlan`.
+
+    Raises :class:`CostInferenceError` on constructs the walker cannot
+    cost; callers embedding this in engines or fuzzers should treat any
+    exception as "no model available".
+    """
+    return _CostWalker(generated, db, nominal_card).walk()
+
+
+@dataclass(frozen=True)
+class CostDeviation:
+    """One COST503 finding: a measured count the model cannot explain."""
+
+    phase: str
+    metric: str
+    predicted: float
+    measured: float
+
+    def render(self) -> str:
+        return (
+            f"{self.phase}/{self.metric}: measured {self.measured:g} > "
+            f"predicted {self.predicted:g}"
+        )
+
+
+def reconcile_counts(
+    predicted: Mapping[str, Mapping[str, float]],
+    measured: Mapping[str, Mapping[str, float]],
+    tolerances: Optional[Mapping[str, tuple[float, float]]] = None,
+) -> list[CostDeviation]:
+    """Compare per-phase predicted vs measured counts (COST503 policy).
+
+    One-sided: flags phases where the measured counters exceed the
+    predicted upper bound beyond the per-metric tolerance.  Phases
+    outside the four script phases are ignored (instance population and
+    setup are not part of the ∆-script).
+    """
+    tol = dict(RECONCILE_TOLERANCES)
+    if tolerances:
+        tol.update(tolerances)
+    deviations: list[CostDeviation] = []
+    for phase in SCRIPT_PHASES:
+        measured_phase = measured.get(phase, {})
+        predicted_phase = predicted.get(phase, {})
+        for metric, (rel, abs_slack) in tol.items():
+            m = float(measured_phase.get(metric, 0.0))
+            p = float(predicted_phase.get(metric, 0.0))
+            if m > p * (1.0 + rel) + abs_slack:
+                deviations.append(CostDeviation(phase, metric, p, m))
+    return deviations
+
+
+def reconcile_report(report: object) -> list[CostDeviation]:
+    """COST503 deviations for a finished ``MaintenanceReport`` carrying a
+    ``predicted_counts`` block (empty when no prediction is attached)."""
+    predicted = getattr(report, "predicted_counts", None)
+    if not predicted:
+        return []
+    measured = {
+        phase: counts.as_dict()
+        for phase, counts in report.phase_counts.items()  # type: ignore[attr-defined]
+        if phase in SCRIPT_PHASES
+    }
+    return reconcile_counts(predicted, measured)
+
+
+def cost_diagnostics(report: object, analysis_report: object) -> list[CostDeviation]:
+    """Append COST503 diagnostics for *report* to *analysis_report*."""
+    deviations = reconcile_report(report)
+    for dev in deviations:
+        analysis_report.add(  # type: ignore[attr-defined]
+            "COST503",
+            f"phase:{dev.phase}",
+            f"measured {dev.metric} {dev.measured:g} exceeds predicted "
+            f"{dev.predicted:g} beyond tolerance",
+            hint="the symbolic model missed an access path; see docs/COST_MODEL.md",
+        )
+    return deviations
+
+
+# ----------------------------------------------------------------------
+# the registered pass: minimality lints
+# ----------------------------------------------------------------------
+def _alternative_model(
+    generated: object, db: Database, optimize: bool, cache_policy: str
+) -> Optional[ScriptCostModel]:
+    from ..core.generator import ScriptGenerator
+
+    try:
+        gen = ScriptGenerator(
+            generated.view_name,  # type: ignore[attr-defined]
+            generated.plan,  # type: ignore[attr-defined]
+            optimize=optimize,
+            cache_policy=cache_policy,
+        )
+        alt = gen.generate(list(generated.base_schemas))  # type: ignore[attr-defined]
+        return infer_script_cost(alt, db)
+    except Exception:
+        return None
+
+
+def _margin(baseline: float) -> float:
+    return max(_MARGIN_ABS, _MARGIN_REL * baseline)
+
+
+@register_pass("cost")
+def cost_pass(ctx: AnalysisContext) -> None:
+    """COST501/COST502: predicted-cost minimality of the emitted script.
+
+    Needs the full ``GeneratedPlan`` and a live database (for node
+    statistics); skips silently otherwise.  Never raises: the fuzzer
+    treats analyzer crashes as divergences.
+    """
+    if ctx.generated is None or ctx.db is None:
+        return
+    try:
+        model = infer_script_cost(ctx.generated, ctx.db)
+    except Exception:
+        return
+    current = model.total()
+    view = getattr(ctx.generated, "view_name", "?")
+    # COST501: the minimizer must never make the script costlier than
+    # the unminimized form it started from.
+    unopt = _alternative_model(ctx.generated, ctx.db, optimize=False, cache_policy="equi")
+    if unopt is not None:
+        alt_total = unopt.total()
+        if current > alt_total + _margin(alt_total):
+            ctx.report.add(
+                "COST501",
+                f"view:{view}",
+                f"emitted ∆-script predicts {current:.0f} accesses/round vs "
+                f"{alt_total:.0f} for the unminimized alternative",
+                hint="inspect minimize_ir: a rewrite is pessimizing this plan",
+            )
+    # COST502: intermediate caches must pay for their own maintenance.
+    has_intermediate = any(
+        s.kind == "intermediate"
+        for s in getattr(ctx.generated, "cache_specs", [])
+    )
+    if has_intermediate:
+        nocache = _alternative_model(
+            ctx.generated, ctx.db, optimize=True, cache_policy="never"
+        )
+        if nocache is not None:
+            benefit = nocache.total() - current
+            if benefit < -_margin(current):
+                for spec in ctx.generated.cache_specs:  # type: ignore[attr-defined]
+                    if spec.kind != "intermediate":
+                        continue
+                    ctx.report.add(
+                        "COST502",
+                        f"cache:n{spec.node_id}",
+                        f"predicted amortized benefit of the intermediate "
+                        f"cache set is {benefit:.0f} accesses/round "
+                        f"(cache {current:.0f} vs no-cache {nocache.total():.0f})",
+                        hint="consider cache_policy='never' or 'fk' for this view",
+                    )
+
+
+# ----------------------------------------------------------------------
+# chain parameters for the benchmarks (paper Tables 2 and 3)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChainProfile:
+    """The paper's workload parameters derived from a plan + database."""
+
+    table: str
+    fanouts: tuple[float, ...]
+    selectivity: float
+    a: float  #: tuple-diff probe accesses per base diff row (App. A)
+    p: float  #: view rows touched per base diff row
+    g: float  #: grouping compression (1.0 for SPJ views)
+
+
+def estimate_chain_parameters(
+    plan: PlanNode, db: Database, table: str
+) -> ChainProfile:
+    """Derive (a, p, g) for updates on *table* from the plan's measured
+    statistics, matching the closed forms of
+    :func:`repro.costmodel.model.estimate_a_for_chain` /
+    :func:`estimate_p_for_chain` when the workload is a uniform chain."""
+    from ..core.idinfer import annotate_plan
+    from ..costmodel.model import estimate_a_for_chain, estimate_p_for_chain
+
+    if plan.node_id == -1:
+        plan = annotate_plan(plan)
+    stats = PlanStats(db)
+    parents: dict[int, PlanNode] = {}
+    for node in plan.walk():
+        for child in node.children:
+            parents[child.node_id] = node
+    root: PlanNode = plan
+    g = 1.0
+    if isinstance(plan, GroupBy):
+        root = plan.child
+    scan = next(
+        (n for n in root.walk() if isinstance(n, Scan) and n.table == table), None
+    )
+    if scan is None:
+        raise CostInferenceError(f"no scan of {table!r} under the SPJ root")
+    fanouts: list[float] = []
+    selectivity = 1.0
+    current: PlanNode = scan
+    while current.node_id != root.node_id:
+        parent = parents.get(current.node_id)
+        if parent is None:
+            break
+        if isinstance(parent, Join):
+            other = parent.right if parent.left.node_id == current.node_id else parent.left
+            pairs, _res = equi_join_pairs(
+                parent.condition, parent.left.columns, parent.right.columns
+            )
+            if parent.left.node_id == current.node_id:
+                attrs = tuple(b for _, b in pairs)
+            else:
+                attrs = tuple(a for a, _ in pairs)
+            fanouts.append(stats.fanout(other, attrs))
+        elif isinstance(parent, Select):
+            n_child = stats.n(current)
+            selectivity *= stats.n(parent) / n_child if n_child else 1.0
+        elif isinstance(parent, (Project, GroupBy)):
+            pass
+        else:
+            raise CostInferenceError(
+                f"chain climb through {parent.label()!r} unsupported"
+            )
+        current = parent
+    if isinstance(plan, GroupBy):
+        key = db.table(table).schema.key
+        child_cols = set(plan.child.columns)
+        id_cols = tuple(c for c in key if c in child_cols)
+        if id_cols:
+            g = stats.grouping_compression(plan.child, id_cols, plan.keys)
+    a = estimate_a_for_chain(fanouts) if fanouts else 1.0
+    p = estimate_p_for_chain(fanouts, selectivity) if fanouts else selectivity
+    return ChainProfile(
+        table=table,
+        fanouts=tuple(fanouts),
+        selectivity=selectivity,
+        a=a,
+        p=p,
+        g=g,
+    )

@@ -36,7 +36,8 @@ class Rule:
 
 
 #: The rule catalog.  Ids are grouped by pass: TC1xx type/nullability,
-#: KEY2xx key inference, SC3xx ∆-script IR, SH4xx shard safety.
+#: KEY2xx key inference, SC3xx ∆-script IR, SH4xx shard safety,
+#: COST5xx symbolic cost inference.
 RULES: dict[str, Rule] = {
     r.rule_id: r
     for r in (
@@ -55,6 +56,9 @@ RULES: dict[str, Rule] = {
         Rule("SC307", WARNING, "NULL-unsafe equi-join key column"),
         Rule("SH401", WARNING, "maintenance rounds fall back to broadcast"),
         Rule("SH402", INFO, "per-table shard routability classification"),
+        Rule("COST501", WARNING, "∆-script predicted costlier than an enumerated alternative"),
+        Rule("COST502", WARNING, "cache whose predicted amortized benefit is negative"),
+        Rule("COST503", WARNING, "measured access counts exceed the symbolic prediction"),
     )
 }
 

@@ -1,6 +1,7 @@
 """Benchmark harness and paper-style reporting."""
 
 from .harness import SweepPoint, SystemResult, run_system, speedup
+from .perfgate import compare_payloads, run_gate
 from .report import (
     format_comparison,
     format_figure10,
@@ -14,7 +15,9 @@ from .report import (
 __all__ = [
     "SweepPoint",
     "SystemResult",
+    "compare_payloads",
     "format_comparison",
+    "run_gate",
     "format_figure10",
     "format_sweep",
     "format_table",

@@ -1,0 +1,132 @@
+"""CI perf-regression gate over the ``BENCH_*.json`` envelopes.
+
+The benchmarks serialize the paper's cost metric — per-phase access
+counts — which is **deterministic** for a fixed configuration: the same
+∆-script over the same data performs the same lookups, reads and
+writes on every machine.  So the gate can hold those to *exact*
+equality against a committed baseline (``benchmarks/baselines/``): any
+drift is a real plan/executor change, intended or not.  Wall-clock
+fields are machine-dependent noise and only gate with a generous
+one-sided slack factor, as a canary for gross slowdowns.
+
+Wired in :mod:`benchmarks.conftest`: when ``REPRO_PERF_GATE`` is set,
+``write_bench_json`` compares the fresh payload against the baseline
+and fails the benchmark on any violation (``make perf-gate``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+#: Default one-sided slack for wall-clock fields: fresh may be up to
+#: this factor above baseline before the gate trips.  Overridable via
+#: the ``REPRO_PERF_GATE_SLACK`` environment variable.
+DEFAULT_WALL_SLACK = 3.0
+
+#: Wall times below this many seconds never gate — at that scale the
+#: measurement is dominated by scheduler noise, not by the benchmark.
+WALL_FLOOR_SECONDS = 0.05
+
+#: Keys holding machine-dependent timings (slack-gated, not exact).
+_WALL_KEYS = frozenset({"wall_seconds"})
+
+
+def compare_payloads(
+    baseline: object,
+    fresh: object,
+    wall_slack: float = DEFAULT_WALL_SLACK,
+    _path: str = "$",
+) -> list[str]:
+    """Diff a fresh benchmark payload against its baseline.
+
+    Returns a list of human-readable violations (empty = gate passes).
+    Numbers compare exactly except under a wall-clock key; shape
+    mismatches (missing/extra keys, list lengths, type changes) are
+    violations too — a benchmark that silently stops reporting a metric
+    must not pass the gate.
+    """
+    violations: list[str] = []
+    if isinstance(baseline, dict) and isinstance(fresh, dict):
+        for key in sorted(baseline.keys() | fresh.keys()):
+            here = f"{_path}.{key}"
+            if key not in fresh:
+                violations.append(f"{here}: missing from fresh payload")
+            elif key not in baseline:
+                violations.append(f"{here}: not in baseline (refresh baselines?)")
+            elif key in _WALL_KEYS:
+                violations.extend(
+                    _gate_wall(baseline[key], fresh[key], wall_slack, here)
+                )
+            else:
+                violations.extend(
+                    compare_payloads(baseline[key], fresh[key], wall_slack, here)
+                )
+    elif isinstance(baseline, list) and isinstance(fresh, list):
+        if len(baseline) != len(fresh):
+            violations.append(
+                f"{_path}: length {len(baseline)} -> {len(fresh)}"
+            )
+        for i, (b, f) in enumerate(zip(baseline, fresh)):
+            violations.extend(
+                compare_payloads(b, f, wall_slack, f"{_path}[{i}]")
+            )
+    elif isinstance(baseline, bool) or isinstance(fresh, bool) or not (
+        isinstance(baseline, (int, float)) and isinstance(fresh, (int, float))
+    ):
+        if baseline != fresh:
+            violations.append(f"{_path}: {baseline!r} -> {fresh!r}")
+    elif baseline != fresh:
+        violations.append(
+            f"{_path}: access/count metric changed {baseline} -> {fresh}"
+        )
+    return violations
+
+
+def _gate_wall(
+    baseline: object, fresh: object, wall_slack: float, path: str
+) -> list[str]:
+    if not isinstance(baseline, (int, float)) or not isinstance(
+        fresh, (int, float)
+    ):
+        return [f"{path}: non-numeric wall time {baseline!r} -> {fresh!r}"]
+    allowed = wall_slack * max(float(baseline), WALL_FLOOR_SECONDS)
+    if float(fresh) > allowed:
+        return [
+            f"{path}: wall time {fresh:.4f}s exceeds "
+            f"{wall_slack:g}x baseline ({baseline:.4f}s; allowed {allowed:.4f}s)"
+        ]
+    return []
+
+
+def baseline_path(name: str, baselines_dir: Path) -> Path:
+    return baselines_dir / f"BENCH_{name}.json"
+
+
+def load_baseline(name: str, baselines_dir: Path) -> Optional[dict]:
+    path = baseline_path(name, baselines_dir)
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def run_gate(
+    name: str,
+    fresh_payload: dict,
+    baselines_dir: Path,
+    wall_slack: float = DEFAULT_WALL_SLACK,
+) -> list[str]:
+    """Gate one benchmark's fresh payload; list of violations.
+
+    A missing baseline is itself a violation: every benchmark in the
+    gated set must have a committed reference, otherwise the gate would
+    silently wave new benchmarks through.
+    """
+    baseline = load_baseline(name, baselines_dir)
+    if baseline is None:
+        return [
+            f"no committed baseline {baseline_path(name, baselines_dir)}; "
+            "copy the fresh BENCH json there to (re)baseline"
+        ]
+    return compare_payloads(baseline, fresh_payload, wall_slack)

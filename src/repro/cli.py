@@ -137,7 +137,54 @@ def cmd_explain(args: argparse.Namespace) -> int:
         print()
         print("-- EXPLAIN ANALYZE (actual rows / accesses) " + "-" * 17)
         print(explain_analyze(view.plan, db))
+    if args.cost:
+        print()
+        print("-- symbolic cost model (repro.analysis.cost) " + "-" * 16)
+        if view.cost_model is None:
+            print("no cost model could be inferred for this script")
+        else:
+            print(view.cost_model.render())
+            from .algebra.plan import Scan
+
+            reads_parts = any(
+                isinstance(n, Scan) and n.table == "parts"
+                for n in view.plan.walk()
+            )
+            if args.analyze and reads_parts:
+                engine.log.update("parts", ("P1",), {"price": 11})
+                report = engine.maintain()["V"]
+                print()
+                print("-- predicted vs measured (demo price update) " + "-" * 15)
+                _print_reconciliation(report)
     return 0
+
+
+def _print_reconciliation(report) -> None:
+    """Per-phase predicted-vs-measured table + COST503 deviations."""
+    from .analysis.cost import SCRIPT_PHASES, reconcile_report
+
+    predicted = report.predicted_counts or {}
+    for phase in SCRIPT_PHASES:
+        measured = report.phase_counts.get(phase)
+        phase_pred = predicted.get(phase)
+        if measured is None and phase_pred is None:
+            continue
+        md = measured.as_dict() if measured is not None else {}
+        pd = phase_pred or {}
+        print(
+            f"  {phase}: measured "
+            f"L={md.get('index_lookups', 0)} "
+            f"R={md.get('tuple_reads', 0)} "
+            f"W={md.get('tuple_writes', 0)} | predicted "
+            f"L={pd.get('index_lookups', 0.0):.1f} "
+            f"R={pd.get('tuple_reads', 0.0):.1f} "
+            f"W={pd.get('tuple_writes', 0.0):.1f}"
+        )
+    deviations = reconcile_report(report)
+    for dev in deviations:
+        print(f"  COST503 {dev.render()}")
+    if not deviations:
+        print("  reconciliation: all phases within tolerance")
 
 
 _SWEEP_PARAMS = {
@@ -299,13 +346,122 @@ def lint_targets():
         yield f"bsma/{name}", BSMA_QUERIES[name](bsma_db, bsma_config), bsma_db
 
 
+def cost_targets():
+    """(label, make_db, make_plan, log_updates) per shipped view, for the
+    ``lint --cost`` demo rounds — fresh state per target (maintenance
+    mutates the database, unlike the purely static passes)."""
+    from .workloads.devices import build_flat_view
+
+    dev_config = DevicesConfig(n_parts=50, n_devices=50, diff_size=8, fanout=3)
+    bsma_config = BsmaConfig(n_users=40, friends_per_user=4, n_tweets=80)
+
+    def dev_updates(engine, db):
+        apply_price_updates(engine, db, dev_config)
+
+    def bsma_updates(engine, db):
+        log_user_updates(engine, db, bsma_config, n_updates=12)
+
+    yield (
+        "devices/flat",
+        lambda: build_devices_database(dev_config),
+        lambda db: build_flat_view(db, dev_config),
+        dev_updates,
+    )
+    yield (
+        "devices/aggregate",
+        lambda: build_devices_database(dev_config),
+        lambda db: build_aggregate_view(db, dev_config),
+        dev_updates,
+    )
+    for name in sorted(BSMA_QUERIES):
+        yield (
+            f"bsma/{name}",
+            lambda: build_bsma_database(bsma_config),
+            lambda db, n=name: BSMA_QUERIES[n](db, bsma_config),
+            bsma_updates,
+        )
+
+
+def _severity_rank(severity: str) -> int:
+    from .analysis import ERROR, WARNING
+
+    return {ERROR: 0, WARNING: 1}.get(severity, 2)
+
+
+def _filter_report(report, rules, min_severity):
+    """A copy of *report* keeping only the selected diagnostics."""
+    from .analysis import AnalysisReport
+
+    kept = AnalysisReport()
+    threshold = _severity_rank(min_severity) if min_severity else 2
+    for diag in report.diagnostics:
+        if rules and diag.rule_id not in rules:
+            continue
+        if _severity_rank(diag.severity) > threshold:
+            continue
+        kept.diagnostics.append(diag)
+    return kept
+
+
+def _cmd_lint_cost(args: argparse.Namespace, rules, json_out: dict) -> int:
+    """The ``lint --cost`` mode: a live demo round per shipped view with
+    predicted-vs-measured reconciliation (COST503)."""
+    from .analysis import AnalysisReport
+    from .analysis.cost import cost_diagnostics
+
+    n_deviations = 0
+    for label, make_db, make_plan, log_updates in cost_targets():
+        db = make_db()
+        engine = IdIvmEngine(db)
+        view = engine.define_view("V", make_plan(db))
+        log_updates(engine, db)
+        report = engine.maintain()["V"]
+        analysis = AnalysisReport()
+        deviations = cost_diagnostics(report, analysis)
+        filtered = _filter_report(analysis, rules, args.min_severity)
+        n_deviations += len(filtered.diagnostics)
+        if args.json:
+            json_out.setdefault("cost", []).append(
+                {
+                    "view": label,
+                    "predicted": report.predicted_counts,
+                    "measured": {
+                        phase: counts.as_dict()
+                        for phase, counts in report.phase_counts.items()
+                        if phase != "__total__"
+                    },
+                    "diagnostics": filtered.to_json(),
+                }
+            )
+        else:
+            status = (
+                "reconciled" if not deviations else f"{len(deviations)} deviation(s)"
+            )
+            print(f"== {label}: {status}")
+            _print_reconciliation(report)
+    return 1 if n_deviations else 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """``repro lint``: static analysis over every shipped view."""
     import json
 
-    from .analysis import analyze_generated
+    from .analysis import RULES, analyze_generated
     from .core.generator import ScriptGenerator
     from .core.schema_gen import generate_base_schemas
+
+    rules: set[str] = set()
+    if args.rule:
+        rules = {r.strip() for r in args.rule.split(",") if r.strip()}
+        unknown = rules - set(RULES)
+        if unknown:
+            print(f"lint: unknown rule id(s): {', '.join(sorted(unknown))}")
+            return 2
+
+    json_out: dict = {}
+    cost_status = 0
+    if args.cost:
+        cost_status = _cmd_lint_cost(args, rules, json_out)
 
     reports = []
     for label, plan, db in lint_targets():
@@ -313,24 +469,22 @@ def cmd_lint(args: argparse.Namespace) -> int:
         generated = generator.generate(
             generate_base_schemas(generator.plan, db)
         )
-        reports.append((label, analyze_generated(generated, db=db)))
+        report = analyze_generated(generated, db=db)
+        reports.append((label, _filter_report(report, rules, args.min_severity)))
 
     n_errors = sum(len(r.errors) for _, r in reports)
     n_warnings = sum(len(r.warnings) for _, r in reports)
     if args.json:
-        print(
-            json.dumps(
-                {
-                    "views": [
-                        {"view": label, "diagnostics": report.to_json()}
-                        for label, report in reports
-                    ],
-                    "errors": n_errors,
-                    "warnings": n_warnings,
-                },
-                indent=2,
-            )
-        )
+        payload = {
+            "views": [
+                {"view": label, "diagnostics": report.to_json()}
+                for label, report in reports
+            ],
+            "errors": n_errors,
+            "warnings": n_warnings,
+        }
+        payload.update(json_out)
+        print(json.dumps(payload, indent=2))
     else:
         for label, report in reports:
             interesting = report.errors + report.warnings
@@ -348,7 +502,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
             f"lint: {len(reports)} views, {n_errors} error(s), "
             f"{n_warnings} warning(s)"
         )
-    return 1 if n_errors else 0
+    return 1 if n_errors else cost_status
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -372,6 +526,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--analyze",
         action="store_true",
         help="execute the plan and print per-operator actual rows and accesses",
+    )
+    explain.add_argument(
+        "--cost",
+        action="store_true",
+        help="print the symbolic per-phase cost model; with --analyze, "
+        "also reconcile it against a measured demo round",
     )
     explain.set_defaults(handler=cmd_explain)
 
@@ -420,6 +580,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose",
         action="store_true",
         help="include info-severity diagnostics (routability reports)",
+    )
+    lint.add_argument(
+        "--rule",
+        help="comma-separated rule ids to report (e.g. SC307,COST503); "
+        "others are suppressed",
+    )
+    lint.add_argument(
+        "--min-severity",
+        choices=("error", "warning", "info"),
+        help="drop diagnostics below this severity",
+    )
+    lint.add_argument(
+        "--cost",
+        action="store_true",
+        help="run a live demo round per view and reconcile measured "
+        "access counts against the symbolic cost prediction (COST503)",
     )
     lint.set_defaults(handler=cmd_lint)
 

@@ -40,6 +40,10 @@ class MaintenanceReport:
     view_name: str
     phase_counts: dict[str, AccessCounts] = field(default_factory=dict)
     diff_sizes: dict[str, int] = field(default_factory=dict)
+    #: per-phase counts the symbolic cost model predicted for this round
+    #: (``{phase: {metric: value}}``), bound to the observed diff sizes;
+    #: None when no model could be inferred at define time.
+    predicted_counts: Optional[dict] = None
 
     @property
     def total_cost(self) -> int:
@@ -64,11 +68,15 @@ class MaterializedView:
         table: Table,
         caches: dict[int, Table],
         operator_caches: dict[int, Table],
+        cost_model=None,
     ):
         self.generated = generated
         self.table = table
         self.caches = caches
         self.operator_caches = operator_caches
+        #: symbolic per-phase cost model (repro.analysis.cost), inferred
+        #: at define time; None when inference did not apply.
+        self.cost_model = cost_model
 
     @property
     def name(self) -> str:
@@ -135,9 +143,13 @@ class IdIvmEngine:
             operator_caches[opspec.gnode.node_id] = opspec.build(
                 child_rows, self.db.counters
             )
-        # Definition-time evaluation reads are not maintenance cost.
+        cost_model = _infer_cost_model(generated, self.db)
+        # Definition-time evaluation reads (including the cost model's
+        # statistics probes) are not maintenance cost.
         self.db.counters.reset()
-        view = MaterializedView(generated, view_table, caches, operator_caches)
+        view = MaterializedView(
+            generated, view_table, caches, operator_caches, cost_model=cost_model
+        )
         self.views[name] = view
         return view
 
@@ -199,6 +211,12 @@ class IdIvmEngine:
                             counts - prior if prior is not None else counts
                         )
                     report.diff_sizes = {k: len(v) for k, v in ctx.diffs.items()}
+                    if view.cost_model is not None:
+                        report.predicted_counts = (
+                            view.cost_model.predict_from_diff_sizes(
+                                report.diff_sizes
+                            )
+                        )
                     reports[view_name] = report
                     vsp.set(
                         total_cost=report.total_cost,
@@ -210,6 +228,17 @@ class IdIvmEngine:
                     )
                 metrics.histogram("engine.round_cost").observe(report.total_cost)
         return reports
+
+
+def _infer_cost_model(generated: GeneratedPlan, db: Database):
+    """Symbolic cost model for a fresh view, or None when inference does
+    not apply.  Deferred import: repro.analysis imports core modules."""
+    try:
+        from ..analysis.cost import infer_script_cost
+
+        return infer_script_cost(generated, db)
+    except Exception:
+        return None
 
 
 def _reconstruct_pre(db: Database, entries) -> Database:

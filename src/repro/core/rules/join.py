@@ -257,10 +257,12 @@ def _update_rules(
     # (pre) join values — a post-state probe would miss combos whose
     # partner row changed its own condition attributes in the same batch.
     # The filter below keeps only combos no longer satisfying φ with the
-    # new mine-side values against the probed partner values; a combo
-    # surviving thanks to the partner's *own* change gets deleted here
-    # and re-created by the insert branch (sound under the canonical
-    # −/u/+ APPLY order).
+    # new mine-side values against the partner's POST values, re-probed by
+    # partner IDs: checking against the probed PRE values instead misses
+    # combos killed only by the *joint* change (each unilateral change
+    # keeps φ true, the combination makes it false).  A partner deleted in
+    # the same batch drops out of the re-probe, and its own pass-through
+    # delete diff removes the combos.
     pre_values = values_via_probe(
         source, in_schema, mine, PRE, mine_condition_cols, prefix="vpre__"
     )
@@ -268,10 +270,26 @@ def _update_rules(
     post_values = values_via_probe(
         stale_probe, in_schema, mine, POST, mine_condition_cols, prefix="vpost__"
     )
-    still_joins = _full_condition(pairs, residual, post_values.mapping)
+    other_condition_cols = [o for _, o in pairs]
+    if residual is not None:
+        other_condition_cols += [
+            c for c in columns_of(residual) if c in set(other.columns)
+        ]
+    other_condition_cols = list(dict.fromkeys(other_condition_cols))
+    repost_probe = ProbeJoin(
+        post_values.ir,
+        other,
+        POST,
+        on=[(i, i) for i in other.ids],
+        keep=[("opost__" + c, c) for c in other_condition_cols],
+    )
+    full_mapping = dict(post_values.mapping)
+    for c in other_condition_cols:
+        full_mapping[c] = "opost__" + c
+    still_joins = _full_condition(pairs, residual, full_mapping)
     # IS TRUE: a post-state condition gone UNKNOWN (NULL join value) also
     # stops joining; plain NOT would leave the stale combo undeleted.
-    delete_base = Filter(post_values.ir, Not(is_true(still_joins)))
+    delete_base = Filter(repost_probe, Not(is_true(still_joins)))
     canon = _canonical_map(op)
     delete_ids: list[str] = []
     items = []
@@ -301,12 +319,13 @@ def _update_rules(
 def _full_condition(
     pairs: list[tuple[str, str]],
     residual: Optional[Expr],
-    post_mapping: dict[str, str],
+    mapping: dict[str, str],
 ) -> Expr:
-    """φ with mine values POST and other values as probed (plain names)."""
+    """φ with both sides' values resolved through *mapping* (mine POST
+    columns and the partner's re-probed POST columns)."""
     terms: list[Expr] = [
-        col(post_mapping[m]).eq(col(o)) for m, o in pairs
+        col(mapping[m]).eq(col(mapping.get(o, o))) for m, o in pairs
     ]
     if residual is not None:
-        terms.append(rename_columns(residual, dict(post_mapping)))
+        terms.append(rename_columns(residual, dict(mapping)))
     return all_of(*terms)

@@ -182,6 +182,10 @@ class ShardedEngine(IdIvmEngine):
                 counts - prior if prior is not None else counts
             )
         report.diff_sizes = {k: len(v) for k, v in ctx.diffs.items()}
+        if view.cost_model is not None:
+            report.predicted_counts = view.cost_model.predict_from_diff_sizes(
+                report.diff_sizes
+            )
         return report
 
     def _maintain_parallel(
@@ -248,4 +252,10 @@ class ShardedEngine(IdIvmEngine):
             # counts into the base counter set.
             ShardRoutingCounters.fold(router.base, sc)
         report.diff_sizes = merged_sizes
+        # Shard counts sum exactly to the single-shard counts, so the
+        # merged diff sizes reconcile against the same global prediction.
+        if view.cost_model is not None:
+            report.predicted_counts = view.cost_model.predict_from_diff_sizes(
+                report.diff_sizes
+            )
         return report

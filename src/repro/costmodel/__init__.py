@@ -2,6 +2,15 @@
 parameter extraction."""
 
 from .measure import MeasuredParameters, measure_a, observed_speedup
+from .symbolic import (
+    CostExpr,
+    CostVector,
+    ScriptCostModel,
+    StepCost,
+    card_symbol,
+    diff_sizes_env,
+    merge_predictions,
+)
 from .model import (
     AggCosts,
     SpjCosts,
@@ -17,8 +26,15 @@ from .model import (
 
 __all__ = [
     "AggCosts",
+    "CostExpr",
+    "CostVector",
     "MeasuredParameters",
+    "ScriptCostModel",
     "SpjCosts",
+    "StepCost",
+    "card_symbol",
+    "diff_sizes_env",
+    "merge_predictions",
     "agg_general_speedup_bound",
     "agg_insert_speedup",
     "agg_update_speedup",

@@ -21,6 +21,7 @@ from typing import Callable, Mapping, Optional, Sequence
 
 from ..baselines import TupleIvmEngine
 from ..core import IdIvmEngine
+from ..obs import metrics
 from ..core.idinfer import annotate_plan
 from ..core.modlog import ModificationLog
 from ..core.sharded import ShardedEngine
@@ -48,7 +49,7 @@ class Divergence:
     strategy: str
     batch: int  # -1: view definition / initial state
     kind: str  # "view_mismatch" | "invariant" | "exception" |
-    #          # "oracle_error" | "analysis"
+    #          # "oracle_error" | "analysis" | "cost"
     detail: str
 
     def __str__(self) -> str:  # pragma: no cover - display helper
@@ -61,8 +62,9 @@ class CaseResult:
     """Outcome of one case across all requested strategies."""
 
     divergences: list[Divergence] = field(default_factory=list)
-    #: every static-analyzer diagnostic (rendered), informational;
-    #: error-severity ones also land in ``divergences`` as "analysis"
+    #: every static-analyzer diagnostic (rendered) plus tolerance-level
+    #: COST503 reconciliation deviations, informational; error-severity
+    #: analyzer findings also land in ``divergences`` as "analysis"
     diagnostics: list[str] = field(default_factory=list)
 
     @property
@@ -111,7 +113,10 @@ def oracle_states(case: Mapping) -> list[Counter]:
 
 
 def run_strategy(
-    case: Mapping, strategy: str, expected: Sequence[Counter]
+    case: Mapping,
+    strategy: str,
+    expected: Sequence[Counter],
+    diag_sink: Optional[list] = None,
 ) -> Optional[Divergence]:
     """Run one strategy over the case; return its first divergence."""
     factory = STRATEGY_FACTORIES[strategy]
@@ -140,6 +145,52 @@ def run_strategy(
             return Divergence(strategy, bi, "exception", _tail(exc))
         if problems:
             return Divergence(strategy, bi, "invariant", "; ".join(problems[:3]))
+        cost_divergence = _reconcile_cost(report, strategy, bi, diag_sink)
+        if cost_divergence is not None:
+            return cost_divergence
+    return None
+
+
+#: A measured count this far above the symbolic prediction is a fuzz
+#: divergence (not just a tolerance warning): the S2 counters report
+#: work the inferred upper bound cannot possibly explain.
+_COST_HARD_FACTOR = 3.0
+_COST_HARD_SLACK = 50.0
+
+
+def _reconcile_cost(
+    report, strategy: str, batch_index: int, diag_sink: Optional[list]
+) -> Optional[Divergence]:
+    """COST503 reconciliation as one more differential check.
+
+    Within-tolerance rounds are silent; tolerance-exceeding deviations
+    are recorded as informational diagnostics; only measured counts the
+    upper-bound model cannot remotely explain become divergences (the
+    fuzzer must not cry wolf on estimate noise).
+    """
+    try:
+        from ..analysis.cost import reconcile_report
+
+        deviations = reconcile_report(report)
+    except Exception:  # noqa: BLE001 - reconciliation must never kill a case
+        return None
+    if not deviations:
+        return None
+    metrics.counter("crosscheck.cost_deviations").inc(len(deviations))
+    if diag_sink is not None:
+        diag_sink.extend(
+            f"COST503 [{strategy} @ batch {batch_index}] {d.render()}"
+            for d in deviations
+        )
+    egregious = [
+        d
+        for d in deviations
+        if d.measured > _COST_HARD_FACTOR * d.predicted + _COST_HARD_SLACK
+    ]
+    if egregious:
+        return Divergence(
+            strategy, batch_index, "cost", egregious[0].render()
+        )
     return None
 
 
@@ -189,7 +240,9 @@ def run_case(
         )
         return result
     for strategy in strategies:
-        divergence = run_strategy(case, strategy, expected)
+        divergence = run_strategy(
+            case, strategy, expected, diag_sink=result.diagnostics
+        )
         if divergence is not None:
             result.divergences.append(divergence)
     return result

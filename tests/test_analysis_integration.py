@@ -155,7 +155,7 @@ class TestDiagnosticModel:
         assert len(report.errors) == 1 and len(report.warnings) == 0
 
     def test_pass_registry_is_ordered_and_guarded(self):
-        assert pass_names() == ("typecheck", "keys", "script", "shard")
+        assert pass_names() == ("typecheck", "keys", "script", "shard", "cost")
         with pytest.raises(ValueError):
             register_pass("typecheck")(lambda ctx: None)
         db = make_db()

@@ -1,0 +1,184 @@
+"""Tests for :mod:`repro.costmodel.measure` and for the chain closed
+forms of :mod:`repro.costmodel.model`.
+
+The property tests build uniform join chains with exactly known
+per-join fanouts, run both engines on a batch of pass-through updates
+and pin :func:`estimate_a_for_chain` / :func:`estimate_p_for_chain`
+against the measured diff-driven loop counters: on a uniform chain with
+distinct probe keys the closed forms are exact, not approximations.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import TupleIvmEngine
+from repro.core import IdIvmEngine
+from repro.core.engine import MaintenanceReport
+from repro.costmodel.measure import (
+    MeasuredParameters,
+    measure_a,
+    observed_speedup,
+)
+from repro.costmodel.model import estimate_a_for_chain, estimate_p_for_chain
+from repro.storage import AccessCounts, Database
+
+
+class TestMeasuredParameters:
+    def test_p_is_view_rows_per_base_diff_row(self):
+        m = MeasuredParameters(
+            base_diff_size=10, view_diff_size=25, id_cost=40, tuple_cost=200
+        )
+        assert m.p == 2.5
+        assert m.observed_speedup == 5.0
+
+    def test_p_of_empty_diff_is_zero(self):
+        m = MeasuredParameters(
+            base_diff_size=0, view_diff_size=0, id_cost=0, tuple_cost=0
+        )
+        assert m.p == 0.0
+
+    def test_speedup_with_free_id_round(self):
+        free = MeasuredParameters(
+            base_diff_size=1, view_diff_size=1, id_cost=0, tuple_cost=7
+        )
+        assert free.observed_speedup == float("inf")
+        trivial = MeasuredParameters(
+            base_diff_size=1, view_diff_size=1, id_cost=0, tuple_cost=0
+        )
+        assert trivial.observed_speedup == 1.0
+
+
+def _report(view_diff_total: int = 0, total: int = 0) -> MaintenanceReport:
+    report = MaintenanceReport("V")
+    counts = AccessCounts()
+    counts.index_lookups = view_diff_total
+    report.phase_counts["view_diff"] = counts
+    if total:
+        extra = AccessCounts()
+        extra.index_lookups = total
+        report.phase_counts["view_update"] = extra
+    return report
+
+
+class TestMeasureHelpers:
+    def test_measure_a_divides_view_diff_cost(self):
+        assert measure_a(_report(view_diff_total=30), 10) == 3.0
+
+    def test_measure_a_of_empty_diff_is_zero(self):
+        assert measure_a(_report(view_diff_total=30), 0) == 0.0
+
+    def test_observed_speedup_ratio(self):
+        tuple_report = _report(view_diff_total=60, total=40)
+        id_report = _report(view_diff_total=0, total=20)
+        assert observed_speedup(tuple_report, id_report) == 5.0
+
+    def test_observed_speedup_zero_id_cost(self):
+        assert observed_speedup(_report(10), _report(0)) == float("inf")
+        assert observed_speedup(_report(0), _report(0)) == 1.0
+
+
+# ----------------------------------------------------------------------
+# uniform join chains with exactly known fanouts
+# ----------------------------------------------------------------------
+def _chain_db(fanouts: list[int], n0: int) -> Database:
+    """T0(c0, v) ⋈ T1(c0, c1) ⋈ T2(c1, c2) ⋈ … with exactly *fanouts[i]*
+    matches per probe at join i (all keys distinct: no probe dedupe)."""
+    db = Database()
+    db.create_table("T0", ("c0", "v"), ("c0",))
+    db.table("T0").load([(i, 0) for i in range(n0)])
+    n_prev = n0
+    for i, fanout in enumerate(fanouts, start=1):
+        left, right = f"c{i - 1}", f"c{i}"
+        db.create_table(f"T{i}", (left, right), (left, right))
+        rows = [
+            (k, k * fanout + j) for k in range(n_prev) for j in range(fanout)
+        ]
+        db.table(f"T{i}").load(rows)
+        n_prev *= fanout
+    return db
+
+
+def _chain_view(db: Database, n_joins: int):
+    from repro.algebra import natural_join, scan
+
+    plan = scan(db, "T0")
+    for i in range(1, n_joins + 1):
+        plan = natural_join(plan, scan(db, f"T{i}"))
+    return plan
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    fanouts=st.lists(st.integers(min_value=1, max_value=3), min_size=1, max_size=3),
+    d=st.integers(min_value=1, max_value=3),
+)
+def test_chain_estimates_match_measured_counters(fanouts, d):
+    """Pin the closed forms against the engines' counters, exactly.
+
+    The executor's diff-driven loop pays one index lookup per *driving
+    row* where the Appendix A form charges one per join, so on a chain
+    with distinct probe keys:
+
+        measured_a == estimate_a_for_chain(f) + Σ_i (Π_{j<i} f_j − 1)
+
+    (equal when every prefix product is 1 — the estimate is a lower
+    bound for fanouts >= 1).  p has no such gap: the i-diff passes
+    through and touches exactly s·Πf view rows per base diff row.
+    """
+    n0 = max(4, d)
+    estimated_a = estimate_a_for_chain([float(f) for f in fanouts])
+    expected_p = estimate_p_for_chain([float(f) for f in fanouts])
+    lookup_gap, acc = 0.0, 1.0
+    for f in fanouts:
+        lookup_gap += acc - 1
+        acc *= f
+
+    db_tuple = _chain_db(fanouts, n0)
+    tuple_engine = TupleIvmEngine(db_tuple)
+    tuple_engine.define_view("V", _chain_view(db_tuple, len(fanouts)))
+    for i in range(d):
+        tuple_engine.log.update("T0", (i,), {"v": 1})
+    tuple_report = tuple_engine.maintain()["V"]
+    assert measure_a(tuple_report, d) == estimated_a + lookup_gap
+
+    db_id = _chain_db(fanouts, n0)
+    id_engine = IdIvmEngine(db_id)
+    view = id_engine.define_view("V", _chain_view(db_id, len(fanouts)))
+    for i in range(d):
+        id_engine.log.update("T0", (i,), {"v": 1})
+    id_report = id_engine.maintain()["V"]
+    touched = sum(
+        c.tuple_writes for ph, c in id_report.phase_counts.items()
+        if ph != "__total__"
+    )
+    assert touched / d == expected_p
+    from repro.algebra import evaluate_plan
+
+    assert view.table.as_set() == evaluate_plan(view.plan, db_id).as_set()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    fanouts=st.lists(
+        st.floats(min_value=0.5, max_value=8, allow_nan=False), max_size=4
+    ),
+    selectivity=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+def test_chain_closed_form_identities(fanouts, selectivity):
+    """a = Σ(1 + Π f) term-wise and p = s·Πf, for any real fanouts."""
+    a = estimate_a_for_chain(fanouts)
+    acc, expected = 1.0, 0.0
+    for f in fanouts:
+        expected += 1 + acc * f
+        acc *= f
+    assert abs(a - expected) < 1e-9
+    p = estimate_p_for_chain(fanouts, selectivity)
+    prod = 1.0
+    for f in fanouts:
+        prod *= f
+    assert abs(p - selectivity * prod) < 1e-9
+    # Appendix A.2.1: a >= 1 + p when every fanout >= 1 and s = 1.
+    if all(f >= 1 for f in fanouts) and fanouts:
+        assert a + 1e-9 >= 1 + estimate_p_for_chain(fanouts)

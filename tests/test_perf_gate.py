@@ -1,0 +1,157 @@
+"""The perf-regression gate (:mod:`repro.bench.perfgate`).
+
+The gate holds the benchmarks' access-count payloads to exact equality
+against committed baselines and wall-clock fields to a slack factor;
+these tests pin the red/green behaviour the CI job relies on.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+from repro.bench.perfgate import (
+    WALL_FLOOR_SECONDS,
+    compare_payloads,
+    run_gate,
+)
+
+PAYLOAD = {
+    "schema": "repro.bench",
+    "version": 1,
+    "name": "example",
+    "data": {
+        "diff_size": 100,
+        "systems": {
+            "idIVM": {
+                "accesses": {
+                    "index_lookups": 100,
+                    "tuple_reads": 0,
+                    "tuple_writes": 197,
+                },
+                "wall_seconds": 0.5,
+                "correct": True,
+            }
+        },
+        "rows": [[5, 12.0], [10, 22.0]],
+    },
+}
+
+
+def _fresh():
+    return copy.deepcopy(PAYLOAD)
+
+
+class TestComparePayloads:
+    def test_identical_payload_passes(self):
+        assert compare_payloads(PAYLOAD, _fresh()) == []
+
+    def test_access_count_drift_is_a_violation(self):
+        fresh = _fresh()
+        fresh["data"]["systems"]["idIVM"]["accesses"]["tuple_writes"] = 240
+        violations = compare_payloads(PAYLOAD, fresh)
+        assert len(violations) == 1
+        assert "tuple_writes" in violations[0]
+        assert "197 -> 240" in violations[0]
+
+    def test_improvement_is_also_a_drift(self):
+        # Exact means exact: an unexplained improvement means the
+        # baseline no longer describes the code and must be refreshed.
+        fresh = _fresh()
+        fresh["data"]["systems"]["idIVM"]["accesses"]["tuple_writes"] = 150
+        assert compare_payloads(PAYLOAD, fresh)
+
+    def test_wall_time_within_slack_passes(self):
+        fresh = _fresh()
+        fresh["data"]["systems"]["idIVM"]["wall_seconds"] = 1.2
+        assert compare_payloads(PAYLOAD, fresh, wall_slack=3.0) == []
+
+    def test_wall_time_beyond_slack_fails(self):
+        fresh = _fresh()
+        fresh["data"]["systems"]["idIVM"]["wall_seconds"] = 2.0
+        violations = compare_payloads(PAYLOAD, fresh, wall_slack=3.0)
+        assert len(violations) == 1
+        assert "wall time" in violations[0]
+
+    def test_wall_time_speedup_never_fails(self):
+        fresh = _fresh()
+        fresh["data"]["systems"]["idIVM"]["wall_seconds"] = 0.001
+        assert compare_payloads(PAYLOAD, fresh) == []
+
+    def test_tiny_wall_times_never_gate(self):
+        base = {"wall_seconds": 0.0001}
+        fresh = {"wall_seconds": WALL_FLOOR_SECONDS * 2.9}
+        assert compare_payloads(base, fresh, wall_slack=3.0) == []
+
+    def test_missing_metric_is_a_violation(self):
+        fresh = _fresh()
+        del fresh["data"]["systems"]["idIVM"]["accesses"]["tuple_reads"]
+        violations = compare_payloads(PAYLOAD, fresh)
+        assert any("missing from fresh" in v for v in violations)
+
+    def test_extra_metric_is_a_violation(self):
+        fresh = _fresh()
+        fresh["data"]["systems"]["idIVM"]["accesses"]["spills"] = 3
+        violations = compare_payloads(PAYLOAD, fresh)
+        assert any("not in baseline" in v for v in violations)
+
+    def test_list_length_change_is_a_violation(self):
+        fresh = _fresh()
+        fresh["data"]["rows"].append([20, 42.0])
+        assert any("length" in v for v in compare_payloads(PAYLOAD, fresh))
+
+    def test_nested_list_numbers_compare_exactly(self):
+        fresh = _fresh()
+        fresh["data"]["rows"][1][1] = 23.0
+        assert compare_payloads(PAYLOAD, fresh)
+
+    def test_bool_flip_is_a_violation(self):
+        fresh = _fresh()
+        fresh["data"]["systems"]["idIVM"]["correct"] = False
+        assert compare_payloads(PAYLOAD, fresh)
+
+
+class TestRunGate:
+    def test_missing_baseline_is_a_violation(self, tmp_path):
+        violations = run_gate("example", _fresh(), tmp_path)
+        assert len(violations) == 1
+        assert "no committed baseline" in violations[0]
+
+    def test_green_against_committed_baseline(self, tmp_path):
+        (tmp_path / "BENCH_example.json").write_text(json.dumps(PAYLOAD))
+        assert run_gate("example", _fresh(), tmp_path) == []
+
+    def test_red_on_injected_regression(self, tmp_path):
+        (tmp_path / "BENCH_example.json").write_text(json.dumps(PAYLOAD))
+        fresh = _fresh()
+        fresh["data"]["systems"]["idIVM"]["accesses"]["index_lookups"] = 130
+        violations = run_gate("example", fresh, tmp_path)
+        assert violations and "index_lookups" in violations[0]
+
+
+class TestCommittedBaselines:
+    def test_gated_benchmarks_have_baselines(self):
+        """Every module in the Makefile's PERF_GATE_BENCHES list has a
+        committed reference payload (speedup_model writes two)."""
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        baselines = {p.name for p in (root / "benchmarks/baselines").glob("*.json")}
+        for name in (
+            "table2_spj_costs",
+            "table3_agg_costs",
+            "speedup_model_spj",
+            "speedup_model_agg",
+            "eager_vs_deferred",
+            "minimization",
+        ):
+            assert f"BENCH_{name}.json" in baselines, name
+
+    def test_baseline_envelopes_are_wellformed(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        for path in (root / "benchmarks/baselines").glob("BENCH_*.json"):
+            payload = json.loads(path.read_text())
+            assert payload["schema"] == "repro.bench", path.name
+            assert path.name == f"BENCH_{payload['name']}.json"

@@ -25,3 +25,90 @@ def test_regression_case_stays_fixed(path):
     case = load_corpus_case(path)
     result = run_case(case)
     assert result.ok, "\n".join(str(d) for d in result.divergences)
+
+
+# ----------------------------------------------------------------------
+# reproducers the corpus JSON vocabulary cannot express (theta joins)
+# ----------------------------------------------------------------------
+def _theta_db():
+    from repro.storage import Database
+
+    db = Database()
+    db.create_table("R", ("rid", "x"), ("rid",))
+    db.create_table("T", ("tid", "w"), ("tid",))
+    db.table("R").load([(1, 0)])
+    db.table("T").load([(2, 2)])
+    return db
+
+
+def _theta_engines():
+    from repro.baselines import TupleIvmEngine
+    from repro.core import IdIvmEngine
+
+    return (IdIvmEngine, TupleIvmEngine)
+
+
+def test_theta_join_joint_update_transition():
+    """R ⋈_{x<w} T with both condition columns updated in one round.
+
+    Found by hypothesis: each unilateral change kept φ true (x:0→1 vs
+    w_pre=2, and w:2→1 vs x_pre=0), so neither side's delete branch
+    fired — yet φ(x_post, w_post) = 1<1 is false.  The delete branch
+    must check φ against the partner's re-probed POST values.
+    """
+    from repro.algebra import Join, evaluate_plan, scan
+    from repro.expr import col
+
+    for engine_cls in _theta_engines():
+        db = _theta_db()
+        engine = engine_cls(db)
+        view = engine.define_view(
+            "V", Join(scan(db, "R"), scan(db, "T"), col("x").lt(col("w")))
+        )
+        engine.log.update("R", (1,), {"x": 1})
+        engine.log.update("T", (2,), {"w": 1})
+        engine.maintain()
+        expected = evaluate_plan(view.plan, db).as_set()
+        assert view.table.as_set() == expected, engine_cls.__name__
+
+
+def test_theta_join_update_with_partner_delete():
+    """A condition-column update whose partner row is deleted in the same
+    round: the re-probed POST partner vanishes, and the partner's own
+    pass-through delete must remove the combo exactly once."""
+    from repro.algebra import Join, evaluate_plan, scan
+    from repro.expr import col
+
+    for engine_cls in _theta_engines():
+        db = _theta_db()
+        engine = engine_cls(db)
+        view = engine.define_view(
+            "V", Join(scan(db, "R"), scan(db, "T"), col("x").lt(col("w")))
+        )
+        engine.log.update("R", (1,), {"x": 1})
+        engine.log.delete("T", (2,))
+        engine.maintain()
+        expected = evaluate_plan(view.plan, db).as_set()
+        assert view.table.as_set() == expected, engine_cls.__name__
+
+
+def test_theta_join_partner_change_keeps_combo_alive():
+    """The opposite transition: each unilateral change would kill φ, the
+    joint change keeps it true (x:0→5 vs w_pre=2 false, w:2→9 vs
+    x_pre=0 true; φ(5, 9) holds) — the combo must survive with both
+    post values."""
+    from repro.algebra import Join, evaluate_plan, scan
+    from repro.expr import col
+
+    for engine_cls in _theta_engines():
+        db = _theta_db()
+        engine = engine_cls(db)
+        view = engine.define_view(
+            "V", Join(scan(db, "R"), scan(db, "T"), col("x").lt(col("w")))
+        )
+        engine.log.update("R", (1,), {"x": 5})
+        engine.log.update("T", (2,), {"w": 9})
+        engine.maintain()
+        expected = evaluate_plan(view.plan, db).as_set()
+        assert view.table.as_set() == expected
+        assert view.table.as_set() == frozenset({(1, 5, 2, 9)})
