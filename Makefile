@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-sharded smoke bench perf-gate fuzz lint lint-static
+.PHONY: test test-sharded smoke smoke-obs bench perf-gate fuzz lint lint-static
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -16,6 +16,16 @@ smoke:
 	$(PYTHON) -m repro.obs.trace /tmp/repro_trace.jsonl
 	$(PYTHON) -m repro demo --shards 4
 	$(PYTHON) -m pytest benchmarks/bench_parallel_shards.py --benchmark-disable -q
+
+# Observability smoke: boot the live telemetry endpoint (DemoLoop +
+# ThreadingHTTPServer), scrape /metrics /snapshot /freshness /healthz
+# over real HTTP, validate the Prometheus exposition, and leave the
+# freshness report at OBS_FRESHNESS (uploaded as a CI artifact).  Also
+# renders one `repro top` frame so the dashboard path stays exercised.
+OBS_FRESHNESS ?= /tmp/repro_freshness.json
+smoke-obs:
+	$(PYTHON) -m repro.obs.smoke --out $(OBS_FRESHNESS)
+	$(PYTHON) -m repro top --once --no-clear --users 60 --updates 12
 
 bench:
 	$(PYTHON) -m pytest benchmarks --benchmark-disable -q

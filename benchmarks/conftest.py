@@ -10,6 +10,9 @@ from __future__ import annotations
 
 import json
 import os
+import platform
+import subprocess
+import time
 from pathlib import Path
 from typing import Callable, Sequence
 
@@ -68,6 +71,31 @@ def _jsonable(obj: object) -> object:
     raise TypeError(f"{type(obj).__name__} is not JSON-serializable")
 
 
+def _provenance() -> dict:
+    """Where this payload came from: commit, wall time, interpreter.
+
+    Benchmark jsons travel (CI artifacts, perf triage); a payload that
+    cannot say which commit produced it is unusable a week later.  The
+    perf gate skips this block — it is volatile by construction.
+    """
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        ).stdout.strip() or "unknown"
+    except Exception:  # noqa: BLE001 - no git, shallow checkout, ...
+        sha = "unknown"
+    return {
+        "git_sha": sha,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
 def write_bench_json(name: str, data: object) -> Path:
     """Write ``BENCH_<name>.json`` at the repo root.
 
@@ -77,11 +105,20 @@ def write_bench_json(name: str, data: object) -> Path:
     carries the full per-phase access breakdown.  Benchmarks call this
     after their assertions pass, so a file on disk is also a record that
     the paper's qualitative finding held for that run.
+
+    Every envelope also carries a ``provenance`` block and a ``metrics``
+    snapshot of the process-wide registry at write time (round-latency
+    and fold-size histograms, cache hit counters, ...) — both excluded
+    from the perf gate's exact comparison.
     """
+    from repro.obs import metrics
+
     payload = {
         "schema": "repro.bench",
         "version": BENCH_SCHEMA_VERSION,
         "name": name,
+        "provenance": _provenance(),
+        "metrics": metrics.registry().as_dict(),
         "data": data,
     }
     path = REPO_ROOT / f"BENCH_{name}.json"

@@ -663,6 +663,33 @@ def cost_diagnostics(report: object, analysis_report: object) -> list[CostDeviat
     return deviations
 
 
+def drift_diagnostics(monitor: object, analysis_report: object) -> list:
+    """Append COST504 informational diagnostics for every active alert
+    of a :class:`repro.obs.drift.DriftMonitor`.
+
+    COST504 is the *chronic* counterpart of the per-round COST503 check:
+    an EWMA of observed/predicted sitting outside the monitor's band
+    over several rounds.  Over-prediction is the live confirmation of a
+    COST502 negative-benefit cache (the model keeps charging work the
+    workload never performs); under-prediction is a COST503 that
+    tolerances alone didn't catch.  Informational severity: drift asks
+    for model re-calibration, not a broken script.
+    """
+    alerts = monitor.alerts()  # type: ignore[attr-defined]
+    for alert in alerts:
+        analysis_report.add(  # type: ignore[attr-defined]
+            "COST504",
+            f"view:{alert.view}",
+            alert.render(),
+            hint=(
+                "re-derive the cost model against current statistics; "
+                "sustained over-prediction often marks a COST502 "
+                "negative-benefit cache (see docs/COST_MODEL.md)"
+            ),
+        )
+    return alerts
+
+
 # ----------------------------------------------------------------------
 # the registered pass: minimality lints
 # ----------------------------------------------------------------------

@@ -59,6 +59,7 @@ RULES: dict[str, Rule] = {
         Rule("COST501", WARNING, "∆-script predicted costlier than an enumerated alternative"),
         Rule("COST502", WARNING, "cache whose predicted amortized benefit is negative"),
         Rule("COST503", WARNING, "measured access counts exceed the symbolic prediction"),
+        Rule("COST504", INFO, "sustained drift between predicted and observed cost"),
     )
 }
 

@@ -32,6 +32,49 @@ WALL_FLOOR_SECONDS = 0.05
 #: Keys holding machine-dependent timings (slack-gated, not exact).
 _WALL_KEYS = frozenset({"wall_seconds"})
 
+#: Top-level envelope keys that are volatile by construction — run
+#: provenance (git SHA, timestamp) and the final metrics-registry
+#: snapshot (whose wall-clock histograms and incidental counters change
+#: shape run to run).  Skipped in both directions; the deterministic
+#: telemetry a benchmark wants gated belongs in its ``data`` payload.
+_ENVELOPE_VOLATILE = frozenset({"provenance", "metrics"})
+
+#: Wall-clock histogram dict fields compared with the slack factor;
+#: everything else value-ish (buckets, zero_count, min) is skipped —
+#: bucket boundaries move with the machine, and smaller/faster is fine.
+_WALL_HIST_SLACK_KEYS = ("sum", "max", "mean", "p50", "p95", "p99")
+
+#: Wall-clock histogram dict fields still held exactly: the observation
+#: *count* is a workload fact (rounds run, entries applied), not a
+#: timing.
+_WALL_HIST_EXACT_KEYS = ("type", "unit", "count")
+
+
+def _is_wall_hist(value: object) -> bool:
+    """A serialized LogHistogram whose unit marks it machine-dependent."""
+    return (
+        isinstance(value, dict)
+        and value.get("type") == "loghist"
+        and value.get("unit") == "seconds"
+    )
+
+
+def _gate_wall_hist(
+    baseline: dict, fresh: dict, wall_slack: float, path: str
+) -> list[str]:
+    violations: list[str] = []
+    for key in _WALL_HIST_EXACT_KEYS:
+        if baseline.get(key) != fresh.get(key):
+            violations.append(
+                f"{path}.{key}: {baseline.get(key)!r} -> {fresh.get(key)!r}"
+            )
+    for key in _WALL_HIST_SLACK_KEYS:
+        b, f = baseline.get(key), fresh.get(key)
+        if b is None or f is None:
+            continue
+        violations.extend(_gate_wall(b, f, wall_slack, f"{path}.{key}"))
+    return violations
+
 
 def compare_payloads(
     baseline: object,
@@ -48,9 +91,13 @@ def compare_payloads(
     must not pass the gate.
     """
     violations: list[str] = []
+    if _is_wall_hist(baseline) and _is_wall_hist(fresh):
+        return _gate_wall_hist(baseline, fresh, wall_slack, _path)
     if isinstance(baseline, dict) and isinstance(fresh, dict):
         for key in sorted(baseline.keys() | fresh.keys()):
             here = f"{_path}.{key}"
+            if _path == "$" and key in _ENVELOPE_VOLATILE:
+                continue
             if key not in fresh:
                 violations.append(f"{here}: missing from fresh payload")
             elif key not in baseline:

@@ -16,6 +16,7 @@ Ties the pieces together across the three times of the paper:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -24,6 +25,8 @@ from ..algebra.plan import PlanNode
 from ..errors import ScriptError, UnknownTableError
 from ..obs import metrics
 from ..obs import spans as obs
+from ..obs.drift import DriftMonitor
+from ..obs.freshness import FreshnessTracker
 from ..storage import AccessCounts, Database, Table
 from .generator import GeneratedPlan, ScriptGenerator
 from .idinfer import node_by_id
@@ -111,8 +114,14 @@ class IdIvmEngine:
         #: the probed tables are untouched in a batch.  Off by default to
         #: keep the paper's cost profile.
         self.view_reuse = view_reuse
-        self.log = ModificationLog(db)
+        #: freshness + drift telemetry (repro.obs); the modlog reports
+        #: every appended entry so staleness is queryable at any instant.
+        self.freshness = FreshnessTracker()
+        self.drift = DriftMonitor()
+        self.log = ModificationLog(db, freshness=self.freshness)
         self.views: dict[str, MaterializedView] = {}
+        #: most recent MaintenanceReport per view (dashboards read this).
+        self.last_reports: dict[str, MaintenanceReport] = {}
 
     # ------------------------------------------------------------------
     # view definition time
@@ -151,6 +160,8 @@ class IdIvmEngine:
             generated, view_table, caches, operator_caches, cost_model=cost_model
         )
         self.views[name] = view
+        # A just-materialized view reflects the current database state.
+        self.freshness.note_view(name)
         return view
 
     # ------------------------------------------------------------------
@@ -171,6 +182,7 @@ class IdIvmEngine:
         entries = self.log.take()
         db_post = self.db
         counters = self.db.counters
+        round_started = time.perf_counter()
         metrics.counter("engine.maintain_rounds").inc()
         metrics.histogram("engine.log_entries").observe(len(entries))
         with obs.span(
@@ -188,6 +200,7 @@ class IdIvmEngine:
                 view = self.views.get(view_name)
                 if view is None:
                     raise UnknownTableError(f"no view named {view_name!r}")
+                view_started = time.perf_counter()
                 with obs.span(
                     f"view:{view_name}", kind="view", counters=counters,
                     view=view_name,
@@ -227,7 +240,39 @@ class IdIvmEngine:
                         },
                     )
                 metrics.histogram("engine.round_cost").observe(report.total_cost)
+                metrics.loghist(
+                    f"view.round_seconds.{view_name}", unit="seconds"
+                ).observe(time.perf_counter() - view_started)
+        self._finish_round(reports, entries, round_started)
         return reports
+
+    # ------------------------------------------------------------------
+    def _finish_round(
+        self,
+        reports: dict[str, MaintenanceReport],
+        entries,
+        round_started: float,
+    ) -> None:
+        """Fold one finished round into the telemetry surfaces: round
+        latency histograms, per-view freshness, and cost drift."""
+        metrics.loghist("engine.round_seconds", unit="seconds").observe(
+            time.perf_counter() - round_started
+        )
+        # The round absorbed everything it took; entries logged by
+        # another thread after the take() stay pending.
+        stamped = [e.seq for e in entries if e.seq]
+        position = max(stamped) if stamped else self.log.position
+        entry_times = [e.logged_at for e in entries if e.seq]
+        now = self.freshness.clock()
+        for view_name, report in reports.items():
+            self.freshness.note_maintained(
+                view_name, position, entry_times, now=now
+            )
+            self.drift.update_from_report(report)
+            self.last_reports[view_name] = report
+            ratio = self.drift.worst_ratio(view_name)
+            if ratio is not None:
+                metrics.gauge(f"drift.worst_ratio.{view_name}").set(ratio)
 
 
 def _infer_cost_model(generated: GeneratedPlan, db: Database):

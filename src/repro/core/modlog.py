@@ -16,6 +16,7 @@ a cover exists).
 
 from __future__ import annotations
 
+import time
 from typing import Mapping, Optional, Sequence
 
 from ..errors import DiffError, WorkloadError
@@ -26,9 +27,14 @@ from .diffs import DELETE, INSERT, UPDATE, Diff, DiffSchema
 
 
 class LoggedModification:
-    """One raw log record."""
+    """One raw log record.
 
-    __slots__ = ("kind", "table", "key", "row", "changes")
+    ``seq`` (1-based, monotone per log) and ``logged_at`` are stamped by
+    the owning :class:`ModificationLog`; hand-built records default to
+    0/0.0 and simply don't participate in freshness accounting.
+    """
+
+    __slots__ = ("kind", "table", "key", "row", "changes", "seq", "logged_at")
 
     def __init__(
         self,
@@ -43,6 +49,8 @@ class LoggedModification:
         self.key = key
         self.row = row
         self.changes = changes
+        self.seq = 0
+        self.logged_at = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - display helper
         return f"Mod({self.kind} {self.table} {self.key})"
@@ -67,9 +75,28 @@ class ModificationLog:
     log.  ``take()`` drains the log for a maintenance round.
     """
 
-    def __init__(self, db: Database):
+    def __init__(self, db: Database, freshness=None):
         self.db = db
         self.entries: list[LoggedModification] = []
+        #: optional :class:`~repro.obs.freshness.FreshnessTracker`; when
+        #: attached, every appended entry advances its log position.
+        self.freshness = freshness
+        self._seq = 0
+
+    @property
+    def position(self) -> int:
+        """Sequence number of the newest logged modification."""
+        return self._seq
+
+    def _append(self, entry: LoggedModification) -> None:
+        self._seq += 1
+        entry.seq = self._seq
+        if self.freshness is not None:
+            entry.logged_at = self.freshness.clock()
+            self.freshness.note_logged(entry.seq, entry.logged_at)
+        else:
+            entry.logged_at = time.monotonic()
+        self.entries.append(entry)
 
     # ------------------------------------------------------------------
     def insert(self, table: str, row: Sequence) -> None:
@@ -77,7 +104,7 @@ class ModificationLog:
         t = self.db.table(table)
         row = tuple(row)
         t.insert_uncounted(row)
-        self.entries.append(
+        self._append(
             LoggedModification(INSERT, table, t.schema.key_of(row), row=row)
         )
 
@@ -88,7 +115,7 @@ class ModificationLog:
         old = t.delete_uncounted(key)
         if old is None:
             raise WorkloadError(f"cannot delete absent key {key} from {table!r}")
-        self.entries.append(LoggedModification(DELETE, table, key, row=old))
+        self._append(LoggedModification(DELETE, table, key, row=old))
 
     def update(self, table: str, key: Sequence, changes: Mapping[str, object]) -> None:
         t = self.db.table(table)
@@ -112,7 +139,7 @@ class ModificationLog:
             return
         # Trigger-style logging: capture the pre-state row alongside the
         # changed attributes.
-        self.entries.append(
+        self._append(
             LoggedModification(UPDATE, table, key, row=old, changes=dict(changes))
         )
 
@@ -212,6 +239,7 @@ def populate_instances(
             nonempty_instances=sum(1 for diff in out.values() if diff),
         )
         metrics.histogram("modlog.idiff_rows_per_round").observe(total_rows)
+        metrics.loghist("modlog.fold_rows", unit="rows").observe(total_rows)
         if entries:
             metrics.histogram("modlog.fold_ratio").observe(
                 total_rows / len(entries)

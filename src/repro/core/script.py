@@ -19,6 +19,7 @@ computation / view update).
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 from ..errors import ScriptError
@@ -150,14 +151,29 @@ def execute_script(
     """Run every step under its phase label; returns the diff environment."""
     recorder = obs.current_recorder()
     if recorder is None:
+        open_phase: Optional[str] = None
+        phase_started = 0.0
         for step in script.steps:
+            if step.phase != open_phase:
+                now = time.perf_counter()
+                if open_phase is not None:
+                    _observe_phase_seconds(open_phase, now - phase_started)
+                open_phase = step.phase
+                phase_started = now
             with counters.phase(step.phase):
                 step.run(ctx)
                 cardinality = _step_cardinality(step, ctx)
                 if cardinality is not None:
                     metrics.histogram("script.stmt_diff_rows").observe(cardinality)
+        if open_phase is not None:
+            _observe_phase_seconds(open_phase, time.perf_counter() - phase_started)
         return ctx.diffs
     return _execute_script_traced(script, ctx, counters, recorder)
+
+
+def _observe_phase_seconds(phase: str, seconds: float) -> None:
+    """Latency of one contiguous phase run (safe from shard workers)."""
+    metrics.loghist(f"script.phase_seconds.{phase}", unit="seconds").observe(seconds)
 
 
 def _execute_script_traced(
@@ -177,9 +193,13 @@ def _execute_script_traced(
 
     stack = ExitStack()
     open_phase: Optional[str] = None
+    phase_started = 0.0
     try:
         for i, step in enumerate(script.steps, start=1):
             if step.phase != open_phase:
+                now = time.perf_counter()
+                if open_phase is not None:
+                    _observe_phase_seconds(open_phase, now - phase_started)
                 stack.close()
                 stack = ExitStack()
                 stack.enter_context(
@@ -192,6 +212,7 @@ def _execute_script_traced(
                     )
                 )
                 open_phase = step.phase
+                phase_started = now
             with counters.phase(step.phase):
                 label = (
                     step.name
@@ -215,4 +236,8 @@ def _execute_script_traced(
                         )
     finally:
         stack.close()
+        if open_phase is not None:
+            _observe_phase_seconds(
+                open_phase, time.perf_counter() - phase_started
+            )
     return ctx.diffs

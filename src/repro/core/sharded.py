@@ -27,6 +27,7 @@ counts, the paper's metric, never travel that path.
 from __future__ import annotations
 
 import contextvars
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional
@@ -34,6 +35,7 @@ from typing import Optional
 from ..errors import SchemaError, UnknownTableError
 from ..obs import metrics
 from ..obs import spans as obs
+from ..obs.hist import LogHistogram
 from ..shard.counters import ShardRoutingCounters
 from ..shard.router import RoutePlan, describe_plan, plan_route, split_instances
 from ..storage import CounterSet, Database
@@ -56,6 +58,10 @@ class ShardedMaintenanceReport(MaintenanceReport):
     anchor: Optional[str] = None
     broadcast_reason: Optional[str] = None
     shard_reports: list[MaintenanceReport] = field(default_factory=list)
+    #: distribution of per-shard total cost for parallel rounds (one
+    #: observation per worker); its sum reconciles *exactly* with
+    #: :attr:`total_cost` — shard counters are complete, no tolerance.
+    shard_cost_hist: Optional[LogHistogram] = None
 
     def critical_path(self) -> int:
         """The busiest shard's cost — the parallel wall-clock proxy.
@@ -95,6 +101,7 @@ class ShardedEngine(IdIvmEngine):
         targets = [name] if name is not None else list(self.views)
         entries = self.log.take()
         counters = self.db.counters
+        round_started = time.perf_counter()
         metrics.counter("engine.maintain_rounds").inc()
         metrics.histogram("engine.log_entries").observe(len(entries))
         with obs.span(
@@ -113,6 +120,7 @@ class ShardedEngine(IdIvmEngine):
                 view = self.views.get(view_name)
                 if view is None:
                     raise UnknownTableError(f"no view named {view_name!r}")
+                view_started = time.perf_counter()
                 with obs.span(
                     f"view:{view_name}", kind="view", counters=counters,
                     view=view_name,
@@ -144,6 +152,10 @@ class ShardedEngine(IdIvmEngine):
                         },
                     )
                 metrics.histogram("engine.round_cost").observe(report.total_cost)
+                metrics.loghist(
+                    f"view.round_seconds.{view_name}", unit="seconds"
+                ).observe(time.perf_counter() - view_started)
+        self._finish_round(reports, entries, round_started)
         return reports
 
     # ------------------------------------------------------------------
@@ -208,14 +220,22 @@ class ShardedEngine(IdIvmEngine):
             for i in range(n)
         ]
 
+        # Pre-create the worker-observed metrics from the coordinator so
+        # shard threads only ever hit the registry's read path.
+        apply_seconds = metrics.loghist("shard.apply_seconds", unit="seconds")
+        shard_cost = metrics.loghist("shard.cost", unit="accesses")
+
         def run_shard(i: int) -> None:
             sc = shard_counters[i]
+            started = time.perf_counter()
             with router.activate(sc):
                 with obs.span(
                     f"shard:{i}", kind="shard", counters=sc,
                     shard=i, view=view_name, anchor=plan.anchor,
                 ):
                     execute_script(script, contexts[i], sc)
+            apply_seconds.observe(time.perf_counter() - started)
+            shard_cost.observe(sc.total.total)
 
         workers = min(self.max_workers or n, n)
         with ThreadPoolExecutor(max_workers=workers) as pool:
@@ -231,8 +251,10 @@ class ShardedEngine(IdIvmEngine):
         report = ShardedMaintenanceReport(
             view_name, parallel=True, anchor=plan.anchor
         )
+        report.shard_cost_hist = LogHistogram("shard.round_cost", unit="accesses")
         merged_sizes: dict[str, int] = {}
         for i, sc in enumerate(shard_counters):
+            report.shard_cost_hist.observe(sc.total.total)
             snapshot = sc.snapshot()
             shard_report = MaintenanceReport(f"{view_name}@shard{i}")
             shard_report.phase_counts = snapshot

@@ -49,7 +49,7 @@ class Divergence:
     strategy: str
     batch: int  # -1: view definition / initial state
     kind: str  # "view_mismatch" | "invariant" | "exception" |
-    #          # "oracle_error" | "analysis" | "cost"
+    #          # "oracle_error" | "analysis" | "cost" | "drift"
     detail: str
 
     def __str__(self) -> str:  # pragma: no cover - display helper
@@ -63,8 +63,9 @@ class CaseResult:
 
     divergences: list[Divergence] = field(default_factory=list)
     #: every static-analyzer diagnostic (rendered) plus tolerance-level
-    #: COST503 reconciliation deviations, informational; error-severity
-    #: analyzer findings also land in ``divergences`` as "analysis"
+    #: COST503 reconciliation deviations and COST504 sustained-drift
+    #: alerts, informational; error-severity analyzer findings also
+    #: land in ``divergences`` as "analysis"
     diagnostics: list[str] = field(default_factory=list)
 
     @property
@@ -148,6 +149,11 @@ def run_strategy(
         cost_divergence = _reconcile_cost(report, strategy, bi, diag_sink)
         if cost_divergence is not None:
             return cost_divergence
+    drift_divergence = _check_drift(
+        engine, strategy, len(case["batches"]) - 1, diag_sink
+    )
+    if drift_divergence is not None:
+        return drift_divergence
     return None
 
 
@@ -191,6 +197,43 @@ def _reconcile_cost(
         return Divergence(
             strategy, batch_index, "cost", egregious[0].render()
         )
+    return None
+
+
+#: A sustained observed/predicted EWMA above this is a fuzz divergence:
+#: across the whole batch stream, the upper-bound cost model cannot
+#: explain the measured work even after smoothing out per-round noise.
+_DRIFT_HARD_RATIO = 3.0
+
+
+def _check_drift(
+    engine, strategy: str, batch_index: int, diag_sink: Optional[list]
+) -> Optional[Divergence]:
+    """COST504 sustained-drift check over the completed case.
+
+    Alerts are informational (the monitor flags *any* miscalibration,
+    and over-prediction is expected for an upper-bound model); only a
+    sustained *under*-prediction beyond :data:`_DRIFT_HARD_RATIO`
+    diverges, mirroring the hard-factor rule in :func:`_reconcile_cost`.
+    """
+    monitor = getattr(engine, "drift", None)
+    if monitor is None:  # baseline engines carry no drift monitor
+        return None
+    try:
+        alerts = monitor.alerts()
+    except Exception:  # noqa: BLE001 - telemetry must never kill a case
+        return None
+    if diag_sink is not None:
+        diag_sink.extend(
+            f"COST504 [{strategy}] {alert.render()}" for alert in alerts
+        )
+    egregious = [
+        alert
+        for alert in alerts
+        if alert.kind == "under_predicted" and alert.ewma > _DRIFT_HARD_RATIO
+    ]
+    if egregious:
+        return Divergence(strategy, batch_index, "drift", egregious[0].render())
     return None
 
 

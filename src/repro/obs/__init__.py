@@ -8,14 +8,26 @@ machinery to do the same attribution live, on every maintenance round:
   (engine round -> phase -> ∆-script statement -> plan/IR operator);
 * :mod:`repro.obs.metrics` — a process-wide registry of named counters,
   gauges and histograms (i-diff sizes, cache hit rates, ...);
+* :mod:`repro.obs.hist` — log-bucketed percentile histograms with
+  per-thread accumulation and exact merging;
+* :mod:`repro.obs.freshness` — per-view staleness (pending modlog
+  entries, seconds-behind, observed-lag percentiles);
+* :mod:`repro.obs.drift` — EWMA monitoring of the symbolic cost model's
+  predicted-vs-observed ratio (COST504);
 * :mod:`repro.obs.trace` — JSONL export of a recorded span tree, schema
-  validation, and a pretty terminal renderer.
+  validation, and a pretty terminal renderer;
+* :mod:`repro.obs.serve` — stdlib HTTP endpoint exposing /metrics
+  (Prometheus text) and /snapshot (JSON);
+* :mod:`repro.obs.top` — terminal dashboard (``python -m repro top``).
 
 Tracing is off by default: with no recorder installed every
 instrumentation site reduces to a single global read, so baseline
 benchmark numbers are unaffected.
 """
 
+from .drift import DriftAlert, DriftMonitor
+from .freshness import FreshnessTracker, ViewStaleness
+from .hist import ConcurrentLogHistogram, LogHistogram
 from .metrics import (
     Counter,
     Gauge,
@@ -24,7 +36,9 @@ from .metrics import (
     counter,
     gauge,
     histogram,
+    loghist,
     registry,
+    scoped,
 )
 from .spans import (
     Span,
@@ -38,18 +52,25 @@ from .spans import (
 from .trace import (
     load_trace,
     phase_totals,
+    reconcile_trace,
     render_tree,
     validate_trace,
     write_trace,
 )
 
 __all__ = [
+    "ConcurrentLogHistogram",
     "Counter",
+    "DriftAlert",
+    "DriftMonitor",
+    "FreshnessTracker",
     "Gauge",
     "Histogram",
+    "LogHistogram",
     "MetricsRegistry",
     "Span",
     "SpanRecorder",
+    "ViewStaleness",
     "counter",
     "current_recorder",
     "current_span",
@@ -57,10 +78,13 @@ __all__ = [
     "gauge",
     "histogram",
     "load_trace",
+    "loghist",
     "phase_totals",
+    "reconcile_trace",
     "recording",
     "registry",
     "render_tree",
+    "scoped",
     "span",
     "validate_trace",
     "write_trace",

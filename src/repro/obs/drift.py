@@ -1,0 +1,253 @@
+"""Cost-drift monitoring: EWMA of predicted-vs-observed access ratios.
+
+PR 5's symbolic cost model predicts, per maintenance round and phase,
+how many index lookups / tuple reads / tuple writes each view's
+∆-script will incur.  The COST503 reconciliation checks a *single*
+round against a one-sided tolerance; this module watches the ratio
+*over time*: per view and per cost metric, an exponentially weighted
+moving average of ``observed / predicted`` (both summed over the four
+script phases).
+
+A calibrated model hovers near 1.0.  Sustained deviation is *drift*:
+
+* ratio **below** ``low`` — the model persistently over-predicts.  This
+  is the signature of the negative-benefit caches COST502 flags
+  statically (the model charges cache bookkeeping the workload never
+  exercises), now confirmed by live counters.
+* ratio **above** ``high`` — observed work exceeds the predicted upper
+  bound round after round; the model misses an access path (the chronic
+  form of COST503).
+
+Alerts surface through three channels: :meth:`DriftMonitor.alerts` for
+programmatic use (``repro top``, the serve endpoint), the COST504
+informational diagnostic (`repro lint --cost`), and a crosscheck hook.
+
+OpenIVM (PAPERS.md, 2404.16486) uses exactly this maintenance-cost
+feedback loop to re-choose strategies; ROADMAP item 2's target-lag
+scheduler is the intended consumer here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+#: The CostVector metrics the PR 5 reconciliation compares (and we track).
+DRIFT_METRICS = ("index_lookups", "tuple_reads", "tuple_writes")
+
+#: Laplace-style smoothing added to both sides of the ratio so empty
+#: rounds and zero predictions stay finite and well-behaved.
+_SMOOTHING = 1.0
+
+
+class DriftState:
+    """EWMA state for one (view, metric) ratio series."""
+
+    __slots__ = ("view", "metric", "ewma", "rounds", "last_ratio",
+                 "observed_total", "predicted_total")
+
+    def __init__(self, view: str, metric: str):
+        self.view = view
+        self.metric = metric
+        self.ewma: Optional[float] = None
+        self.rounds = 0
+        self.last_ratio: Optional[float] = None
+        self.observed_total = 0.0
+        self.predicted_total = 0.0
+
+    def update(self, ratio: float, alpha: float) -> None:
+        self.last_ratio = ratio
+        self.rounds += 1
+        if self.ewma is None:
+            self.ewma = ratio
+        else:
+            self.ewma = alpha * ratio + (1.0 - alpha) * self.ewma
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "ewma": self.ewma,
+            "rounds": self.rounds,
+            "last_ratio": self.last_ratio,
+            "observed_total": self.observed_total,
+            "predicted_total": self.predicted_total,
+        }
+
+
+class DriftAlert:
+    """One sustained predicted-vs-observed deviation."""
+
+    __slots__ = ("view", "metric", "ewma", "rounds", "kind")
+
+    def __init__(self, view: str, metric: str, ewma: float, rounds: int, kind: str):
+        self.view = view
+        self.metric = metric
+        self.ewma = ewma
+        self.rounds = rounds
+        #: ``"over_predicted"`` (ewma < low) or ``"under_predicted"``.
+        self.kind = kind
+
+    def render(self) -> str:
+        direction = (
+            "over-predicts" if self.kind == "over_predicted" else "under-predicts"
+        )
+        return (
+            f"{self.view}/{self.metric}: model {direction} "
+            f"(observed/predicted EWMA {self.ewma:.2f} over {self.rounds} rounds)"
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "view": self.view,
+            "metric": self.metric,
+            "ewma": self.ewma,
+            "rounds": self.rounds,
+            "kind": self.kind,
+        }
+
+
+class DriftMonitor:
+    """Per-view EWMA drift tracker over maintenance reports.
+
+    Parameters
+    ----------
+    alpha:
+        EWMA smoothing factor (weight of the newest round).
+    min_rounds:
+        Rounds of evidence required before a ratio can alert — a single
+        unlucky batch is variance, not drift.
+    low / high:
+        Alert thresholds on the EWMA ratio.  The defaults are
+        deliberately asymmetric: the model is a documented upper bound,
+        so mild over-prediction is expected and only a sustained EWMA
+        below ``low`` (less than ~80% of predicted work materializing)
+        counts as drift, while *any* sustained under-prediction beyond
+        COST503's per-round tolerance is suspicious.
+    min_volume:
+        Ignore (view, metric) series whose per-round predicted *and*
+        observed counts are both below this — ratios over a handful of
+        accesses are noise.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.3,
+        min_rounds: int = 3,
+        low: float = 0.8,
+        high: float = 1.25,
+        min_volume: float = 8.0,
+    ):
+        self.alpha = alpha
+        self.min_rounds = min_rounds
+        self.low = low
+        self.high = high
+        self.min_volume = min_volume
+        self._states: dict[tuple[str, str], DriftState] = {}
+
+    # ------------------------------------------------------------------
+    def update(
+        self,
+        view: str,
+        predicted: Optional[Mapping[str, Mapping[str, float]]],
+        observed: Mapping[str, Mapping[str, float]],
+    ) -> None:
+        """Fold one round's prediction/observation into the EWMA.
+
+        *predicted* and *observed* are ``{phase: {metric: value}}``
+        (the ``MaintenanceReport.predicted_counts`` shape and the
+        ``as_dict`` form of ``phase_counts``).  A ``None`` prediction
+        (no model inferred) contributes nothing.
+        """
+        if not predicted:
+            return
+        from ..analysis.cost import SCRIPT_PHASES
+
+        for metric in DRIFT_METRICS:
+            p = sum(
+                float(predicted.get(phase, {}).get(metric, 0.0))
+                for phase in SCRIPT_PHASES
+            )
+            o = sum(
+                float(observed.get(phase, {}).get(metric, 0.0))
+                for phase in SCRIPT_PHASES
+            )
+            if p < self.min_volume and o < self.min_volume:
+                continue
+            state = self._states.get((view, metric))
+            if state is None:
+                state = DriftState(view, metric)
+                self._states[(view, metric)] = state
+            state.observed_total += o
+            state.predicted_total += p
+            state.update((o + _SMOOTHING) / (p + _SMOOTHING), self.alpha)
+
+    def update_from_report(self, report: object) -> None:
+        """Convenience intake for a ``MaintenanceReport``."""
+        predicted = getattr(report, "predicted_counts", None)
+        if not predicted:
+            return
+        observed = {
+            phase: counts.as_dict()
+            for phase, counts in report.phase_counts.items()  # type: ignore[attr-defined]
+            if phase != "__total__"
+        }
+        self.update(report.view_name, predicted, observed)  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    def states(self) -> list[DriftState]:
+        return [self._states[k] for k in sorted(self._states)]
+
+    def ratio(self, view: str, metric: str) -> Optional[float]:
+        state = self._states.get((view, metric))
+        return state.ewma if state is not None else None
+
+    def worst_ratio(self, view: str) -> Optional[float]:
+        """The view's EWMA ratio farthest from 1.0 (for dashboards)."""
+        worst: Optional[float] = None
+        for state in self._states.values():
+            if state.view != view or state.ewma is None:
+                continue
+            if worst is None or abs(state.ewma - 1.0) > abs(worst - 1.0):
+                worst = state.ewma
+        return worst
+
+    def alerts(self) -> list[DriftAlert]:
+        """Every (view, metric) whose EWMA sits outside [low, high] with
+        at least ``min_rounds`` rounds of evidence."""
+        out: list[DriftAlert] = []
+        for state in self.states():
+            if state.rounds < self.min_rounds or state.ewma is None:
+                continue
+            if state.ewma < self.low:
+                out.append(
+                    DriftAlert(
+                        state.view, state.metric, state.ewma, state.rounds,
+                        "over_predicted",
+                    )
+                )
+            elif state.ewma > self.high:
+                out.append(
+                    DriftAlert(
+                        state.view, state.metric, state.ewma, state.rounds,
+                        "under_predicted",
+                    )
+                )
+        return out
+
+    def alerting_views(self) -> set[str]:
+        return {alert.view for alert in self.alerts()}
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready state: per view, per metric EWMA + active alerts."""
+        views: dict[str, dict[str, Any]] = {}
+        for state in self.states():
+            views.setdefault(state.view, {})[state.metric] = state.as_dict()
+        return {
+            "views": views,
+            "alerts": [alert.as_dict() for alert in self.alerts()],
+            "thresholds": {
+                "low": self.low,
+                "high": self.high,
+                "alpha": self.alpha,
+                "min_rounds": self.min_rounds,
+                "min_volume": self.min_volume,
+            },
+        }

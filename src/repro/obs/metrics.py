@@ -14,7 +14,11 @@ first use, so the registry also serves extensions: any component may
 
 from __future__ import annotations
 
-from typing import Any, Optional, Union
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional, Union
+
+from .hist import ConcurrentLogHistogram
 
 Number = Union[int, float]
 
@@ -95,18 +99,32 @@ class Histogram:
         return f"Histogram({self.name!r}, n={self.count}, sum={self.total})"
 
 
+Metric = Union[Counter, Gauge, Histogram, ConcurrentLogHistogram]
+
+
 class MetricsRegistry:
-    """Namespace of metrics; one global default instance per process."""
+    """Namespace of metrics; one global default instance per process.
+
+    Metric *creation* is locked so shard workers racing on first use of
+    a name cannot strand each other's metric object (after which the
+    loser's observations would silently vanish).  Increments themselves
+    are not locked — a raced monitoring increment is accepted, as
+    documented in :mod:`repro.core.sharded`.
+    """
 
     def __init__(self) -> None:
-        self._metrics: dict[str, Union[Counter, Gauge, Histogram]] = {}
+        self._metrics: dict[str, Metric] = {}
+        self._create_lock = threading.Lock()
 
-    def _get_or_create(self, name: str, cls):
+    def _get_or_create(self, name: str, cls, **kwargs):
         metric = self._metrics.get(name)
         if metric is None:
-            metric = cls(name)
-            self._metrics[name] = metric
-        elif not isinstance(metric, cls):
+            with self._create_lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = cls(name, **kwargs)
+                    self._metrics[name] = metric
+        if not isinstance(metric, cls):
             raise TypeError(
                 f"metric {name!r} already registered as "
                 f"{type(metric).__name__}, not {cls.__name__}"
@@ -121,6 +139,17 @@ class MetricsRegistry:
 
     def histogram(self, name: str) -> Histogram:
         return self._get_or_create(name, Histogram)
+
+    def loghist(self, name: str, unit: str = "") -> ConcurrentLogHistogram:
+        """A log-bucketed, thread-sharded histogram (p50/p95/p99/max).
+
+        The ``unit`` is sticky: the first caller's unit wins (an empty
+        unit never overwrites a set one).
+        """
+        metric = self._get_or_create(name, ConcurrentLogHistogram, unit=unit)
+        if unit and not metric.unit:
+            metric.unit = unit
+        return metric
 
     def names(self) -> list[str]:
         return sorted(self._metrics)
@@ -138,20 +167,52 @@ class MetricsRegistry:
 
 
 _default = MetricsRegistry()
+_current = _default
 
 
 def registry() -> MetricsRegistry:
-    """The process-wide default registry."""
-    return _default
+    """The currently active registry (the process default unless a
+    :func:`scoped` block has swapped one in)."""
+    return _current
+
+
+@contextmanager
+def scoped(reg: Optional[MetricsRegistry] = None) -> Iterator[MetricsRegistry]:
+    """Route module-level metric helpers into a private registry.
+
+    The process-default registry is convenient for long-lived tools
+    (benchmarks, ``repro.obs.serve``) but makes metric assertions
+    order-dependent in a test suite: whichever test runs first leaves
+    its counts behind for the next.  Wrapping each test in ``scoped()``
+    gives it a fresh registry and restores the previous one on exit —
+    including on exceptions, and correctly under nesting.
+
+    Not thread-safe by design: the swap is process-global, matching the
+    registry itself.  Concurrent *observers* inside the block are fine;
+    concurrent *scopes* are not a supported shape.
+    """
+    global _current
+    if reg is None:
+        reg = MetricsRegistry()
+    previous = _current
+    _current = reg
+    try:
+        yield reg
+    finally:
+        _current = previous
 
 
 def counter(name: str) -> Counter:
-    return _default.counter(name)
+    return _current.counter(name)
 
 
 def gauge(name: str) -> Gauge:
-    return _default.gauge(name)
+    return _current.gauge(name)
 
 
 def histogram(name: str) -> Histogram:
-    return _default.histogram(name)
+    return _current.histogram(name)
+
+
+def loghist(name: str, unit: str = "") -> ConcurrentLogHistogram:
+    return _current.loghist(name, unit)

@@ -21,7 +21,10 @@ includes the span's descendants); per-phase sums over ``kind ==
 ``MaintenanceReport.phase_counts`` (see ``docs/OBSERVABILITY.md``).
 
 Run ``python -m repro.obs.trace FILE.jsonl`` to validate a trace file;
-it exits non-zero and prints the violations if the schema is broken.
+it exits non-zero and prints the violations if the schema is broken OR
+if the trace does not reconcile (a ``view`` span's ``phase_counts``
+attribute disagreeing with the summed counts of its descendant phase
+spans).  ``--summary`` adds a per-kind duration percentile report.
 """
 
 from __future__ import annotations
@@ -30,6 +33,7 @@ import json
 from typing import Any, Optional, Sequence, Union
 
 from ..storage import AccessCounts
+from .hist import LogHistogram
 from .spans import Span, SpanRecorder
 
 SCHEMA_NAME = "repro.trace"
@@ -245,22 +249,126 @@ def render_tree(
     return "\n".join(lines)
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover
-    """``python -m repro.obs.trace FILE.jsonl`` — validate a trace file."""
+def reconcile_trace(records: Sequence[dict]) -> list[str]:
+    """Cross-check every ``view`` span against its phase spans.
+
+    The engine stamps each view span with the round's per-phase access
+    counts (``attrs.phase_counts``).  The same work was counted a second
+    time by the ∆-script executor's phase spans (bucket deltas via
+    ``phase_of``), so within each view subtree the per-phase span sums
+    must equal the stamped counts *exactly* — including across shard
+    workers, whose phase spans nest below ``shard`` spans.  A phase
+    stamped on the view but absent from the spans must have zero counts,
+    and vice versa.  Returns human-readable violations (empty = ok).
+    """
+    errors: list[str] = []
+    roots = _build_forest(records)
+
+    def collect_phases(record: dict, sums: dict[str, AccessCounts]) -> None:
+        for child in record["children"]:
+            if child.get("kind") == "phase" and child.get("counts") is not None:
+                phase = child.get("attrs", {}).get("phase", child.get("name"))
+                sums.setdefault(phase, AccessCounts()).add(
+                    AccessCounts.from_dict(child["counts"])
+                )
+            collect_phases(child, sums)
+
+    def visit(record: dict) -> None:
+        if record.get("kind") == "view":
+            stamped = record.get("attrs", {}).get("phase_counts")
+            if isinstance(stamped, dict):
+                view = record.get("attrs", {}).get("view", record.get("name"))
+                sums: dict[str, AccessCounts] = {}
+                collect_phases(record, sums)
+                for phase in set(stamped) | set(sums):
+                    want = stamped.get(phase)
+                    got = sums.get(phase, AccessCounts()).as_dict()
+                    if want is None:
+                        if got["total"] != 0:
+                            errors.append(
+                                f"view {view!r}: phase spans count "
+                                f"{got['total']} accesses in {phase!r} but the "
+                                f"view span stamps no such phase"
+                            )
+                        continue
+                    if {k: int(v) for k, v in want.items()} != got:
+                        errors.append(
+                            f"view {view!r}: phase {phase!r} does not "
+                            f"reconcile (view span {want} vs phase-span sum {got})"
+                        )
+        for child in record["children"]:
+            visit(child)
+
+    for root in roots:
+        visit(root)
+    return errors
+
+
+def summarize_durations(records: Sequence[dict]) -> dict[str, LogHistogram]:
+    """Per-kind span-duration histograms (seconds) over trace records."""
+    out: dict[str, LogHistogram] = {}
+    for record in records:
+        kind = record.get("kind", "span")
+        hist = out.get(kind)
+        if hist is None:
+            hist = LogHistogram(f"trace.duration.{kind}", unit="seconds")
+            out[kind] = hist
+        hist.observe(float(record.get("duration", 0.0)))
+    return out
+
+
+def render_summary(records: Sequence[dict]) -> str:
+    """The ``--summary`` report: duration percentiles per span kind."""
+    lines = [
+        f"{'kind':<10} {'count':>7} {'p50(ms)':>9} {'p95(ms)':>9} "
+        f"{'p99(ms)':>9} {'max(ms)':>9}"
+    ]
+    for kind, hist in sorted(summarize_durations(records).items()):
+        q = hist.quantile_summary()
+
+        def ms(value: Optional[float]) -> str:
+            return f"{value * 1e3:.3f}" if value is not None else "-"
+
+        lines.append(
+            f"{kind:<10} {hist.count:>7} {ms(q['p50']):>9} {ms(q['p95']):>9} "
+            f"{ms(q['p99']):>9} {ms(q['max']):>9}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.obs.trace FILE.jsonl [--summary]`` — validate
+    (schema + reconciliation) and optionally summarize a trace file."""
+    import argparse
     import sys
 
-    args = list(sys.argv[1:] if argv is None else argv)
-    if len(args) != 1:
-        print("usage: python -m repro.obs.trace FILE.jsonl", file=sys.stderr)
-        return 2
-    errors = validate_trace(args[0])
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.trace",
+        description="validate a repro trace file (schema + phase-count "
+        "reconciliation) and optionally print a duration summary",
+    )
+    parser.add_argument("path", help="JSONL trace file to validate")
+    parser.add_argument(
+        "--summary",
+        action="store_true",
+        help="print per-kind span duration percentiles (p50/p95/p99/max)",
+    )
+    opts = parser.parse_args(list(sys.argv[1:] if argv is None else argv))
+    errors = validate_trace(opts.path)
     if errors:
         for err in errors:
             print(err, file=sys.stderr)
         return 1
-    records = load_trace(args[0])
+    records = load_trace(opts.path)
+    errors = reconcile_trace(records)
+    if errors:
+        for err in errors:
+            print(err, file=sys.stderr)
+        return 1
     phases = phase_totals(records)
-    print(f"{args[0]}: ok ({len(records)} spans, {len(phases)} phases)")
+    print(f"{opts.path}: ok ({len(records)} spans, {len(phases)} phases)")
+    if opts.summary:
+        print(render_summary(records))
     return 0
 
 

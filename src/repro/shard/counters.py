@@ -102,13 +102,7 @@ class ShardRoutingCounters(CounterSet):
         truthful (the grand total equals what a single-shard run would
         have accumulated).
         """
-        for name, counts in shard.phases.items():
-            bucket = base.phases.get(name)
-            if bucket is None:
-                bucket = AccessCounts()
-                base.phases[name] = bucket
-            bucket.add(counts)
-        base.total.add(shard.total)
+        base.merge(shard)
 
     def __repr__(self) -> str:  # pragma: no cover - display helper
         routed = getattr(self._local, "target", None) is not None

@@ -151,6 +151,17 @@ class CounterSet:
         self.total = AccessCounts()
         self.phases = {}
 
+    def merge(self, other: "CounterSet") -> None:
+        """Fold *other*'s counts into self, phase by phase (exact integer
+        addition — the shard-merge reconciliation relies on it)."""
+        for name, counts in other.phases.items():
+            bucket = self.phases.get(name)
+            if bucket is None:
+                bucket = AccessCounts()
+                self.phases[name] = bucket
+            bucket.add(counts)
+        self.total.add(other.total)
+
     def snapshot(self) -> dict[str, AccessCounts]:
         """Copy of per-phase counts (plus ``"__total__"``)."""
         out = {name: counts.copy() for name, counts in self.phases.items()}

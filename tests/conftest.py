@@ -51,6 +51,21 @@ def build_view_v_prime(db: Database):
     return group_by(filtered, ("did",), [("sum", col("price"), "cost")])
 
 
+@pytest.fixture(autouse=True)
+def _scoped_metrics():
+    """Every test observes into a private metrics registry.
+
+    The process-default registry is shared state: without this, metric
+    assertions depend on which test ran first (an earlier engine round
+    leaves its counts behind).  ``metrics.scoped()`` swaps in a fresh
+    registry per test and restores the previous one on exit.
+    """
+    from repro.obs import metrics
+
+    with metrics.scoped() as registry:
+        yield registry
+
+
 @pytest.fixture
 def view_v(running_example_db):
     return build_view_v(running_example_db)

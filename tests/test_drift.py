@@ -1,0 +1,145 @@
+"""DriftMonitor: EWMA mechanics, engine wiring, COST504 diagnostics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import AnalysisReport
+from repro.analysis.cost import SCRIPT_PHASES, drift_diagnostics
+from repro.core import IdIvmEngine
+from repro.obs.drift import DriftMonitor
+from repro.workloads import BsmaConfig, build_bsma_database, log_user_updates
+from repro.workloads.bsma import BSMA_QUERIES
+
+PHASE = SCRIPT_PHASES[-1]  # any single phase works for unit tests
+
+
+def _feed(monitor, view, predicted, observed, rounds):
+    for _ in range(rounds):
+        monitor.update(
+            view,
+            {PHASE: {"tuple_writes": predicted}},
+            {PHASE: {"tuple_writes": observed}},
+        )
+
+
+class TestDriftMonitor:
+    def test_calibrated_model_never_alerts(self):
+        monitor = DriftMonitor()
+        _feed(monitor, "V", predicted=100, observed=100, rounds=10)
+        assert monitor.alerts() == []
+        assert monitor.ratio("V", "tuple_writes") == pytest.approx(1.0, rel=0.02)
+
+    def test_over_prediction_alerts_after_min_rounds(self):
+        monitor = DriftMonitor(min_rounds=3)
+        _feed(monitor, "V", predicted=100, observed=20, rounds=2)
+        assert monitor.alerts() == []  # not enough evidence yet
+        _feed(monitor, "V", predicted=100, observed=20, rounds=1)
+        alerts = monitor.alerts()
+        assert len(alerts) == 1
+        assert alerts[0].kind == "over_predicted"
+        assert alerts[0].view == "V"
+        assert "over-predicts" in alerts[0].render()
+
+    def test_under_prediction_alerts(self):
+        monitor = DriftMonitor(min_rounds=3)
+        _feed(monitor, "V", predicted=50, observed=200, rounds=4)
+        alerts = monitor.alerts()
+        assert len(alerts) == 1
+        assert alerts[0].kind == "under_predicted"
+
+    def test_small_volumes_are_ignored(self):
+        monitor = DriftMonitor(min_volume=8.0)
+        _feed(monitor, "V", predicted=2, observed=0, rounds=10)
+        assert monitor.states() == []
+        assert monitor.alerts() == []
+
+    def test_ewma_converges_to_new_regime(self):
+        monitor = DriftMonitor(alpha=0.5)
+        _feed(monitor, "V", predicted=100, observed=100, rounds=5)
+        _feed(monitor, "V", predicted=100, observed=25, rounds=12)
+        assert monitor.ratio("V", "tuple_writes") < 0.3
+
+    def test_worst_ratio_picks_farthest_from_one(self):
+        monitor = DriftMonitor()
+        monitor.update(
+            "V",
+            {PHASE: {"tuple_writes": 100, "tuple_reads": 100}},
+            {PHASE: {"tuple_writes": 90, "tuple_reads": 10}},
+        )
+        worst = monitor.worst_ratio("V")
+        assert worst == pytest.approx(monitor.ratio("V", "tuple_reads"))
+
+    def test_snapshot_is_json_shaped(self):
+        import json
+
+        monitor = DriftMonitor(min_rounds=1)
+        _feed(monitor, "V", predicted=100, observed=10, rounds=2)
+        snap = monitor.snapshot()
+        json.dumps(snap)  # must not raise
+        assert "V" in snap["views"]
+        assert snap["alerts"]
+        assert snap["thresholds"]["low"] == monitor.low
+
+
+#: Seeded BSMA run shared by the acceptance tests below: fast, and big
+#: enough that every cache-carrying view shows its true drift signature.
+_CONFIG = BsmaConfig(n_users=200, friends_per_user=6, n_tweets=600)
+_ROUNDS, _UPDATES = 4, 30
+
+
+def _run_seeded_engine() -> IdIvmEngine:
+    db = build_bsma_database(_CONFIG)
+    engine = IdIvmEngine(db)
+    for name, build in BSMA_QUERIES.items():
+        engine.define_view(name, build(db, _CONFIG))
+    for round_seed in range(_ROUNDS):
+        log_user_updates(engine, db, _CONFIG, _UPDATES, round_seed=round_seed)
+        engine.maintain()
+    return engine
+
+
+class TestEngineDrift:
+    def test_negative_benefit_caches_surface_as_drift_alerts(self):
+        """The COST502 set (Q7/Q10/Q11/Q18 carry caches whose predicted
+        amortized benefit is negative) shows up dynamically: their cost
+        models sustainedly over-predict, while the calibrated Q*1 stays
+        within thresholds."""
+        engine = _run_seeded_engine()
+        alerting = engine.drift.alerting_views()
+        assert {"Q7", "Q10", "Q11", "Q18"} <= alerting
+        assert "Q*1" not in alerting
+        for view in ("Q7", "Q10", "Q11", "Q18"):
+            ratio = engine.drift.ratio(view, "tuple_writes")
+            assert ratio is not None and ratio < engine.drift.low
+
+    def test_drift_diagnostics_emit_cost504(self):
+        engine = _run_seeded_engine()
+        analysis = AnalysisReport()
+        alerts = drift_diagnostics(engine.drift, analysis)
+        assert alerts
+        cost504 = [d for d in analysis.diagnostics if d.rule_id == "COST504"]
+        assert cost504
+        assert all(d.severity == "info" for d in cost504)
+        locations = {d.location for d in cost504}
+        for view in ("Q7", "Q10", "Q11", "Q18"):
+            assert f"view:{view}" in locations
+        # informational: never counts as an error or warning
+        assert not analysis.has_errors()
+        assert analysis.warnings == []
+
+    def test_maintenance_reports_carry_predictions(self):
+        engine = _run_seeded_engine()
+        report = engine.last_reports["Q7"]
+        assert report.predicted_counts is not None
+        assert any(
+            phase in report.predicted_counts for phase in SCRIPT_PHASES
+        )
+
+    def test_worst_ratio_gauge_exported(self, _scoped_metrics):
+        # engine rounds export drift.worst_ratio.<view> gauges into the
+        # active registry (the autouse fixture scoped one).
+        _run_seeded_engine()
+        gauge = _scoped_metrics.gauge("drift.worst_ratio.Q7")
+        assert gauge.value is not None
+        assert gauge.value < 1.0

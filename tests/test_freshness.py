@@ -1,0 +1,146 @@
+"""FreshnessTracker: staleness, observed lag, engine integration."""
+
+from __future__ import annotations
+
+from repro.core import IdIvmEngine
+from repro.obs.freshness import FreshnessTracker
+from repro.sql import sql_to_plan
+from repro.storage import Database
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestFreshnessTracker:
+    def test_new_view_starts_fresh(self):
+        clock = FakeClock()
+        tracker = FreshnessTracker(clock=clock)
+        tracker.note_logged(1)
+        tracker.note_logged(2)
+        tracker.note_view("V")  # defined *after* two entries: starts fresh
+        stale = tracker.staleness("V")
+        assert stale.pending == 0
+        assert stale.fresh
+
+    def test_pending_and_seconds_behind(self):
+        clock = FakeClock()
+        tracker = FreshnessTracker(clock=clock)
+        tracker.note_view("V")
+        clock.advance(10)
+        tracker.note_logged(1)
+        clock.advance(5)
+        tracker.note_logged(2)
+        clock.advance(5)
+        stale = tracker.staleness("V")
+        assert stale.pending == 2
+        # oldest pending entry was logged 10 seconds ago
+        assert stale.seconds_behind == 10.0
+        assert not stale.fresh
+
+    def test_maintained_clears_pending_and_observes_lag(self):
+        clock = FakeClock()
+        tracker = FreshnessTracker(clock=clock)
+        tracker.note_view("V")
+        tracker.note_logged(1, logged_at=clock())
+        clock.advance(3)
+        tracker.note_maintained("V", 1, entry_times=[clock.now - 3])
+        stale = tracker.staleness("V")
+        assert stale.pending == 0
+        assert stale.seconds_behind == 0.0
+        lag = tracker.lag_histogram("V")
+        assert lag.count == 1
+        assert lag.total == 3.0
+        assert tracker.observed_lag.count == 1
+
+    def test_per_view_positions_are_independent(self):
+        clock = FakeClock()
+        tracker = FreshnessTracker(clock=clock)
+        tracker.note_view("A")
+        tracker.note_view("B")
+        tracker.note_logged(1)
+        tracker.note_logged(2)
+        tracker.note_maintained("A", 2)
+        assert tracker.staleness("A").pending == 0
+        assert tracker.staleness("B").pending == 2
+
+    def test_prune_keeps_entries_some_view_needs(self):
+        clock = FakeClock()
+        tracker = FreshnessTracker(clock=clock)
+        tracker.note_view("A")
+        tracker.note_view("B")
+        for seq in range(1, 6):
+            tracker.note_logged(seq)
+        tracker.note_maintained("A", 5)
+        # B still needs 1..5: pending deque must keep them
+        assert tracker.staleness("B").pending == 5
+        assert len(tracker._pending) == 5
+        tracker.note_maintained("B", 5)
+        assert len(tracker._pending) == 0
+
+    def test_report_shape(self):
+        clock = FakeClock()
+        tracker = FreshnessTracker(clock=clock)
+        tracker.note_view("V")
+        tracker.note_logged(1)
+        tracker.note_maintained("V", 1, entry_times=[clock.now])
+        report = tracker.report()
+        assert report["log_position"] == 1
+        assert report["views"]["V"]["pending"] == 0
+        assert report["views"]["V"]["rounds"] == 1
+        assert report["views"]["V"]["observed_lag"]["count"] == 1
+        assert report["observed_lag"]["type"] == "loghist"
+
+
+def _demo_db() -> Database:
+    db = Database()
+    db.create_table(
+        "parts", ("pid", "price"), ("pid",), nullable=(),
+        types={"pid": "str", "price": "int"},
+    )
+    db.table("parts").load([("P1", 10), ("P2", 20)])
+    return db
+
+
+class TestEngineIntegration:
+    def test_engine_tracks_freshness_across_rounds(self):
+        db = _demo_db()
+        engine = IdIvmEngine(db)
+        engine.define_view(
+            "V", sql_to_plan(db, "SELECT pid, price FROM parts")
+        )
+        assert engine.freshness.staleness("V").fresh
+
+        engine.log.update("parts", ("P1",), {"price": 11})
+        assert engine.freshness.staleness("V").pending == 1
+        engine.maintain()
+        stale = engine.freshness.staleness("V")
+        assert stale.pending == 0
+        assert stale.rounds == 1
+        assert engine.freshness.lag_histogram("V").count == 1
+
+        engine.log.update("parts", ("P2",), {"price": 21})
+        engine.log.update("parts", ("P1",), {"price": 12})
+        engine.maintain()
+        assert engine.freshness.staleness("V").rounds == 2
+        assert engine.freshness.lag_histogram("V").count == 3
+        assert engine.freshness.log_position == 3
+
+    def test_modlog_entries_carry_seq_and_logged_at(self):
+        db = _demo_db()
+        engine = IdIvmEngine(db)
+        engine.define_view(
+            "V", sql_to_plan(db, "SELECT pid, price FROM parts")
+        )
+        engine.log.update("parts", ("P1",), {"price": 11})
+        engine.log.update("parts", ("P2",), {"price": 21})
+        entries = list(engine.log.entries)
+        assert [e.seq for e in entries] == [1, 2]
+        assert all(e.logged_at > 0 for e in entries)

@@ -1,0 +1,189 @@
+"""Log-bucketed histograms: bucketing, percentiles, merges, threading."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.hist import (
+    SUBBUCKETS,
+    ConcurrentLogHistogram,
+    LogHistogram,
+    bucket_bounds,
+    bucket_index,
+)
+
+positive_values = st.one_of(
+    st.integers(min_value=1, max_value=10**9),
+    st.floats(
+        min_value=1e-9, max_value=1e12, allow_nan=False, allow_infinity=False
+    ),
+)
+observations = st.lists(
+    st.one_of(st.just(0), st.just(0.0), positive_values), max_size=80
+)
+
+
+class TestBucketing:
+    def test_bucket_contains_value(self):
+        for value in (1e-6, 0.013, 0.5, 0.9999, 1.0, 1.5, 7.0, 12345.678):
+            lo, hi = bucket_bounds(bucket_index(value))
+            assert lo <= value < hi, (value, lo, hi)
+
+    def test_boundary_values_land_in_upper_bucket(self):
+        # Exact powers of two and exact sub-bucket edges must bucket
+        # deterministically: the lower bound is inclusive.
+        for exponent in range(-8, 9):
+            base = math.ldexp(1.0, exponent)
+            for sub in range(SUBBUCKETS):
+                edge = base * (1 + sub / SUBBUCKETS)
+                lo, hi = bucket_bounds(bucket_index(edge))
+                assert lo == edge, (edge, lo)
+                assert edge < hi
+
+    def test_buckets_tile_the_line(self):
+        # Consecutive indices produce adjacent [lo, hi) ranges.
+        for idx in range(-20, 60):
+            assert bucket_bounds(idx)[1] == bucket_bounds(idx + 1)[0]
+
+    @given(positive_values)
+    def test_relative_error_bound(self, value):
+        lo, hi = bucket_bounds(bucket_index(float(value)))
+        # 4 sub-buckets per octave: upper/lower ratio <= 1 + 1/(SUB+...)
+        assert hi / lo <= 1.0 + 1.0 / SUBBUCKETS + 1e-12
+
+
+class TestLogHistogram:
+    def test_empty(self):
+        hist = LogHistogram("x")
+        assert hist.count == 0
+        assert hist.percentile(50.0) is None
+        assert hist.quantile_summary()["max"] is None
+
+    def test_zero_observations_count(self):
+        hist = LogHistogram("x")
+        hist.observe(0)
+        hist.observe(0.0)
+        hist.observe(4.0)
+        assert hist.count == 3
+        assert hist.zero_count == 2
+        # rank 1 and 2 are the zeros
+        assert hist.percentile(50.0) == 0.0
+
+    @given(observations)
+    def test_percentiles_monotone_and_bounded(self, values):
+        hist = LogHistogram("x")
+        for v in values:
+            hist.observe(v)
+        if not values:
+            assert hist.percentile(95.0) is None
+            return
+        p50, p95, p99 = (hist.percentile(q) for q in (50.0, 95.0, 99.0))
+        assert 0.0 <= p50 <= p95 <= p99 <= float(hist.max)
+        assert p50 >= 0.0
+
+    @given(observations, observations)
+    def test_merge_equals_combined_stream(self, a_vals, b_vals):
+        a = LogHistogram("a")
+        b = LogHistogram("b")
+        combined = LogHistogram("c")
+        for v in a_vals:
+            a.observe(v)
+            combined.observe(v)
+        for v in b_vals:
+            b.observe(v)
+            combined.observe(v)
+        merged = LogHistogram.merged([a, b])
+        assert merged.count == combined.count
+        assert merged.zero_count == combined.zero_count
+        assert merged.buckets == combined.buckets
+        assert merged.min == combined.min
+        assert merged.max == combined.max
+        assert merged.total == pytest.approx(combined.total)
+
+    @given(observations, observations, observations)
+    def test_merge_associative_on_integer_counts(self, a_vals, b_vals, c_vals):
+        def hist(values):
+            h = LogHistogram()
+            for v in values:
+                h.observe(v)
+            return h
+
+        left = LogHistogram.merged(
+            [LogHistogram.merged([hist(a_vals), hist(b_vals)]), hist(c_vals)]
+        )
+        right = LogHistogram.merged(
+            [hist(a_vals), LogHistogram.merged([hist(b_vals), hist(c_vals)])]
+        )
+        assert left.count == right.count
+        assert left.buckets == right.buckets
+        assert left.zero_count == right.zero_count
+        assert left.min == right.min and left.max == right.max
+
+    def test_percentile_within_bucket_error(self):
+        hist = LogHistogram("x")
+        values = [1, 2, 3, 5, 8, 13, 21, 34, 55, 89]
+        for v in values:
+            hist.observe(v)
+        # p50 approximates the true median within one bucket's width.
+        true_median = 8
+        p50 = hist.percentile(50.0)
+        assert p50 >= true_median
+        assert p50 <= true_median * (1 + 1.0 / SUBBUCKETS) + 1e-9
+
+    def test_roundtrip_as_dict(self):
+        hist = LogHistogram("lat", unit="seconds")
+        for v in (0, 0.001, 0.5, 2.5, 2.5, 40):
+            hist.observe(v)
+        data = hist.as_dict()
+        assert data["type"] == "loghist"
+        assert data["unit"] == "seconds"
+        back = LogHistogram.from_dict(data, "lat")
+        assert back.count == hist.count
+        assert back.buckets == hist.buckets
+        assert back.percentile(95.0) == hist.percentile(95.0)
+
+
+class TestConcurrentLogHistogram:
+    def test_single_thread_matches_plain(self):
+        conc = ConcurrentLogHistogram("x", unit="rows")
+        plain = LogHistogram("x", unit="rows")
+        for v in (1, 2, 3, 0, 9.5):
+            conc.observe(v)
+            plain.observe(v)
+        merged = conc.merged()
+        assert merged.count == plain.count
+        assert merged.buckets == plain.buckets
+        assert len(conc.shards()) == 1
+
+    def test_threaded_observations_all_land(self):
+        conc = ConcurrentLogHistogram("x")
+        n_threads, per_thread = 8, 500
+
+        def work(seed: int) -> None:
+            for i in range(per_thread):
+                conc.observe((seed * per_thread + i) % 97 + 1)
+
+        threads = [
+            threading.Thread(target=work, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        merged = conc.merged()
+        assert merged.count == n_threads * per_thread
+        assert len(conc.shards()) == n_threads
+        # merged equals the manual fold of the per-thread shards
+        manual = LogHistogram.merged(conc.shards())
+        assert manual.buckets == merged.buckets
+        assert manual.count == merged.count
+
+    def test_as_dict_reports_shards(self):
+        conc = ConcurrentLogHistogram("x")
+        conc.observe(1)
+        assert conc.as_dict()["shards"] == 1

@@ -237,3 +237,113 @@ class TestTraceFile:
                 assert counts.total == 0, name
                 continue
             assert counts.as_dict() == report.phase_counts[name].as_dict()
+
+
+class TestTraceReconcile:
+    """reconcile_trace + the ``python -m repro.obs.trace`` validator."""
+
+    def _trace_records(self, tmp_path, engine_cls=IdIvmEngine):
+        from repro.obs import load_trace
+
+        recorder = SpanRecorder()
+        _run_round(engine_cls, recorder)
+        path = tmp_path / "round.jsonl"
+        write_trace(recorder, str(path))
+        return path, load_trace(str(path))
+
+    def test_real_round_reconciles(self, tmp_path):
+        from repro.obs import reconcile_trace
+
+        _, records = self._trace_records(tmp_path)
+        assert reconcile_trace(records) == []
+
+    def test_sharded_round_reconciles(self, tmp_path):
+        """Shard workers' phase spans nest below shard spans; the view
+        subtree sum must still match the stamped (merged) counts."""
+        from repro.core import ShardedEngine
+        from repro.obs import reconcile_trace
+
+        _, records = self._trace_records(
+            tmp_path, lambda db: ShardedEngine(db, shards=2)
+        )
+        assert reconcile_trace(records) == []
+
+    def test_detects_corrupted_phase_counts(self, tmp_path):
+        from repro.obs import reconcile_trace
+
+        _, records = self._trace_records(tmp_path)
+        phase_spans = [
+            r
+            for r in records
+            if r.get("kind") == "phase" and (r.get("counts") or {}).get("total")
+        ]
+        assert phase_spans
+        phase_spans[0]["counts"]["tuple_reads"] += 7
+        phase_spans[0]["counts"]["total"] += 7
+        errors = reconcile_trace(records)
+        assert errors
+        assert "does not reconcile" in errors[0]
+
+    def test_detects_phantom_phase(self, tmp_path):
+        from repro.obs import reconcile_trace
+
+        _, records = self._trace_records(tmp_path)
+        view_spans = [r for r in records if r.get("kind") == "view"]
+        assert view_spans
+        del view_spans[0]["attrs"]["phase_counts"]["view_update"]
+        errors = reconcile_trace(records)
+        assert errors
+        assert "stamps no such phase" in errors[0]
+
+    def test_cli_ok_and_summary(self, tmp_path, capsys):
+        from repro.obs.trace import main
+
+        path, _ = self._trace_records(tmp_path)
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "ok (" in out
+
+        assert main([str(path), "--summary"]) == 0
+        out = capsys.readouterr().out
+        assert "p95(ms)" in out
+        assert "phase" in out
+
+    def test_cli_rejects_malformed_trace(self, tmp_path, capsys):
+        from repro.obs.trace import main
+
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "span", "name": 3}\n')
+        assert main([str(bad)]) == 1
+        assert capsys.readouterr().err
+
+    def test_cli_rejects_non_reconciling_trace(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.trace import main
+
+        path, records = self._trace_records(tmp_path)
+        for record in records:
+            if record.get("kind") == "phase" and (record.get("counts") or {}).get(
+                "total"
+            ):
+                record["counts"]["tuple_writes"] += 3
+                record["counts"]["total"] += 3
+                break
+        doctored = tmp_path / "doctored.jsonl"
+        with doctored.open("w") as fh:
+            fh.write(
+                json.dumps(
+                    {
+                        "type": "meta",
+                        "schema": "repro.trace",
+                        "version": 1,
+                        "spans": len(records),
+                    }
+                )
+                + "\n"
+            )
+            for record in records:
+                fh.write(json.dumps(record) + "\n")
+        assert main([str(doctored)]) == 1
+        err = capsys.readouterr().err
+        assert "does not reconcile" in err

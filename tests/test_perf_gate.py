@@ -155,3 +155,75 @@ class TestCommittedBaselines:
             payload = json.loads(path.read_text())
             assert payload["schema"] == "repro.bench", path.name
             assert path.name == f"BENCH_{payload['name']}.json"
+
+
+class TestEnvelopeVolatileKeys:
+    """provenance/metrics blocks never gate; seconds-histograms slack."""
+
+    def test_provenance_and_metrics_are_skipped(self):
+        fresh = _fresh()
+        fresh["provenance"] = {"git_sha": "abc123", "timestamp": "now"}
+        fresh["metrics"] = {"engine.round_seconds": {"type": "loghist"}}
+        assert compare_payloads(PAYLOAD, fresh) == []
+
+    def test_missing_provenance_in_fresh_is_fine_too(self):
+        baseline = _fresh()
+        baseline["provenance"] = {"git_sha": "old"}
+        assert compare_payloads(baseline, _fresh()) == []
+
+    def test_volatile_names_still_gate_below_top_level(self):
+        baseline = _fresh()
+        baseline["data"]["metrics"] = {"x": 1}
+        fresh = _fresh()
+        fresh["data"]["metrics"] = {"x": 2}
+        assert compare_payloads(baseline, fresh)
+
+    @staticmethod
+    def _wall_hist(p95=0.02, count=4):
+        return {
+            "type": "loghist",
+            "unit": "seconds",
+            "count": count,
+            "sum": 0.05,
+            "min": 0.005,
+            "max": 0.03,
+            "mean": 0.0125,
+            "zero_count": 0,
+            "buckets": {"8": 2, "9": 2},
+            "p50": 0.01,
+            "p95": p95,
+            "p99": p95,
+        }
+
+    def test_seconds_histogram_within_slack_passes(self):
+        baseline, fresh = _fresh(), _fresh()
+        baseline["data"]["round_seconds"] = self._wall_hist(p95=0.02)
+        fresh["data"]["round_seconds"] = self._wall_hist(p95=0.04)
+        fresh["data"]["round_seconds"]["buckets"] = {"10": 4}  # moved: ok
+        assert compare_payloads(baseline, fresh, wall_slack=3.0) == []
+
+    def test_seconds_histogram_gross_slowdown_fails(self):
+        baseline, fresh = _fresh(), _fresh()
+        baseline["data"]["round_seconds"] = self._wall_hist(p95=0.2)
+        fresh["data"]["round_seconds"] = self._wall_hist(p95=0.9)
+        violations = compare_payloads(baseline, fresh, wall_slack=3.0)
+        assert violations
+        assert any("p95" in v for v in violations)
+
+    def test_seconds_histogram_count_is_exact(self):
+        # the observation count is a workload fact (rounds run), held
+        # exactly even though the values are wall clock
+        baseline, fresh = _fresh(), _fresh()
+        baseline["data"]["round_seconds"] = self._wall_hist(count=4)
+        fresh["data"]["round_seconds"] = self._wall_hist(count=5)
+        violations = compare_payloads(baseline, fresh)
+        assert any(".count" in v for v in violations)
+
+    def test_rows_histograms_still_compare_exactly(self):
+        baseline, fresh = _fresh(), _fresh()
+        hist = self._wall_hist()
+        hist["unit"] = "rows"
+        baseline["data"]["fold_rows"] = copy.deepcopy(hist)
+        fresh["data"]["fold_rows"] = copy.deepcopy(hist)
+        fresh["data"]["fold_rows"]["buckets"] = {"10": 4}
+        assert compare_payloads(baseline, fresh)

@@ -1,0 +1,190 @@
+"""The /metrics endpoint: exposition rendering, validation, HTTP."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.serve import (
+    build_snapshot,
+    render_prometheus,
+    serve,
+    validate_exposition,
+)
+
+
+class TestRenderPrometheus:
+    def test_counter_gauge_histogram_families(self):
+        reg = metrics.MetricsRegistry()
+        reg.counter("engine.maintain_rounds").inc(3)
+        reg.gauge("some.gauge").set(1.5)
+        reg.histogram("engine.log_entries").observe(10)
+        hist = reg.loghist("engine.round_seconds", unit="seconds")
+        for v in (0.01, 0.02, 0.4):
+            hist.observe(v)
+        text = render_prometheus(reg)
+        assert "# TYPE repro_engine_maintain_rounds counter" in text
+        assert "repro_engine_maintain_rounds 3" in text
+        assert "repro_some_gauge 1.5" in text
+        assert "# TYPE repro_engine_log_entries summary" in text
+        assert "# TYPE repro_engine_round_seconds histogram" in text
+        assert "repro_engine_round_seconds_count 3" in text
+        assert 'le="+Inf"' in text
+        assert validate_exposition(text) == []
+
+    def test_per_view_metrics_become_labels(self):
+        reg = metrics.MetricsRegistry()
+        reg.loghist("view.round_seconds.Q*1", unit="seconds").observe(0.01)
+        reg.loghist("view.round_seconds.Q7", unit="seconds").observe(0.02)
+        reg.gauge("drift.worst_ratio.Q*1").set(0.97)
+        text = render_prometheus(reg)
+        # the star never reaches a metric name; it lives in a label
+        assert 'repro_view_round_seconds_count{view="Q*1"} 1' in text
+        assert 'repro_view_round_seconds_count{view="Q7"} 1' in text
+        assert 'repro_drift_worst_ratio{view="Q*1"} 0.97' in text
+        # one TYPE header for the whole labeled family
+        assert text.count("# TYPE repro_view_round_seconds histogram") == 1
+        assert validate_exposition(text) == []
+
+    def test_unset_gauges_are_skipped(self):
+        reg = metrics.MetricsRegistry()
+        reg.gauge("never.set")
+        text = render_prometheus(reg)
+        assert "never_set" not in text
+
+
+class TestValidateExposition:
+    def test_accepts_well_formed(self):
+        text = (
+            "# TYPE repro_x counter\n"
+            "repro_x 3\n"
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 2\n'
+            'repro_h_bucket{le="+Inf"} 5\n'
+            "repro_h_sum 7.5\n"
+            "repro_h_count 5\n"
+        )
+        assert validate_exposition(text) == []
+
+    def test_rejects_sample_without_type(self):
+        errors = validate_exposition("repro_orphan 1\n")
+        assert any("no TYPE" in e for e in errors)
+
+    def test_rejects_malformed_line(self):
+        errors = validate_exposition("# TYPE repro_x counter\nrepro_x one\n")
+        assert any("malformed sample" in e for e in errors)
+
+    def test_rejects_decreasing_buckets(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 5\n'
+            'repro_h_bucket{le="2"} 3\n'
+            'repro_h_bucket{le="+Inf"} 5\n'
+        )
+        errors = validate_exposition(text)
+        assert any("decreased" in e for e in errors)
+
+    def test_rejects_count_inf_mismatch(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="+Inf"} 5\n'
+            "repro_h_count 4\n"
+        )
+        errors = validate_exposition(text)
+        assert any("_count disagrees" in e for e in errors)
+
+    def test_rejects_duplicate_type(self):
+        text = "# TYPE repro_x counter\n# TYPE repro_x counter\nrepro_x 1\n"
+        errors = validate_exposition(text)
+        assert any("duplicate TYPE" in e for e in errors)
+
+
+@pytest.fixture(scope="module")
+def demo_loop():
+    """Three demo rounds, observed into a registry the tests can hold.
+
+    The autouse ``_scoped_metrics`` fixture gives every *test* a fresh
+    registry, so this module-scoped loop must capture its own and pass
+    it around explicitly.
+    """
+    from repro.obs.live import DemoLoop
+
+    registry = metrics.MetricsRegistry()
+    with metrics.scoped(registry):
+        loop = DemoLoop(shards=2, users=60, updates=12, interval=0.05)
+        loop.run_round()
+        loop.run_round()
+        loop.run_round()
+    loop.registry = registry
+    return loop
+
+
+class TestLiveEngine:
+    def test_metrics_endpoint_live(self, demo_loop):
+        text = render_prometheus(
+            demo_loop.registry, engine=demo_loop.engine
+        )
+        assert validate_exposition(text) == []
+        assert "repro_view_pending_entries" in text
+        assert "repro_view_lag_seconds_bucket" in text
+        assert "repro_drift_ewma" in text
+        assert "repro_modlog_position" in text
+
+    def test_snapshot_document(self, demo_loop):
+        snap = build_snapshot(
+            demo_loop.engine, demo_loop.registry, rounds=demo_loop.rounds_run
+        )
+        json.dumps(snap)  # wire-format must serialize
+        assert snap["schema"] == "repro.obs.snapshot"
+        assert snap["rounds"] == 3
+        assert set(snap["views"]) == set(demo_loop.view_names)
+        for name in demo_loop.view_names:
+            assert snap["freshness"]["views"][name]["pending"] == 0
+            assert "total_cost" in snap["views"][name]
+            assert "parallel" in snap["views"][name]
+
+    def test_http_round_trip(self, demo_loop):
+        server = serve(
+            engine=demo_loop.engine,
+            registry=demo_loop.registry,
+            loop=demo_loop,
+            port=0,
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        port = server.server_address[1]
+        try:
+            def get(path):
+                with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}{path}", timeout=10
+                ) as response:
+                    return response.status, response.read().decode()
+
+            status, text = get("/metrics")
+            assert status == 200
+            assert validate_exposition(text) == []
+
+            status, body = get("/snapshot")
+            assert status == 200
+            snap = json.loads(body)
+            assert snap["schema"] == "repro.obs.snapshot"
+
+            status, body = get("/freshness")
+            assert status == 200
+            assert "views" in json.loads(body)
+
+            status, body = get("/healthz")
+            assert status == 200
+            assert json.loads(body)["ok"] is True
+
+            with pytest.raises(urllib.error.HTTPError) as err:
+                get("/nope")
+            assert err.value.code == 404
+        finally:
+            server.shutdown()
+            server.server_close()

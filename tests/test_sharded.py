@@ -319,3 +319,54 @@ def test_partitioned_database_rejects_bad_shard_count():
         PartitionedDatabase(0)
     with pytest.raises(SchemaError):
         ShardedEngine(Database(), shards=0)
+
+
+# ----------------------------------------------------------------------
+# telemetry: per-shard histograms reconcile exactly with the counters
+# ----------------------------------------------------------------------
+def test_parallel_round_shard_cost_hist_reconciles_exactly():
+    [(_, report)] = _run_devices(
+        lambda db: ShardedEngine(db, shards=4), build_flat_view
+    )
+    assert report.parallel
+    hist = report.shard_cost_hist
+    assert hist is not None
+    assert hist.count == len(report.shard_reports)
+    # per-shard costs are complete integer counters: the merged
+    # histogram's sum equals the round total with NO tolerance.
+    assert hist.total == report.total_cost
+    assert hist.total == sum(r.total_cost for r in report.shard_reports)
+    assert hist.max == report.critical_path()
+
+
+def test_broadcast_round_has_no_shard_cost_hist():
+    [(_, report)] = _run_devices(
+        lambda db: ShardedEngine(db, shards=4), build_aggregate_view
+    )
+    assert not report.parallel
+    assert report.shard_cost_hist is None
+
+
+def test_worker_thread_histograms_merge_to_shard_totals(_scoped_metrics):
+    """``shard.cost`` is observed from worker threads (one per shard);
+    the merged ConcurrentLogHistogram must equal the manual fold of its
+    per-thread shards and reconcile exactly with the round reports."""
+    from repro.obs.hist import LogHistogram
+
+    results = _run_devices(
+        lambda db: ShardedEngine(db, shards=4), build_flat_view, rounds=3
+    )
+    parallel_reports = [rep for _, rep in results if rep.parallel]
+    assert parallel_reports  # the flat view routes parallel every round
+
+    conc = _scoped_metrics.loghist("shard.cost")
+    merged = conc.merged()
+    manual = LogHistogram.merged(conc.shards())
+    assert merged.count == manual.count
+    assert merged.buckets == manual.buckets
+    assert merged.total == manual.total
+    assert merged.zero_count == manual.zero_count
+
+    assert merged.total == sum(r.shard_cost_hist.total for r in parallel_reports)
+    assert merged.count == sum(r.shard_cost_hist.count for r in parallel_reports)
+    assert merged.total == sum(r.total_cost for r in parallel_reports)

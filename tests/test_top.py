@@ -1,0 +1,91 @@
+"""The ``repro top`` dashboard renderer and CLI plumbing."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import metrics
+from repro.obs.serve import build_snapshot
+from repro.obs.top import render_dashboard
+
+
+def _demo_snapshot():
+    from repro.obs.live import DemoLoop
+
+    with metrics.scoped() as registry:
+        loop = DemoLoop(shards=2, users=60, updates=12)
+        loop.run_round()
+        loop.run_round()
+        snapshot = build_snapshot(
+            loop.engine, registry, rounds=loop.rounds_run
+        )
+    # the snapshot must survive a JSON round trip: that is exactly what
+    # the --url mode receives from /snapshot
+    return json.loads(json.dumps(snapshot)), loop
+
+
+class TestRenderDashboard:
+    def test_renders_all_views(self):
+        snapshot, loop = _demo_snapshot()
+        frame = render_dashboard(snapshot)
+        for name in loop.view_names:
+            assert name in frame
+        assert "log position" in frame
+        assert "round latency" in frame
+        assert "shards:" in frame
+        assert "pending" in frame
+
+    def test_shows_round_count_and_position(self):
+        snapshot, _loop = _demo_snapshot()
+        frame = render_dashboard(snapshot)
+        assert "rounds 2" in frame
+        assert f"log position {snapshot['freshness']['log_position']}" in frame
+
+    def test_drift_alerts_section(self):
+        snapshot, _loop = _demo_snapshot()
+        if snapshot["drift"]["alerts"]:
+            frame = render_dashboard(snapshot)
+            assert "COST504 drift alerts" in frame
+
+    def test_handles_empty_snapshot(self):
+        frame = render_dashboard({"schema": "repro.obs.snapshot"})
+        assert "repro top" in frame  # renders headers, no crash
+
+
+class TestCli:
+    def test_repro_top_once(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "top",
+                "--once",
+                "--no-clear",
+                "--users",
+                "50",
+                "--updates",
+                "10",
+                "--views",
+                "Q7",
+                "Q15",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Q7" in out and "Q15" in out
+        assert "repro top" in out
+
+    def test_module_entrypoint_args(self):
+        from repro.obs.top import main as top_main
+
+        code = top_main(
+            ["--once", "--no-clear", "--users", "50", "--updates", "10"]
+        )
+        assert code == 0
+
+    def test_unknown_view_rejected(self):
+        from repro.obs.live import DemoLoop
+        import pytest
+
+        with pytest.raises(ValueError, match="unknown BSMA views"):
+            DemoLoop(views=["nope"])
