@@ -6,10 +6,13 @@ export PYTHONPATH := src
 test:
 	$(PYTHON) -m pytest -x -q
 
-# Equivalence tests at an explicit shard count (the CI matrix leg).
+# Equivalence tests at an explicit shard count and backend set (the CI
+# matrix legs): REPRO_SHARDS=1,4 REPRO_BACKEND=process make test-sharded
 REPRO_SHARDS ?= 1,2,4,8
+REPRO_BACKEND ?= thread,process
 test-sharded:
-	REPRO_SHARDS=$(REPRO_SHARDS) $(PYTHON) -m pytest tests/test_sharded.py -x -q
+	REPRO_SHARDS=$(REPRO_SHARDS) REPRO_BACKEND=$(REPRO_BACKEND) \
+	    $(PYTHON) -m pytest tests/test_sharded.py -x -q
 
 smoke:
 	$(PYTHON) -m repro demo --trace /tmp/repro_trace.jsonl
@@ -39,7 +42,8 @@ PERF_GATE_BENCHES = \
     benchmarks/bench_table3_agg_costs.py \
     benchmarks/bench_speedup_model.py \
     benchmarks/bench_eager_vs_deferred.py \
-    benchmarks/bench_minimization.py
+    benchmarks/bench_minimization.py \
+    benchmarks/bench_parallel_shards.py
 perf-gate:
 	REPRO_PERF_GATE=1 $(PYTHON) -m pytest $(PERF_GATE_BENCHES) --benchmark-disable -q
 

@@ -54,12 +54,19 @@ def run_system(
     """
     db = db_factory()
     engine = make_engine(db)
-    view = engine.define_view(view_name, build_view(db))
-    log_modifications(engine, db)
-    with obs.span(f"system:{label}", kind="system", system=label) as ssp:
-        started = time.perf_counter()
-        reports = engine.maintain()
-        wall = time.perf_counter() - started
+    try:
+        view = engine.define_view(view_name, build_view(db))
+        log_modifications(engine, db)
+        with obs.span(f"system:{label}", kind="system", system=label) as ssp:
+            started = time.perf_counter()
+            reports = engine.maintain()
+            wall = time.perf_counter() - started
+    finally:
+        # Process-backend sharded engines own worker processes; release
+        # them even when the round raises.
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
     report: MaintenanceReport = reports[view_name]
     phase_costs = {
         name: counts.total

@@ -32,6 +32,10 @@ WALL_FLOOR_SECONDS = 0.05
 #: Keys holding machine-dependent timings (slack-gated, not exact).
 _WALL_KEYS = frozenset({"wall_seconds"})
 
+#: Keys describing the machine a payload was produced on, or ratios
+#: derived from wall clocks — incomparable across hosts, never gated.
+_MACHINE_KEYS = frozenset({"effective_cpus", "wall_speedup"})
+
 #: Top-level envelope keys that are volatile by construction — run
 #: provenance (git SHA, timestamp) and the final metrics-registry
 #: snapshot (whose wall-clock histograms and incidental counters change
@@ -97,6 +101,8 @@ def compare_payloads(
         for key in sorted(baseline.keys() | fresh.keys()):
             here = f"{_path}.{key}"
             if _path == "$" and key in _ENVELOPE_VOLATILE:
+                continue
+            if key in _MACHINE_KEYS:
                 continue
             if key not in fresh:
                 violations.append(f"{here}: missing from fresh payload")

@@ -65,10 +65,10 @@ from .workloads import (
 )
 
 
-def _id_engine_factory(shards: int):
-    """The idIVM engine constructor honouring ``--shards N``."""
+def _id_engine_factory(shards: int, backend: str = "thread"):
+    """The idIVM engine constructor honouring ``--shards N --backend B``."""
     if shards > 1:
-        return lambda db: ShardedEngine(db, shards=shards)
+        return lambda db: ShardedEngine(db, shards=shards, backend=backend)
     return IdIvmEngine
 
 
@@ -105,30 +105,38 @@ def demo_database() -> Database:
 def cmd_demo(args: argparse.Namespace) -> int:
     """``repro demo``: the running example end to end."""
     db = demo_database()
-    engine = _id_engine_factory(args.shards)(db)
-    view = engine.define_view(
-        "V_prime",
-        sql_to_plan(
-            db,
-            "SELECT did, SUM(price) AS cost FROM parts NATURAL JOIN "
-            "devices_parts NATURAL JOIN devices WHERE category = 'phone' "
-            "GROUP BY did",
-        ),
-    )
-    print("Initial view:", sorted(view.table.as_set()))
-    print()
-    print(explain_plan(view.plan))
-    print()
-    print(view.describe_script())
-    print()
-    engine.log.update("parts", ("P1",), {"price": 11})
-    report = engine.maintain()["V_prime"]
-    print("After the Figure 2 update (P1: 10 -> 11):", sorted(view.table.as_set()))
-    print(f"maintenance cost: {report.total_cost} accesses")
-    if getattr(report, "parallel", False):
-        print(f"route: parallel across {args.shards} shards (anchor {report.anchor})")
-    elif getattr(report, "broadcast_reason", None):
-        print(f"route: broadcast ({report.broadcast_reason})")
+    engine = _id_engine_factory(args.shards, getattr(args, "backend", "thread"))(db)
+    try:
+        view = engine.define_view(
+            "V_prime",
+            sql_to_plan(
+                db,
+                "SELECT did, SUM(price) AS cost FROM parts NATURAL JOIN "
+                "devices_parts NATURAL JOIN devices WHERE category = 'phone' "
+                "GROUP BY did",
+            ),
+        )
+        print("Initial view:", sorted(view.table.as_set()))
+        print()
+        print(explain_plan(view.plan))
+        print()
+        print(view.describe_script())
+        print()
+        engine.log.update("parts", ("P1",), {"price": 11})
+        report = engine.maintain()["V_prime"]
+        print("After the Figure 2 update (P1: 10 -> 11):", sorted(view.table.as_set()))
+        print(f"maintenance cost: {report.total_cost} accesses")
+        if getattr(report, "parallel", False):
+            print(
+                f"route: parallel across {args.shards} shards "
+                f"(anchor {report.anchor})"
+            )
+        elif getattr(report, "broadcast_reason", None):
+            print(f"route: broadcast ({report.broadcast_reason})")
+    finally:
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
     return 0
 
 
@@ -221,7 +229,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         config = DevicesConfig(**kwargs)
         results: dict[str, SystemResult] = {}
         for label, factory in (
-            ("idIVM", _id_engine_factory(args.shards)),
+            ("idIVM", _id_engine_factory(args.shards, getattr(args, "backend", "thread"))),
             ("tuple", TupleIvmEngine),
         ):
             results[label] = run_system(
@@ -253,14 +261,19 @@ def cmd_bsma(args: argparse.Namespace) -> int:
     for name, build in BSMA_QUERIES.items():
         costs = {}
         for label, factory in (
-            ("id", _id_engine_factory(args.shards)),
+            ("id", _id_engine_factory(args.shards, getattr(args, "backend", "thread"))),
             ("tuple", TupleIvmEngine),
         ):
             db = build_bsma_database(config)
             engine = factory(db)
-            engine.define_view(name, build(db, config))
-            log_user_updates(engine, db, config, args.updates)
-            costs[label] = engine.maintain()[name].total_cost
+            try:
+                engine.define_view(name, build(db, config))
+                log_user_updates(engine, db, config, args.updates)
+                costs[label] = engine.maintain()[name].total_cost
+            finally:
+                close = getattr(engine, "close", None)
+                if close is not None:
+                    close()
         rows.append(
             (name, costs["id"], costs["tuple"], costs["tuple"] / max(costs["id"], 1))
         )
@@ -662,6 +675,14 @@ def build_parser() -> argparse.ArgumentParser:
             type=int,
             default=1,
             help="run the idIVM engine shard-parallel across N workers",
+        )
+        sharded.add_argument(
+            "--backend",
+            choices=("thread", "process"),
+            default="thread",
+            help="shard execution backend: worker threads over the shared "
+            "database, or long-lived worker processes fed i-diffs over a "
+            "compact wire format (default thread)",
         )
     return parser
 

@@ -17,11 +17,25 @@ access counts — routed into per-shard :class:`CounterSet`\\ s by
 :class:`~repro.shard.ShardRoutingCounters` — sum *exactly* to the
 single-shard counts.
 
+Two worker backends share that contract:
+
+* ``backend="thread"`` (default) — workers on a thread pool over the
+  shared tables.  Access counts scale; wall-clock time does not (the
+  GIL serializes the interpreters).
+* ``backend="process"`` — long-lived worker processes, each owning a
+  replica of the database and view caches (:mod:`repro.shard.workers`).
+  Per-round inputs travel in the compact columnar wire format of
+  :mod:`repro.core.wire`; workers return exact counter snapshots plus
+  replayable write-sets that the coordinator merges back, so counts
+  still reconcile exactly while the ∆-scripts execute on separate
+  cores.  Call :meth:`ShardedEngine.close` (or use the engine as a
+  context manager) to shut the workers down.
+
 Thread-safety notes: counted table writes and index builds take the
 table's lock; span-id allocation is locked; per-shard counters are
-thread-private.  Metric counter increments from workers may race (a
-lost increment of a monitoring gauge), which is accepted — access
-counts, the paper's metric, never travel that path.
+thread-private; metric counters and histograms accumulate into
+per-thread cells that fold losslessly on read (no lost increments —
+see :mod:`repro.obs.metrics`).
 """
 
 from __future__ import annotations
@@ -38,11 +52,15 @@ from ..obs import spans as obs
 from ..obs.hist import LogHistogram
 from ..shard.counters import ShardRoutingCounters
 from ..shard.router import RoutePlan, describe_plan, plan_route, split_instances
+from ..shard.workers import ProcessShardPool, build_blueprint, tagged_tables
 from ..storage import CounterSet, Database
+from . import wire
 from .engine import IdIvmEngine, MaintenanceReport, MaterializedView, _reconstruct_pre
 from .ir_exec import IrContext
 from .modlog import populate_instances
 from .script import execute_script
+
+BACKENDS = ("thread", "process")
 
 
 @dataclass
@@ -57,11 +75,17 @@ class ShardedMaintenanceReport(MaintenanceReport):
     parallel: bool = False
     anchor: Optional[str] = None
     broadcast_reason: Optional[str] = None
+    backend: str = "thread"
     shard_reports: list[MaintenanceReport] = field(default_factory=list)
     #: distribution of per-shard total cost for parallel rounds (one
     #: observation per worker); its sum reconciles *exactly* with
     #: :attr:`total_cost` — shard counters are complete, no tolerance.
     shard_cost_hist: Optional[LogHistogram] = None
+    #: distribution of per-worker wall clocks for parallel rounds (one
+    #: observation per worker, seconds).  Durations are measured inside
+    #: each worker (``perf_counter`` deltas), so they are comparable
+    #: across processes — raw monotonic readings never cross the wire.
+    shard_wall_hist: Optional[LogHistogram] = None
 
     def critical_path(self) -> int:
         """The busiest shard's cost — the parallel wall-clock proxy.
@@ -82,17 +106,68 @@ class ShardedEngine(IdIvmEngine):
         db: Database,
         shards: int = 2,
         max_workers: Optional[int] = None,
+        backend: str = "thread",
         **kwargs,
     ):
         if shards < 1:
             raise SchemaError(f"need at least one shard, got {shards}")
+        if backend not in BACKENDS:
+            raise SchemaError(
+                f"unknown shard backend {backend!r}; expected one of {BACKENDS}"
+            )
         self.shards = shards
         self.max_workers = max_workers
+        self.backend = backend
+        #: lazily spawned process pool (``backend="process"`` only): the
+        #: first provably-parallel round pays the spawn + bootstrap cost,
+        #: broadcast-only workloads never do.
+        self._pool: Optional[ProcessShardPool] = None
         # Install the routing counter facade BEFORE the base constructor
         # so every table created from here on (caches, opcaches) counts
         # through it.
         self._router = ShardRoutingCounters.install(db)
         super().__init__(db, **kwargs)
+
+    # ------------------------------------------------------------------
+    # worker-process lifecycle (backend="process")
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the worker processes (no-op for the thread backend
+        or before the first parallel round).  Idempotent."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def define_view(self, name: str, plan) -> MaterializedView:
+        # A new view invalidates the workers' bootstrap blueprint; the
+        # next parallel round respawns them with the full catalog.
+        self.close()
+        return super().define_view(name, plan)
+
+    def _ensure_pool(self, entries) -> ProcessShardPool:
+        """Spawn + bootstrap the workers on the first parallel round.
+
+        The blueprint snapshots the coordinator's *current* state — base
+        tables already at post-state (deferred IVM applies modifications
+        at DML time) and cache tables as of this round's start — so the
+        bootstrap round message passes ``sync=False``.
+        """
+        if self._pool is None or self._pool.closed:
+            pool = ProcessShardPool(self.shards)
+            try:
+                pool.boot(build_blueprint(self.db, self.views))
+                pool.begin_round(wire.encode_log_batch(entries), sync=False)
+            except BaseException:
+                pool.close()
+                raise
+            self._pool = pool
+        return self._pool
 
     # ------------------------------------------------------------------
     def maintain(self, name: Optional[str] = None) -> dict[str, MaintenanceReport]:
@@ -104,6 +179,10 @@ class ShardedEngine(IdIvmEngine):
         round_started = time.perf_counter()
         metrics.counter("engine.maintain_rounds").inc()
         metrics.histogram("engine.log_entries").observe(len(entries))
+        if self._pool is not None and not self._pool.closed:
+            # Workers already ran earlier rounds: bring their base-table
+            # replicas to this round's post-state before anything else.
+            self._pool.begin_round(wire.encode_log_batch(entries), sync=True)
         with obs.span(
             "maintain",
             kind="engine",
@@ -131,26 +210,43 @@ class ShardedEngine(IdIvmEngine):
                     plan = plan_route(
                         view.generated.script, instances, self.db, self.shards
                     )
-                    if plan.parallel:
+                    if plan.parallel and self.backend == "process":
+                        metrics.counter("shard.rounds_parallel").inc()
+                        report = self._maintain_parallel_process(
+                            view, view_name, instances, entries, plan
+                        )
+                    elif plan.parallel:
                         metrics.counter("shard.rounds_parallel").inc()
                         report = self._maintain_parallel(
                             view, view_name, instances, db_pre, entries, plan
                         )
                     else:
                         metrics.counter("shard.rounds_broadcast").inc()
-                        report = self._maintain_broadcast(
+                        report = self._maintain_broadcast_synced(
                             view, view_name, instances, db_pre, entries, plan
                         )
                     reports[view_name] = report
-                    vsp.set(
-                        total_cost=report.total_cost,
-                        route=describe_plan(plan),
-                        phase_counts={
-                            phase: counts.as_dict()
-                            for phase, counts in report.phase_counts.items()
-                            if phase != "__total__"
-                        },
-                    )
+                    stamped_phases = {
+                        phase: counts.as_dict()
+                        for phase, counts in report.phase_counts.items()
+                        if phase != "__total__"
+                    }
+                    if report.parallel and report.backend == "process":
+                        # The counted work ran in worker processes, so no
+                        # phase spans exist in this trace to reconcile
+                        # against; stamp the merged counts under a
+                        # different key so the validator stays honest.
+                        vsp.set(
+                            total_cost=report.total_cost,
+                            route=describe_plan(plan),
+                            phase_counts_remote=stamped_phases,
+                        )
+                    else:
+                        vsp.set(
+                            total_cost=report.total_cost,
+                            route=describe_plan(plan),
+                            phase_counts=stamped_phases,
+                        )
                 metrics.histogram("engine.round_cost").observe(report.total_cost)
                 metrics.loghist(
                     f"view.round_seconds.{view_name}", unit="seconds"
@@ -186,7 +282,8 @@ class ShardedEngine(IdIvmEngine):
         execute_script(view.generated.script, ctx, counters)
         after = counters.snapshot()
         report = ShardedMaintenanceReport(
-            view_name, parallel=False, broadcast_reason=plan.reason
+            view_name, parallel=False, broadcast_reason=plan.reason,
+            backend=self.backend,
         )
         for phase, counts in after.items():
             prior = before.get(phase)
@@ -194,6 +291,122 @@ class ShardedEngine(IdIvmEngine):
                 counts - prior if prior is not None else counts
             )
         report.diff_sizes = {k: len(v) for k, v in ctx.diffs.items()}
+        if view.cost_model is not None:
+            report.predicted_counts = view.cost_model.predict_from_diff_sizes(
+                report.diff_sizes
+            )
+        return report
+
+    def _maintain_broadcast_synced(
+        self,
+        view: MaterializedView,
+        view_name: str,
+        instances,
+        db_pre: Database,
+        entries,
+        plan: RoutePlan,
+    ) -> ShardedMaintenanceReport:
+        """Broadcast, shipping the write-set to live worker replicas.
+
+        Without a process pool this is plain :meth:`_maintain_broadcast`.
+        With one, the coordinator's writes are captured and replayed on
+        every worker so their view/cache replicas stay current for the
+        next parallel round.
+        """
+        pool = self._pool
+        if pool is None or pool.closed:
+            return self._maintain_broadcast(
+                view, view_name, instances, db_pre, entries, plan
+            )
+        tables = list(tagged_tables(view.caches, view.operator_caches))
+        sinks = {tag: table.begin_capture() for tag, table in tables}
+        try:
+            report = self._maintain_broadcast(
+                view, view_name, instances, db_pre, entries, plan
+            )
+        finally:
+            for _, table in tables:
+                table.end_capture()
+        writes = {tag: ops for tag, ops in sinks.items() if ops}
+        if writes:
+            pool.apply_writes(view_name, wire.encode_writeset(writes))
+        return report
+
+    def _maintain_parallel_process(
+        self,
+        view: MaterializedView,
+        view_name: str,
+        instances,
+        entries,
+        plan: RoutePlan,
+    ) -> ShardedMaintenanceReport:
+        """Split instance rows by anchor key; one worker *process* per
+        shard (see :mod:`repro.shard.workers` for the protocol).
+
+        The merge below is deliberately identical to the thread path's:
+        per-shard counter sets (decoded exactly from the wire) sum into
+        the report phase by phase and fold into the database totals, so
+        both backends reconcile against the same single-shard counts.
+        """
+        router = self._router
+        n = self.shards
+        pool = self._ensure_pool(entries)
+        shard_instances = split_instances(plan, instances, n)
+        instance_docs = [wire.encode_instances(shard_instances[i]) for i in range(n)]
+        apply_seconds = metrics.loghist("shard.apply_seconds", unit="seconds")
+        shard_cost = metrics.loghist("shard.cost", unit="accesses")
+
+        results = pool.exec_view(view_name, instance_docs)
+
+        report = ShardedMaintenanceReport(
+            view_name, parallel=True, anchor=plan.anchor, backend="process"
+        )
+        report.shard_cost_hist = LogHistogram("shard.round_cost", unit="accesses")
+        report.shard_wall_hist = LogHistogram("shard.round_seconds", unit="seconds")
+        merged_sizes: dict[str, int] = {}
+        merged_writes: dict[str, list[tuple]] = {}
+        for i, result in enumerate(results):
+            sc = wire.decode_counters(result["counters"])
+            seconds = result["seconds"]
+            with obs.span(
+                f"shard:{i}", kind="shard",
+                shard=i, view=view_name, anchor=plan.anchor,
+                worker_seconds=seconds, cost=sc.total.total,
+            ):
+                pass  # bookkeeping span: the work ran in the worker
+            report.shard_cost_hist.observe(sc.total.total)
+            report.shard_wall_hist.observe(seconds)
+            apply_seconds.observe(seconds)
+            shard_cost.observe(sc.total.total)
+            snapshot = sc.snapshot()
+            shard_report = MaintenanceReport(f"{view_name}@shard{i}")
+            shard_report.phase_counts = snapshot
+            shard_report.diff_sizes = dict(result["diff_sizes"])
+            report.shard_reports.append(shard_report)
+            for phase, counts in snapshot.items():
+                bucket = report.phase_counts.get(phase)
+                if bucket is None:
+                    report.phase_counts[phase] = counts.copy()
+                else:
+                    bucket.add(counts)
+            for k, v in shard_report.diff_sizes.items():
+                merged_sizes[k] = merged_sizes.get(k, 0) + v
+            for tag, ops in wire.decode_writeset(result["writes"]).items():
+                merged_writes.setdefault(tag, []).extend(ops)
+            # Keep the database-wide totals truthful, exactly like the
+            # thread backend.
+            ShardRoutingCounters.fold(router.base, sc)
+        # The counted writes happened on the worker replicas; replay them
+        # (uncounted — the cost is already in the folded counters) onto
+        # the coordinator's authoritative tables, then onto every worker
+        # so all replicas converge.  Replay is idempotent, so the merged
+        # set going back to its originating shard is safe.
+        coordinator_tables = dict(tagged_tables(view.caches, view.operator_caches))
+        for tag, ops in merged_writes.items():
+            coordinator_tables[tag].replay_writes(ops)
+        if merged_writes:
+            pool.apply_writes(view_name, wire.encode_writeset(merged_writes))
+        report.diff_sizes = merged_sizes
         if view.cost_model is not None:
             report.predicted_counts = view.cost_model.predict_from_diff_sizes(
                 report.diff_sizes
@@ -225,6 +438,8 @@ class ShardedEngine(IdIvmEngine):
         apply_seconds = metrics.loghist("shard.apply_seconds", unit="seconds")
         shard_cost = metrics.loghist("shard.cost", unit="accesses")
 
+        shard_seconds = [0.0] * n
+
         def run_shard(i: int) -> None:
             sc = shard_counters[i]
             started = time.perf_counter()
@@ -234,7 +449,8 @@ class ShardedEngine(IdIvmEngine):
                     shard=i, view=view_name, anchor=plan.anchor,
                 ):
                     execute_script(script, contexts[i], sc)
-            apply_seconds.observe(time.perf_counter() - started)
+            shard_seconds[i] = time.perf_counter() - started
+            apply_seconds.observe(shard_seconds[i])
             shard_cost.observe(sc.total.total)
 
         workers = min(self.max_workers or n, n)
@@ -249,12 +465,14 @@ class ShardedEngine(IdIvmEngine):
                 future.result()
 
         report = ShardedMaintenanceReport(
-            view_name, parallel=True, anchor=plan.anchor
+            view_name, parallel=True, anchor=plan.anchor, backend="thread"
         )
         report.shard_cost_hist = LogHistogram("shard.round_cost", unit="accesses")
+        report.shard_wall_hist = LogHistogram("shard.round_seconds", unit="seconds")
         merged_sizes: dict[str, int] = {}
         for i, sc in enumerate(shard_counters):
             report.shard_cost_hist.observe(sc.total.total)
+            report.shard_wall_hist.observe(shard_seconds[i])
             snapshot = sc.snapshot()
             shard_report = MaintenanceReport(f"{view_name}@shard{i}")
             shard_report.phase_counts = snapshot

@@ -74,3 +74,13 @@ class StaticAnalysisError(ReproError):
     :class:`~repro.core.engine.IdIvmEngine`) when constructed with
     ``strict=True`` and the generated ∆-script fails verification.
     """
+
+
+class WireError(ReproError):
+    """A value could not be encoded for (or decoded from) the compact
+    cross-process wire format of :mod:`repro.core.wire`.
+
+    Raised when a batch contains a non-primitive value (anything other
+    than ``None``/``bool``/``int``/``float``/``str``) or a malformed
+    wire document.
+    """

@@ -47,6 +47,15 @@ class Expr:
 
     __slots__ = ()
 
+    # -- pickling ------------------------------------------------------
+    def __setstate__(self, state) -> None:
+        # Subclasses guard __setattr__ to enforce immutability, which
+        # would also block pickle's slot-state restoration (plans travel
+        # to shard worker processes).  Restore through object.__setattr__.
+        _, slots = state if isinstance(state, tuple) else (None, state)
+        for name, value in (slots or {}).items():
+            object.__setattr__(self, name, value)
+
     # -- arithmetic ----------------------------------------------------
     def __add__(self, other: "Expr | object") -> "Arith":
         return Arith("+", self, _wrap(other))

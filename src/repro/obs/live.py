@@ -18,6 +18,7 @@ engine's concurrency contract; shard parallelism happens *inside*
 from __future__ import annotations
 
 import threading
+import traceback
 from typing import Optional, Sequence
 
 from ..core import IdIvmEngine, ShardedEngine
@@ -40,6 +41,7 @@ class DemoLoop:
         updates: int = 24,
         interval: float = 0.5,
         views: Optional[Sequence[str]] = None,
+        backend: str = "thread",
     ):
         self.config = BsmaConfig(
             n_users=users,
@@ -56,12 +58,15 @@ class DemoLoop:
             )
         self.db = build_bsma_database(self.config)
         if shards > 1:
-            self.engine: IdIvmEngine = ShardedEngine(self.db, shards=shards)
+            self.engine: IdIvmEngine = ShardedEngine(
+                self.db, shards=shards, backend=backend
+            )
         else:
             self.engine = IdIvmEngine(self.db)
         for name in self.view_names:
             self.engine.define_view(name, BSMA_QUERIES[name](self.db, self.config))
         self.rounds_run = 0
+        self.last_error: Optional[str] = None
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
 
@@ -82,7 +87,14 @@ class DemoLoop:
 
         def loop() -> None:
             while not self._stop.is_set():
-                self.run_round()
+                try:
+                    self.run_round()
+                except Exception:
+                    # A dead loop must be *visible*: record the failure so
+                    # /healthz can report unhealthy instead of silently
+                    # serving ever-staler metrics.
+                    self.last_error = traceback.format_exc()
+                    return
                 self._stop.wait(self.interval)
 
         self._thread = threading.Thread(
@@ -90,8 +102,25 @@ class DemoLoop:
         )
         self._thread.start()
 
+    @property
+    def healthy(self) -> bool:
+        """False once the loop thread has died (crash or silent exit).
+
+        A loop that was never started, or that was deliberately stopped,
+        is still healthy; only an *unrequested* death is a failure.
+        """
+        if self.last_error is not None:
+            return False
+        if self._thread is None or self._stop.is_set():
+            return True
+        return self._thread.is_alive()
+
     def stop(self, timeout: float = 10.0) -> None:
+        """Signal the loop, join it (bounded), and release engine workers."""
         self._stop.set()
         if self._thread is not None:
             self._thread.join(timeout=timeout)
             self._thread = None
+        close = getattr(self.engine, "close", None)
+        if close is not None:
+            close()

@@ -23,17 +23,49 @@ from .hist import ConcurrentLogHistogram
 Number = Union[int, float]
 
 
-class Counter:
-    """A monotonically increasing count."""
+class _CounterCell:
+    """Per-thread accumulator for :class:`Counter`."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Number = 0
+
+
+class Counter:
+    """A monotonically increasing count.
+
+    Increments land in a per-thread cell (registered once under a lock,
+    like :class:`~repro.obs.hist.ConcurrentLogHistogram` shards), so
+    shard workers incrementing the same counter never lose an update to
+    the classic read-modify-write race.  Reads fold the cells.
+    """
+
+    __slots__ = ("name", "_local", "_cells", "_lock")
 
     def __init__(self, name: str):
         self.name = name
-        self.value: Number = 0
+        self._local = threading.local()
+        self._cells: list[_CounterCell] = []
+        self._lock = threading.Lock()
+
+    def _cell(self) -> _CounterCell:
+        cell = getattr(self._local, "cell", None)
+        if cell is None:
+            cell = _CounterCell()
+            with self._lock:
+                self._cells.append(cell)
+            self._local.cell = cell
+        return cell
 
     def inc(self, n: Number = 1) -> None:
-        self.value += n
+        self._cell().value += n
+
+    @property
+    def value(self) -> Number:
+        with self._lock:
+            cells = list(self._cells)
+        return sum(cell.value for cell in cells)
 
     def as_dict(self) -> dict[str, Any]:
         return {"type": "counter", "value": self.value}
@@ -61,38 +93,95 @@ class Gauge:
         return f"Gauge({self.name!r}, {self.value})"
 
 
-class Histogram:
-    """Streaming summary of observed values (count/sum/min/max/mean)."""
+class _HistogramCell:
+    """Per-thread accumulator for :class:`Histogram`."""
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("count", "total", "min", "max")
 
-    def __init__(self, name: str):
-        self.name = name
+    def __init__(self) -> None:
         self.count = 0
         self.total: Number = 0
         self.min: Optional[Number] = None
         self.max: Optional[Number] = None
 
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max/mean).
+
+    Observations land in per-thread cells that fold losslessly on read,
+    mirroring :class:`Counter`: count and sum are exact no matter how
+    many shard workers observe concurrently.
+    """
+
+    __slots__ = ("name", "_local", "_cells", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._local = threading.local()
+        self._cells: list[_HistogramCell] = []
+        self._lock = threading.Lock()
+
+    def _cell(self) -> _HistogramCell:
+        cell = getattr(self._local, "cell", None)
+        if cell is None:
+            cell = _HistogramCell()
+            with self._lock:
+                self._cells.append(cell)
+            self._local.cell = cell
+        return cell
+
     def observe(self, value: Number) -> None:
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
+        cell = self._cell()
+        cell.count += 1
+        cell.total += value
+        if cell.min is None or value < cell.min:
+            cell.min = value
+        if cell.max is None or value > cell.max:
+            cell.max = value
+
+    def _folded(self) -> _HistogramCell:
+        with self._lock:
+            cells = list(self._cells)
+        out = _HistogramCell()
+        for cell in cells:
+            out.count += cell.count
+            out.total += cell.total
+            if cell.min is not None and (out.min is None or cell.min < out.min):
+                out.min = cell.min
+            if cell.max is not None and (out.max is None or cell.max > out.max):
+                out.max = cell.max
+        return out
+
+    @property
+    def count(self) -> int:
+        return self._folded().count
+
+    @property
+    def total(self) -> Number:
+        return self._folded().total
+
+    @property
+    def min(self) -> Optional[Number]:
+        return self._folded().min
+
+    @property
+    def max(self) -> Optional[Number]:
+        return self._folded().max
 
     @property
     def mean(self) -> Optional[float]:
-        return self.total / self.count if self.count else None
+        folded = self._folded()
+        return folded.total / folded.count if folded.count else None
 
     def as_dict(self) -> dict[str, Any]:
+        folded = self._folded()
         return {
             "type": "histogram",
-            "count": self.count,
-            "sum": self.total,
-            "min": self.min,
-            "max": self.max,
-            "mean": self.mean,
+            "count": folded.count,
+            "sum": folded.total,
+            "min": folded.min,
+            "max": folded.max,
+            "mean": (folded.total / folded.count) if folded.count else None,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - display helper
@@ -107,9 +196,10 @@ class MetricsRegistry:
 
     Metric *creation* is locked so shard workers racing on first use of
     a name cannot strand each other's metric object (after which the
-    loser's observations would silently vanish).  Increments themselves
-    are not locked — a raced monitoring increment is accepted, as
-    documented in :mod:`repro.core.sharded`.
+    loser's observations would silently vanish).  Increments and
+    observations are lossless too: :class:`Counter` and
+    :class:`Histogram` accumulate into per-thread cells that fold on
+    read, so concurrent shard workers never drop an update.
     """
 
     def __init__(self) -> None:
@@ -168,6 +258,7 @@ class MetricsRegistry:
 
 _default = MetricsRegistry()
 _current = _default
+_swap_lock = threading.Lock()
 
 
 def registry() -> MetricsRegistry:
@@ -187,32 +278,42 @@ def scoped(reg: Optional[MetricsRegistry] = None) -> Iterator[MetricsRegistry]:
     gives it a fresh registry and restores the previous one on exit —
     including on exceptions, and correctly under nesting.
 
-    Not thread-safe by design: the swap is process-global, matching the
-    registry itself.  Concurrent *observers* inside the block are fine;
-    concurrent *scopes* are not a supported shape.
+    The swap itself is guarded by a module lock, and every module-level
+    helper snapshots the registry reference exactly once per operation,
+    so a concurrent observer (a ``DemoLoop`` daemon thread, a ``serve``
+    handler thread) always lands its whole operation in *one* registry
+    — the old one or the new one, never a half-swapped mix.  Concurrent
+    *scopes* remain unsupported: the swap is process-global, matching
+    the registry itself.
     """
     global _current
     if reg is None:
         reg = MetricsRegistry()
-    previous = _current
-    _current = reg
+    with _swap_lock:
+        previous = _current
+        _current = reg
     try:
         yield reg
     finally:
-        _current = previous
+        with _swap_lock:
+            _current = previous
 
 
 def counter(name: str) -> Counter:
-    return _current.counter(name)
+    reg = _current  # single snapshot: atomic with respect to scoped()
+    return reg.counter(name)
 
 
 def gauge(name: str) -> Gauge:
-    return _current.gauge(name)
+    reg = _current
+    return reg.gauge(name)
 
 
 def histogram(name: str) -> Histogram:
-    return _current.histogram(name)
+    reg = _current
+    return reg.histogram(name)
 
 
 def loghist(name: str, unit: str = "") -> ConcurrentLogHistogram:
-    return _current.loghist(name, unit)
+    reg = _current
+    return reg.loghist(name, unit)

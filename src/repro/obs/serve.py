@@ -15,7 +15,9 @@ exposing:
   report, drift monitor state and per-view last-round reports; this is
   the wire format ``repro top --url`` consumes.
 * ``/freshness`` — just the freshness report (the CI smoke artifact).
-* ``/healthz``   — liveness (also reports rounds completed so far).
+* ``/healthz``   — liveness (also reports rounds completed so far);
+  returns 503 with ``{"ok": false, "error": ...}`` once the demo loop's
+  background thread has died.
 
 Everything here is stdlib-only; :func:`validate_exposition` is a small
 self-check used by tests and the CI smoke job so we never publish an
@@ -353,8 +355,12 @@ class MetricsHandler(BaseHTTPRequestHandler):
                             "application/json")
         elif path == "/healthz":
             rounds = self.loop.rounds_run if self.loop is not None else None
-            self._reply(json.dumps({"ok": True, "rounds": rounds}),
-                        "application/json")
+            healthy = self.loop.healthy if self.loop is not None else True
+            doc: dict[str, Any] = {"ok": healthy, "rounds": rounds}
+            if not healthy:
+                doc["error"] = self.loop.last_error or "loop thread died"
+            self._reply(json.dumps(doc), "application/json",
+                        status=200 if healthy else 503)
         else:
             self._reply("not found\n", "text/plain", status=404)
 
@@ -395,6 +401,9 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--port", type=int, default=9301)
     parser.add_argument("--shards", type=int, default=2,
                         help="engine shards for the demo loop (default 2)")
+    parser.add_argument("--backend", choices=("thread", "process"),
+                        default="thread",
+                        help="shard execution backend (default thread)")
     parser.add_argument("--users", type=int, default=120,
                         help="BSMA users in the demo database")
     parser.add_argument("--updates", type=int, default=24,
@@ -413,6 +422,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         updates=args.updates,
         interval=args.interval,
         views=args.views,
+        backend=args.backend,
     )
     loop.run_round()  # have data before the first scrape
     loop.start()

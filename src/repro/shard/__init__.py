@@ -16,11 +16,15 @@ See ``docs/SHARDING.md`` for the locality argument.
 
 from .counters import ShardRoutingCounters
 from .router import RoutePlan, plan_route, split_instances
+from .workers import ProcessShardPool, WorkerError, build_blueprint
 from ..storage.partition import shard_of
 
 __all__ = [
+    "ProcessShardPool",
     "RoutePlan",
     "ShardRoutingCounters",
+    "WorkerError",
+    "build_blueprint",
     "plan_route",
     "shard_of",
     "split_instances",

@@ -14,6 +14,13 @@ Because the delegation happens at the attribute level, every inherited
 works unchanged against the active target; single-threaded code paths
 (including the plain :class:`~repro.core.IdIvmEngine` run over the same
 database) behave exactly as before.
+
+The process backend reuses the same facade on both sides of the wire:
+each worker process installs its own ``ShardRoutingCounters`` over its
+replica database and activates a fresh per-round ``CounterSet`` while
+executing a ∆-script, and the coordinator :meth:`fold`\\ s the returned
+snapshot into its base counters — so database grand totals agree with
+the thread backend increment for increment.
 """
 
 from __future__ import annotations

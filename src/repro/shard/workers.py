@@ -1,0 +1,365 @@
+"""Long-lived shard worker processes for :class:`ShardedEngine`.
+
+The thread backend in :mod:`repro.core.sharded` proves the paper's
+cost-scaling claim but cannot show *wall-clock* scaling under the GIL:
+its workers interpret Python concurrently on one core.  This module
+supplies the process backend: each shard owns a long-lived worker
+process (spawned once per engine, reused across rounds) holding a full
+**replica** of the database and every view's cache tables.
+
+Round protocol (all per-round payloads use :mod:`repro.core.wire` —
+columnar, interned, primitive-only; the one-time bootstrap blueprint
+travels as a pickle over the pipe, which is fine for a single message):
+
+1. ``("boot", blueprint)`` — build the replica: base tables, foreign
+   keys, each view's :class:`GeneratedPlan` plus cache/op-cache tables,
+   with :class:`~repro.shard.counters.ShardRoutingCounters` installed so
+   counted accesses route per activation exactly like the thread
+   backend.
+2. ``("round", log_batch, sync)`` — receive the round's modification
+   log.  When *sync* is true the entries are applied (uncounted) to the
+   replica's base tables first — a worker that was just booted already
+   has them baked into its blueprint, so its first round passes
+   ``sync=False``.  The worker then rebuilds its pre-state database,
+   mirroring the coordinator's ``_reconstruct_pre``.
+3. ``("exec", view, instances)`` — run the view's full ∆-script over
+   this shard's i-diff rows in a private ``IrContext``, counting into a
+   fresh :class:`CounterSet` under router activation, with write-set
+   capture armed on the view's tables.  Replies with the exact counter
+   snapshot, the captured write-set, per-instance diff sizes and the
+   wall-clock duration (a ``perf_counter`` *delta* — never a raw
+   monotonic reading, which would not be comparable across processes).
+4. ``("apply", view, writeset)`` — replay a (merged) write-set onto the
+   replica's view tables, uncounted and idempotently; this is how every
+   worker learns the other shards' writes and how broadcast rounds
+   executed on the coordinator reach the replicas.
+5. ``("close",)`` — exit the loop.
+
+Exactness: the router only parallelizes rounds whose counted reads and
+writes are anchor-local, so during ``exec`` each replica's visible state
+restricted to this shard's rows is identical to the shared database of
+the thread backend — every counted access (including auto-index builds,
+whose creations are captured and replayed so index sets never drift)
+costs the same, and the per-shard counter sets merge exactly to the
+single-shard counts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from typing import Iterator, Mapping, Optional, Sequence
+
+from ..core import wire
+from ..storage import CounterSet, Database, Table
+from .counters import ShardRoutingCounters
+
+#: Join grace before terminating a worker at close().
+_CLOSE_TIMEOUT = 5.0
+
+
+# ----------------------------------------------------------------------
+# table tags: a stable name for every writable table of a view, shared
+# by coordinator and workers (write-sets are keyed by tag)
+# ----------------------------------------------------------------------
+def tagged_tables(
+    caches: Mapping[int, Table], operator_caches: Mapping[int, Table]
+) -> Iterator[tuple[str, Table]]:
+    """(tag, table) for every table a view's ∆-script may write: the
+    caches (including the view table at the plan root) and the hidden
+    aggregate book-keeping tables."""
+    for node_id in sorted(caches):
+        yield f"c{node_id}", caches[node_id]
+    for node_id in sorted(operator_caches):
+        yield f"o{node_id}", operator_caches[node_id]
+
+
+# ----------------------------------------------------------------------
+# bootstrap blueprint (coordinator side)
+# ----------------------------------------------------------------------
+def _table_payload(table: Table) -> tuple:
+    """(schema, rows, index column tuples) — enough to rebuild exactly."""
+    return (
+        table.schema,
+        table.rows_uncounted(),
+        table.index_columns(),
+    )
+
+
+def _restore_table(payload: tuple, counters, auto_index: bool) -> Table:
+    schema, rows, indexes = payload
+    table = Table(schema, counters=counters, auto_index=auto_index)
+    table.load(rows)
+    for columns in indexes:
+        table.create_index(columns)
+    return table
+
+
+def build_blueprint(db: Database, views: Mapping[str, object]) -> dict:
+    """Snapshot the engine's state for worker bootstrap.
+
+    Taken lazily at first parallel round, so it reflects the current
+    post-state base tables and the views' current (stale-for-this-round)
+    cache contents — exactly what the coordinator itself sees.
+    """
+    return {
+        "auto_index": db.auto_index,
+        "tables": [_table_payload(t) for _, t in sorted(db.tables.items())],
+        "foreign_keys": [
+            (fk.child_table, tuple(fk.child_columns), fk.parent_table)
+            for fk in db.foreign_keys
+        ],
+        "views": [
+            {
+                "name": name,
+                "generated": view.generated,
+                "caches": [
+                    (node_id, _table_payload(table))
+                    for node_id, table in sorted(view.caches.items())
+                ],
+                "opcaches": [
+                    (node_id, _table_payload(table))
+                    for node_id, table in sorted(view.operator_caches.items())
+                ],
+            }
+            for name, view in sorted(views.items())
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+class _WorkerView:
+    """A view replica: the generated plan plus its writable tables."""
+
+    __slots__ = ("generated", "caches", "operator_caches")
+
+    def __init__(self, generated, caches, operator_caches):
+        self.generated = generated
+        self.caches = caches
+        self.operator_caches = operator_caches
+
+    def table_by_tag(self, tag: str) -> Table:
+        node_id = int(tag[1:])
+        if tag.startswith("c"):
+            return self.caches[node_id]
+        return self.operator_caches[node_id]
+
+
+class _WorkerState:
+    """Everything one worker process holds between messages."""
+
+    def __init__(self, blueprint: dict):
+        db = Database(auto_index=blueprint["auto_index"])
+        for payload in blueprint["tables"]:
+            table = _restore_table(payload, db.counters, db.auto_index)
+            db.tables[table.schema.name] = table
+        for child_table, child_columns, parent_table in blueprint["foreign_keys"]:
+            db.add_foreign_key(child_table, child_columns, parent_table)
+        self.router = ShardRoutingCounters.install(db)
+        self.db = db
+        self.views: dict[str, _WorkerView] = {}
+        for entry in blueprint["views"]:
+            caches = {
+                node_id: _restore_table(payload, db.counters, db.auto_index)
+                for node_id, payload in entry["caches"]
+            }
+            opcaches = {
+                node_id: _restore_table(payload, db.counters, db.auto_index)
+                for node_id, payload in entry["opcaches"]
+            }
+            self.views[entry["name"]] = _WorkerView(
+                entry["generated"], caches, opcaches
+            )
+        self.db_pre: Optional[Database] = None
+        self.modified_tables: set[str] = set()
+
+    # ------------------------------------------------------------------
+    def begin_round(self, log_doc: Mapping, sync: bool) -> None:
+        from ..core.diffs import DELETE, INSERT
+        from ..core.engine import _reconstruct_pre
+
+        entries = wire.decode_log_batch(log_doc)
+        if sync:
+            for entry in entries:
+                table = self.db.table(entry.table)
+                if entry.kind == INSERT:
+                    table.insert_uncounted(entry.row)
+                elif entry.kind == DELETE:
+                    table.delete_uncounted(entry.key)
+                else:  # update: forward-apply the changed attributes
+                    table.update_uncounted(entry.key, entry.changes)
+        self.db_pre = _reconstruct_pre(self.db, entries)
+        self.modified_tables = {entry.table for entry in entries}
+
+    def execute(self, view_name: str, instances_doc: Mapping) -> dict:
+        from ..core.ir_exec import IrContext
+        from ..core.script import execute_script
+
+        view = self.views[view_name]
+        instances = wire.decode_instances(instances_doc)
+        ctx = IrContext(self.db_pre, self.db, diffs=instances, caches=view.caches)
+        ctx.operator_caches = view.operator_caches
+        ctx.unchanged_tables = set(self.db.table_names()) - self.modified_tables
+        counters = CounterSet()
+        tables = list(tagged_tables(view.caches, view.operator_caches))
+        sinks = {tag: table.begin_capture() for tag, table in tables}
+        started = time.perf_counter()
+        try:
+            with self.router.activate(counters):
+                execute_script(view.generated.script, ctx, counters)
+        finally:
+            for _, table in tables:
+                table.end_capture()
+        seconds = time.perf_counter() - started
+        return {
+            "counters": wire.encode_counters(counters),
+            "writes": wire.encode_writeset(
+                {tag: ops for tag, ops in sinks.items() if ops}
+            ),
+            "diff_sizes": {k: len(v) for k, v in ctx.diffs.items()},
+            "seconds": seconds,
+        }
+
+    def apply_writes(self, view_name: str, writeset_doc: Mapping) -> None:
+        view = self.views[view_name]
+        for tag, ops in wire.decode_writeset(writeset_doc).items():
+            view.table_by_tag(tag).replay_writes(ops)
+
+
+def worker_main(conn) -> None:
+    """Entry point of a shard worker process (module-level: the spawn
+    start method imports this module fresh in the child)."""
+    state: Optional[_WorkerState] = None
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            try:
+                kind = msg[0]
+                if kind == "boot":
+                    state = _WorkerState(msg[1])
+                    conn.send(("ok", None))
+                elif kind == "round":
+                    state.begin_round(msg[1], msg[2])
+                    conn.send(("ok", None))
+                elif kind == "exec":
+                    conn.send(("ok", state.execute(msg[1], msg[2])))
+                elif kind == "apply":
+                    state.apply_writes(msg[1], msg[2])
+                    conn.send(("ok", None))
+                elif kind == "close":
+                    conn.send(("ok", None))
+                    break
+                else:
+                    conn.send(("err", f"unknown message kind {kind!r}"))
+            except BaseException:
+                conn.send(("err", traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# coordinator side
+# ----------------------------------------------------------------------
+class WorkerError(RuntimeError):
+    """A shard worker process failed; carries its traceback text."""
+
+
+class ProcessShardPool:
+    """Handles to the long-lived shard worker processes.
+
+    Uses the ``spawn`` start method: forking a process that also runs a
+    ``DemoLoop`` daemon thread or HTTP handler threads could inherit a
+    lock in a held state.  Workers are daemonic, so an unclosed pool can
+    never keep the interpreter alive; :meth:`close` shuts them down
+    deterministically.
+    """
+
+    def __init__(self, n_shards: int):
+        ctx = multiprocessing.get_context("spawn")
+        self.n_shards = n_shards
+        self._workers: list[tuple] = []
+        for i in range(n_shards):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=worker_main,
+                args=(child_conn,),
+                daemon=True,
+                name=f"repro-shard-{i}",
+            )
+            proc.start()
+            child_conn.close()
+            self._workers.append((proc, parent_conn))
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _recv(self, i: int):
+        proc, conn = self._workers[i]
+        try:
+            status, payload = conn.recv()
+        except (EOFError, OSError) as exc:
+            raise WorkerError(
+                f"shard worker {i} (pid {proc.pid}) died mid-request"
+            ) from exc
+        if status != "ok":
+            raise WorkerError(f"shard worker {i} failed:\n{payload}")
+        return payload
+
+    def _broadcast(self, msg: tuple) -> list:
+        for _, conn in self._workers:
+            conn.send(msg)
+        return [self._recv(i) for i in range(self.n_shards)]
+
+    # ------------------------------------------------------------------
+    def boot(self, blueprint: dict) -> None:
+        self._broadcast(("boot", blueprint))
+
+    def begin_round(self, log_doc: Mapping, sync: bool) -> None:
+        """Ship the round's log to every worker (sync=False right after
+        boot: the blueprint already contains those modifications)."""
+        self._broadcast(("round", log_doc, sync))
+
+    def exec_view(self, view_name: str, instance_docs: Sequence[Mapping]) -> list[dict]:
+        """Run one view's ∆-script on all shards concurrently.
+
+        All requests are sent before any reply is awaited — the workers
+        genuinely run in parallel; replies come back in shard order.
+        """
+        for i, (_, conn) in enumerate(self._workers):
+            conn.send(("exec", view_name, instance_docs[i]))
+        return [self._recv(i) for i in range(self.n_shards)]
+
+    def apply_writes(self, view_name: str, writeset_doc: Mapping) -> None:
+        self._broadcast(("apply", view_name, writeset_doc))
+
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Shut every worker down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for _, conn in self._workers:
+            try:
+                conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        for i, (proc, conn) in enumerate(self._workers):
+            try:
+                if conn.poll(_CLOSE_TIMEOUT):
+                    conn.recv()
+            except (EOFError, OSError):
+                pass
+            proc.join(timeout=_CLOSE_TIMEOUT)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=_CLOSE_TIMEOUT)
+            conn.close()

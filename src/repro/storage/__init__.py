@@ -11,6 +11,7 @@ from .partition import (
     PartitionedDatabase,
     PartitionedTable,
     partition_database,
+    shard_key_bytes,
     shard_of,
 )
 from .schema import ForeignKey, TableSchema
@@ -38,6 +39,7 @@ __all__ = [
     "save_database",
     "load_rows",
     "partition_database",
+    "shard_key_bytes",
     "shard_of",
     "sort_rows",
 ]

@@ -172,6 +172,18 @@ class CounterSet:
         """JSON-serializable snapshot: phase name -> count dict."""
         return {name: counts.as_dict() for name, counts in self.snapshot().items()}
 
+    @classmethod
+    def from_phase_counts(cls, phases: dict[str, AccessCounts]) -> "CounterSet":
+        """Rebuild a counter set from per-phase counts (the wire-decode
+        path for process shard workers).  The grand total is recomputed
+        as the sum of the phases — exact, because every counted access
+        lands in both its phase bucket and the total."""
+        out = cls()
+        for name, counts in phases.items():
+            out.phases[name] = counts.copy()
+            out.total.add(counts)
+        return out
+
 
 @dataclass
 class CostBreakdown:

@@ -35,16 +35,31 @@ from .schema import TableSchema
 from .table import Table
 
 
+def shard_key_bytes(values: Sequence) -> bytes:
+    """The canonical byte string :func:`shard_of` hashes for a key tuple.
+
+    Exposed separately so cross-process determinism tests (and the wire
+    layer's documentation) can pin the exact encoding: ``repr`` of the
+    value tuple, UTF-8 encoded.  ``repr`` of the primitive types allowed
+    on the wire (bool/int/float/str/None) is stable across interpreter
+    runs and independent of ``PYTHONHASHSEED``.
+    """
+    return repr(tuple(values)).encode("utf-8")
+
+
 def shard_of(values: Sequence, n_shards: int) -> int:
     """Stable shard assignment of a key-value tuple.
 
-    Uses CRC-32 of the ``repr`` of the tuple: deterministic across
+    Uses CRC-32 of :func:`shard_key_bytes`: deterministic across
     processes (unlike ``hash``, which is salted) and insensitive to how
     the values were produced, as long as they compare/``repr`` equal.
+    The same assignment is therefore computed by the coordinator when it
+    splits i-diff instances and by any worker process re-deriving a
+    row's home shard.
     """
     if n_shards <= 1:
         return 0
-    return zlib.crc32(repr(tuple(values)).encode("utf-8")) % n_shards
+    return zlib.crc32(shard_key_bytes(values)) % n_shards
 
 
 class PartitionedTable:

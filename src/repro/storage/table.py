@@ -89,6 +89,9 @@ class Table:
         # table is shared across shard worker threads.  Re-entrant: a
         # locked read path may trigger an auto-index build.
         self._lock = threading.RLock()
+        # Optional write-set sink (see begin_capture): counted writes and
+        # index builds append replayable ops here while active.
+        self._capture: list[tuple] | None = None
 
     # ------------------------------------------------------------------
     # introspection
@@ -103,6 +106,12 @@ class Table:
     def has_index(self, columns: Sequence[str]) -> bool:
         columns = tuple(columns)
         return columns == self.schema.key or columns in self._indexes
+
+    def index_columns(self) -> list[tuple[str, ...]]:
+        """Column tuples of the secondary indexes (sorted; replication
+        snapshots use this so replicas rebuild the same index set)."""
+        with self._lock:
+            return sorted(self._indexes)
 
     # ------------------------------------------------------------------
     # index management (uncounted)
@@ -121,6 +130,8 @@ class Table:
             for key, row in list(self._rows.items()):
                 index.add(key, row)
             self._indexes[columns] = index
+            if self._capture is not None:
+                self._capture.append(("x", columns))
 
     def _index_for(self, columns: tuple[str, ...]) -> _SecondaryIndex | None:
         index = self._indexes.get(columns)
@@ -226,6 +237,8 @@ class Table:
             for index in self._indexes.values():
                 index.add(key, row)
             self.counters.count_index_maintenance(len(self._indexes))
+            if self._capture is not None:
+                self._capture.append(("s", key, row))
         self.counters.count_tuple_write()
 
     def delete_key(self, key: tuple) -> tuple | None:
@@ -239,6 +252,8 @@ class Table:
             for index in self._indexes.values():
                 index.remove(key, row)
             self.counters.count_index_maintenance(len(self._indexes))
+            if self._capture is not None:
+                self._capture.append(("d", key))
         self.counters.count_tuple_write()
         return row
 
@@ -268,6 +283,8 @@ class Table:
                 index.add(key, new_row)
             self.counters.count_index_maintenance(2 * len(self._indexes))
             self._rows[key] = new_row
+            if self._capture is not None:
+                self._capture.append(("s", key, new_row))
         self.counters.count_tuple_write()
         return old
 
@@ -287,6 +304,8 @@ class Table:
                 index.add(key, new_row)
             self.counters.count_index_maintenance(2 * len(self._indexes))
             self._rows[key] = new_row
+            if self._capture is not None:
+                self._capture.append(("s", key, new_row))
         self.counters.count_tuple_write()
         return old
 
@@ -343,6 +362,8 @@ class Table:
                 index.add(key, new_row)
             self.counters.count_index_maintenance(2 * len(self._indexes))
             self._rows[key] = new_row
+            if self._capture is not None:
+                self._capture.append(("s", key, new_row))
         self.counters.count_tuple_write()
         return old
 
@@ -354,6 +375,8 @@ class Table:
             for index in self._indexes.values():
                 index.remove(key, row)
             self.counters.count_index_maintenance(len(self._indexes))
+            if self._capture is not None:
+                self._capture.append(("d", key))
         self.counters.count_tuple_write()
         return row
 
@@ -382,8 +405,61 @@ class Table:
             for index in self._indexes.values():
                 index.add(key, row)
             self.counters.count_index_maintenance(len(self._indexes))
+            if self._capture is not None:
+                self._capture.append(("s", key, row))
         self.counters.count_tuple_write()
         return True
+
+    # ------------------------------------------------------------------
+    # write-set capture and replay (process shard workers)
+    # ------------------------------------------------------------------
+    def begin_capture(self, sink: list[tuple] | None = None) -> list[tuple]:
+        """Start recording counted writes as replayable ops into *sink*.
+
+        Because primary keys are immutable, every counted mutation of
+        this table reduces to an upsert ``("s", key, row)`` or a delete
+        ``("d", key)``; index builds record ``("x", columns)`` so a
+        replica's index set (and hence its ``index_maintenance`` counts)
+        tracks the original's.  Returns the sink list.
+        """
+        with self._lock:
+            sink = sink if sink is not None else []
+            self._capture = sink
+            return sink
+
+    def end_capture(self) -> list[tuple]:
+        """Stop recording and return the captured op list."""
+        with self._lock:
+            sink, self._capture = self._capture, None
+            return sink if sink is not None else []
+
+    def replay_writes(self, ops: Sequence[tuple]) -> None:
+        """Apply a captured write-set, uncounted and idempotently.
+
+        The counted work already happened wherever the ops were captured
+        (a shard worker process); replay only moves this replica to the
+        same post-state.  Upserts overwrite, deletes of absent keys are
+        no-ops, index builds are idempotent — so replaying a merged
+        round write-set on the worker that produced part of it is safe.
+        """
+        with self._lock:
+            for op in ops:
+                if op[0] == "s":
+                    key, row = op[1], op[2]
+                    old = self._rows.get(key)
+                    if old == row:
+                        continue
+                    for index in self._indexes.values():
+                        if old is not None:
+                            index.remove(key, old)
+                        index.add(key, row)
+                    self._rows[key] = row
+                elif op[0] == "d":
+                    self.delete_uncounted(op[1])
+                elif op[0] == "x":
+                    self.create_index(op[1])
+                else:  # pragma: no cover - encoder validates opcodes
+                    raise SchemaError(f"unknown write op {op[0]!r}")
 
     # ------------------------------------------------------------------
     # uncounted helpers (setup, oracles, copying)

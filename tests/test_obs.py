@@ -8,10 +8,13 @@ not change any counted cost.
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.baselines import TupleIvmEngine
 from repro.core import IdIvmEngine
+from repro.obs import metrics
 from repro.obs import (
     MetricsRegistry,
     SpanRecorder,
@@ -177,6 +180,80 @@ class TestMetrics:
         reg.counter("c").inc(9)
         reg.reset()
         assert reg.counter("c").as_dict()["value"] == 0
+
+
+class TestMetricsConcurrency:
+    """Regression pins for the lost-increment and scoped-swap races."""
+
+    def test_counter_and_histogram_are_lossless_under_contention(self):
+        # Pre-fix, Counter.inc was a read-modify-write on one shared int
+        # and this hammer reliably lost increments.  Per-thread cells
+        # (folded on read, like ConcurrentLogHistogram) must be exact.
+        reg = MetricsRegistry()
+        counter = reg.counter("hammer.count")
+        hist = reg.histogram("hammer.hist")
+        n_threads, per_thread = 8, 5000
+
+        def work():
+            for _ in range(per_thread):
+                counter.inc()
+                hist.observe(2.0)
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        expected = n_threads * per_thread
+        assert counter.value == expected
+        assert hist.count == expected
+        assert hist.total == expected * 2.0
+        assert hist.min == hist.max == 2.0
+
+    def test_counter_folds_cells_of_dead_threads(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("dead.threads")
+        threads = [
+            threading.Thread(target=lambda: counter.inc(10)) for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        counter.inc(2)  # main thread's own cell on top
+        assert counter.value == 42
+
+    def test_scoped_swap_is_safe_against_helper_threads(self):
+        # Pre-fix, scoped() read-modify-wrote the module-global registry
+        # unguarded; a daemon thread (DemoLoop, serve handlers) calling
+        # the module helpers mid-swap could observe a torn swap or leak
+        # increments into a foreign registry after restore.
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def chatter():
+            while not stop.is_set():
+                try:
+                    metrics.counter("race.outer").inc()
+                    metrics.histogram("race.hist").observe(1.0)
+                except BaseException as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+                    return
+
+        thread = threading.Thread(target=chatter, daemon=True)
+        thread.start()
+        try:
+            for _ in range(400):
+                with metrics.scoped() as inner:
+                    inner.counter("race.inner").inc()
+        finally:
+            stop.set()
+            thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert not errors
+        # the helper still works after all those swap/restore cycles
+        metrics.counter("race.after").inc(3)
+        assert metrics.counter("race.after").value == 3
 
 
 def _run_round(engine_cls, recorder=None):

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -188,3 +189,60 @@ class TestLiveEngine:
         finally:
             server.shutdown()
             server.server_close()
+
+
+class TestDemoLoopLifecycle:
+    """stop() must join the loop; a dead loop must be *visible*."""
+
+    def _loop(self):
+        from repro.obs.live import DemoLoop
+
+        return DemoLoop(
+            shards=1, users=40, updates=5, interval=0.01, views=("Q7",)
+        )
+
+    def test_stop_joins_thread_and_stays_healthy(self):
+        loop = self._loop()
+        assert loop.healthy  # never started: healthy by definition
+        loop.start()
+        loop.stop(timeout=10)
+        assert loop._thread is None
+        assert loop.healthy  # a *requested* stop is not a failure
+        loop.stop()  # idempotent
+
+    def test_dead_loop_turns_unhealthy_and_healthz_returns_503(self):
+        loop = self._loop()
+
+        def boom():
+            raise RuntimeError("injected failure")
+
+        loop.run_round = boom  # type: ignore[method-assign]
+        loop.start()
+        deadline = time.monotonic() + 10
+        while loop.last_error is None and time.monotonic() < deadline:
+            time.sleep(0.01)
+        try:
+            assert loop.last_error is not None
+            assert "injected failure" in loop.last_error
+            assert not loop.healthy
+
+            server = serve(engine=loop.engine, loop=loop, port=0)
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            port = server.server_address[1]
+            try:
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    urllib.request.urlopen(
+                        f"http://127.0.0.1:{port}/healthz", timeout=10
+                    )
+                assert err.value.code == 503
+                body = json.loads(err.value.read().decode())
+                assert body["ok"] is False
+                assert "injected failure" in body["error"]
+            finally:
+                server.shutdown()
+                server.server_close()
+        finally:
+            loop.stop()
+        # a crash-stopped loop stays unhealthy even after stop()
+        assert not loop.healthy

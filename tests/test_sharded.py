@@ -6,7 +6,10 @@ access counts that reconcile exactly with the single-shard run —
 whether the router proved the round parallel or fell back to broadcast.
 
 Set ``REPRO_SHARDS=1,4`` (the CI matrix does) to restrict the shard
-counts exercised by the equivalence tests.
+counts exercised by the equivalence tests, and ``REPRO_BACKEND=thread``
+(or ``process``) to restrict the execution backends.  The process
+backend spawns real worker processes, so its equivalence coverage runs
+at bounded shard counts (≤ 4) to keep the suite quick.
 """
 
 from __future__ import annotations
@@ -46,9 +49,29 @@ from repro.workloads.devices import (
 SHARD_COUNTS = tuple(
     int(v) for v in os.environ.get("REPRO_SHARDS", "1,2,4,8").split(",")
 )
+BACKENDS = tuple(
+    b.strip()
+    for b in os.environ.get("REPRO_BACKEND", "thread,process").split(",")
+    if b.strip()
+)
 
 DEV_CONFIG = DevicesConfig(n_parts=80, n_devices=80, diff_size=24)
 BSMA_CONFIG = BsmaConfig(n_users=150)
+
+
+def _backend_shard_params(process_counts=(2, 4)):
+    """(backend, n_shards) matrix: thread everywhere, process bounded."""
+    params = []
+    for backend in BACKENDS:
+        for n in SHARD_COUNTS:
+            if backend == "process" and n not in process_counts:
+                continue
+            params.append(pytest.param(backend, n, id=f"{backend}-{n}"))
+    return params
+
+
+def _sharded_factory(n_shards, backend):
+    return lambda db: ShardedEngine(db, shards=n_shards, backend=backend)
 
 
 def _phase_totals(report):
@@ -63,32 +86,37 @@ def _phase_totals(report):
 def _run_devices(engine_factory, build_view, rounds=1, mixed=False):
     db = build_devices_database(DEV_CONFIG)
     engine = engine_factory(db)
-    view = engine.define_view("V", build_view(db, DEV_CONFIG))
-    out = []
-    for r in range(rounds):
-        if mixed:
-            batch = mixed_modification_batch(
-                db, DEV_CONFIG, updates=8, inserts=5, deletes=3, round_seed=r
-            )
-            log_batch(engine, batch)
-        else:
-            apply_price_updates(engine, db, DEV_CONFIG, round_seed=r)
-        report = engine.maintain()["V"]
-        out.append((sorted(view.table.rows_uncounted()), report))
-    oracle = evaluate_plan(view.plan, db).as_set()
-    assert view.table.as_set() == oracle
-    return out
+    try:
+        view = engine.define_view("V", build_view(db, DEV_CONFIG))
+        out = []
+        for r in range(rounds):
+            if mixed:
+                batch = mixed_modification_batch(
+                    db, DEV_CONFIG, updates=8, inserts=5, deletes=3, round_seed=r
+                )
+                log_batch(engine, batch)
+            else:
+                apply_price_updates(engine, db, DEV_CONFIG, round_seed=r)
+            report = engine.maintain()["V"]
+            out.append((sorted(view.table.rows_uncounted()), report))
+        oracle = evaluate_plan(view.plan, db).as_set()
+        assert view.table.as_set() == oracle
+        return out
+    finally:
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
 
 
 # ----------------------------------------------------------------------
 # equivalence: devices
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+@pytest.mark.parametrize(("backend", "n_shards"), _backend_shard_params())
 @pytest.mark.parametrize("mixed", [False, True], ids=["updates", "mixed"])
-def test_devices_flat_view_equivalence(n_shards, mixed):
+def test_devices_flat_view_equivalence(backend, n_shards, mixed):
     base = _run_devices(IdIvmEngine, build_flat_view, rounds=3, mixed=mixed)
     shard = _run_devices(
-        lambda db: ShardedEngine(db, shards=n_shards),
+        _sharded_factory(n_shards, backend),
         build_flat_view,
         rounds=3,
         mixed=mixed,
@@ -97,13 +125,14 @@ def test_devices_flat_view_equivalence(n_shards, mixed):
         assert rows_s == rows_b
         assert _phase_totals(rep_s) == _phase_totals(rep_b)
         assert rep_s.total_cost == rep_b.total_cost
+        assert rep_s.backend == backend
 
 
-@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
-def test_devices_aggregate_view_equivalence(n_shards):
+@pytest.mark.parametrize(("backend", "n_shards"), _backend_shard_params())
+def test_devices_aggregate_view_equivalence(backend, n_shards):
     base = _run_devices(IdIvmEngine, build_aggregate_view, rounds=2)
     shard = _run_devices(
-        lambda db: ShardedEngine(db, shards=n_shards),
+        _sharded_factory(n_shards, backend),
         build_aggregate_view,
         rounds=2,
     )
@@ -159,21 +188,28 @@ def test_single_shard_and_empty_round_broadcast():
 BSMA_PARALLEL = {"Q7", "Q11", "Q15", "Q18"}
 
 
-@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+@pytest.mark.parametrize(
+    ("backend", "n_shards"), _backend_shard_params(process_counts=(4,))
+)
 @pytest.mark.parametrize("qname", sorted(BSMA_QUERIES))
-def test_bsma_equivalence(qname, n_shards):
+def test_bsma_equivalence(qname, backend, n_shards):
     build = BSMA_QUERIES[qname]
     results = {}
     for label, factory in (
         ("base", IdIvmEngine),
-        ("shard", lambda db: ShardedEngine(db, shards=n_shards)),
+        ("shard", _sharded_factory(n_shards, backend)),
     ):
         db = build_bsma_database(BSMA_CONFIG)
         engine = factory(db)
-        view = engine.define_view("V", build(db, BSMA_CONFIG))
-        log_user_updates(engine, db, BSMA_CONFIG, 60)
-        report = engine.maintain()["V"]
-        results[label] = (sorted(view.table.rows_uncounted()), report)
+        try:
+            view = engine.define_view("V", build(db, BSMA_CONFIG))
+            log_user_updates(engine, db, BSMA_CONFIG, 60)
+            report = engine.maintain()["V"]
+            results[label] = (sorted(view.table.rows_uncounted()), report)
+        finally:
+            close = getattr(engine, "close", None)
+            if close is not None:
+                close()
     rows_b, rep_b = results["base"]
     rows_s, rep_s = results["shard"]
     assert rows_s == rows_b
@@ -370,3 +406,93 @@ def test_worker_thread_histograms_merge_to_shard_totals(_scoped_metrics):
     assert merged.total == sum(r.shard_cost_hist.total for r in parallel_reports)
     assert merged.count == sum(r.shard_cost_hist.count for r in parallel_reports)
     assert merged.total == sum(r.total_cost for r in parallel_reports)
+
+
+def test_parallel_round_shard_wall_hist_covers_every_worker():
+    [(_, report)] = _run_devices(
+        lambda db: ShardedEngine(db, shards=4), build_flat_view
+    )
+    assert report.parallel
+    hist = report.shard_wall_hist
+    assert hist is not None
+    assert hist.count == len(report.shard_reports) == 4
+    assert hist.total >= 0.0
+
+
+# ----------------------------------------------------------------------
+# process backend: worker pool lifecycle
+# ----------------------------------------------------------------------
+pytestmark_process = pytest.mark.skipif(
+    "process" not in BACKENDS, reason="process backend excluded by REPRO_BACKEND"
+)
+
+
+@pytestmark_process
+def test_process_backend_report_and_wall_clocks():
+    results = _run_devices(
+        _sharded_factory(4, "process"), build_flat_view, rounds=2
+    )
+    for _, report in results:
+        assert report.parallel
+        assert report.backend == "process"
+        # one worker-side perf_counter duration per shard; durations are
+        # the only wall-clock quantity allowed across the process
+        # boundary (raw monotonic timestamps are process-local).
+        assert report.shard_wall_hist.count == 4
+        assert report.shard_cost_hist.total == report.total_cost
+
+
+@pytestmark_process
+def test_process_pool_is_lazy_reused_and_closed():
+    db = build_devices_database(DEV_CONFIG)
+    engine = ShardedEngine(db, shards=2, backend="process")
+    try:
+        engine.define_view("V", build_flat_view(db, DEV_CONFIG))
+        assert engine._pool is None  # no parallel round yet -> no workers
+        apply_price_updates(engine, db, DEV_CONFIG, round_seed=0)
+        assert engine.maintain()["V"].parallel
+        pool = engine._pool
+        assert pool is not None and not pool.closed
+        apply_price_updates(engine, db, DEV_CONFIG, round_seed=1)
+        assert engine.maintain()["V"].parallel
+        assert engine._pool is pool  # long-lived workers, not per-round
+    finally:
+        engine.close()
+    assert engine._pool is None
+    engine.close()  # idempotent
+
+
+@pytestmark_process
+def test_process_backend_define_view_invalidates_pool():
+    db = build_devices_database(DEV_CONFIG)
+    with ShardedEngine(db, shards=2, backend="process") as engine:
+        engine.define_view("V", build_flat_view(db, DEV_CONFIG))
+        apply_price_updates(engine, db, DEV_CONFIG, round_seed=0)
+        engine.maintain()
+        assert engine._pool is not None
+        engine.define_view("W", build_flat_view(db, DEV_CONFIG))
+        assert engine._pool is None  # blueprint changed; workers respawn
+        apply_price_updates(engine, db, DEV_CONFIG, round_seed=1)
+        reports = engine.maintain()
+        assert reports["V"].parallel and reports["W"].parallel
+    assert engine._pool is None
+
+
+@pytestmark_process
+def test_process_backend_folds_into_database_totals():
+    db = build_devices_database(DEV_CONFIG)
+    with ShardedEngine(db, shards=4, backend="process") as engine:
+        engine.define_view("V", build_flat_view(db, DEV_CONFIG))
+        apply_price_updates(engine, db, DEV_CONFIG)
+        before = engine._router.base.total.total
+        report = engine.maintain()["V"]
+        assert report.parallel
+        after = engine._router.base.total.total
+        assert after - before >= report.total_cost
+
+
+def test_sharded_engine_rejects_unknown_backend():
+    from repro.errors import SchemaError
+
+    with pytest.raises(SchemaError):
+        ShardedEngine(Database(), shards=2, backend="fiber")
