@@ -43,7 +43,8 @@ PERF_GATE_BENCHES = \
     benchmarks/bench_speedup_model.py \
     benchmarks/bench_eager_vs_deferred.py \
     benchmarks/bench_minimization.py \
-    benchmarks/bench_parallel_shards.py
+    benchmarks/bench_parallel_shards.py \
+    benchmarks/bench_compiled.py
 perf-gate:
 	REPRO_PERF_GATE=1 $(PYTHON) -m pytest $(PERF_GATE_BENCHES) --benchmark-disable -q
 

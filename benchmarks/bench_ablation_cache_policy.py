@@ -41,7 +41,12 @@ def devices_results():
         out[policy] = run_system(
             policy,
             db_factory=lambda: build_devices_database(DEVICES_CONFIG),
-            make_engine=lambda db, p=policy: IdIvmEngine(db, cache_policy=p),
+            # cost_select=False: the ablation studies each policy as-is;
+            # cost-based candidate selection would override the policy
+            # under study with whichever variant prices cheapest.
+            make_engine=lambda db, p=policy: IdIvmEngine(
+                db, cache_policy=p, cost_select=False
+            ),
             build_view=lambda db: build_aggregate_view(db, DEVICES_CONFIG),
             log_modifications=lambda engine, db: apply_price_updates(
                 engine, db, DEVICES_CONFIG
@@ -57,7 +62,9 @@ def fof_results():
         out[policy] = run_system(
             policy,
             db_factory=lambda: build_bsma_database(BSMA_CONFIG),
-            make_engine=lambda db, p=policy: IdIvmEngine(db, cache_policy=p),
+            make_engine=lambda db, p=policy: IdIvmEngine(
+                db, cache_policy=p, cost_select=False
+            ),
             build_view=lambda db: BSMA_QUERIES["Q*1"](db, BSMA_CONFIG),
             log_modifications=lambda engine, db: log_user_updates(
                 engine, db, BSMA_CONFIG, 50

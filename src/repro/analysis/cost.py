@@ -4,8 +4,12 @@ Walks a generated ∆-script step by step — replaying the same cache
 apply→mark state machine the executor runs — and derives, per maintenance
 phase, a closed-form :class:`~repro.costmodel.symbolic.CostVector` over
 workload parameters: base i-diff cardinalities ``card[...]``, probe
-fanouts ``f[...]``, selectivities ``s[...]``, apply locate fanouts
-``loc[...]`` and grouping compressions ``g[...]``.  This generalizes the
+fanouts ``f[...]``, selectivities ``s[...]`` and grouping compressions
+``g[...]``.  Cardinality symbols are derived from the plan structure
+alone — materializing a node changes the *cost* of probing it, never
+the estimated row counts — so cached and cache-free variants of the
+same pipeline are priced over identical cardinalities.  This
+generalizes the
 two hand-derived closed forms in :mod:`repro.costmodel.model` (Table 2
 SPJ, Table 3 aggregate) to every view the generator can produce.
 
@@ -230,6 +234,73 @@ class _CostWalker:
     def _valid_caches(self, state: str) -> set[int]:
         return {nid for nid, st in self.cache_state.items() if st == state}
 
+    # -- probe row estimates -------------------------------------------
+    def probe_rows(self, node: PlanNode, attrs: Sequence[str]) -> CostExpr:
+        """Expected rows of the subview at *node* matching one binding
+        value on *attrs*.
+
+        Cardinality is a property of the *plan*, not of which nodes
+        happen to be materialized, so this never consults cache state —
+        it always derives the estimate structurally.  (Reading the
+        fanout off a cache's contents instead conditions the average on
+        values present in the materialized output; a selection below
+        the cache then inflates the estimate, and every downstream
+        statement of the cached pipeline inherits the inflation.  That
+        bias is what made cost selection drop measured-beneficial
+        caches.)"""
+        attrs = tuple(attrs)
+        if isinstance(node, Select):
+            rows = self.probe_rows(node.child, attrs)
+            n_child = self.stats.n(node.child)
+            sel_est = self.stats.n(node) / n_child if n_child else 1.0
+            return rows * self._sym(f"s[n{node.node_id}]", sel_est)
+        if isinstance(node, Project):
+            passthrough = {
+                name: expr.name
+                for name, expr in node.items
+                if isinstance(expr, Col)
+            }
+            if all(a in passthrough for a in attrs):
+                return self.probe_rows(
+                    node.child, tuple(passthrough[a] for a in attrs)
+                )
+            return self._fan(node, attrs)
+        if isinstance(node, Join):
+            left_cols = set(node.left.columns)
+            attrs_left = tuple(a for a in attrs if a in left_cols)
+            attrs_right = tuple(a for a in attrs if a not in left_cols)
+            pairs, _res = (
+                equi_join_pairs(
+                    node.condition, node.left.columns, node.right.columns
+                )
+                if node.condition is not None
+                else ([], None)
+            )
+            if attrs_left:
+                rows = self.probe_rows(node.left, attrs_left)
+                if pairs:
+                    return rows * self.probe_rows(
+                        node.right, tuple(b for _, b in pairs)
+                    )
+                return rows * self.stats.n(node.right)
+            rows = self.probe_rows(node.right, attrs_right)
+            if pairs:
+                return rows * self.probe_rows(
+                    node.left, tuple(a for a, _ in pairs)
+                )
+            return rows * self.stats.n(node.left)
+        if isinstance(node, (SemiJoin, AntiJoin)):
+            return self.probe_rows(node.left, attrs)  # retention ≤ 1
+        if isinstance(node, UnionAll):
+            branch = node.branch_column
+            child_attrs = tuple(a for a in attrs if a != branch)
+            return self.probe_rows(node.left, child_attrs) + self.probe_rows(
+                node.right, child_attrs
+            )
+        # Scans and grouped outputs: the measured per-value fanout of the
+        # node itself (1 when the binding covers the node's ids).
+        return self._fan(node, attrs)
+
     # -- probe unit costs ----------------------------------------------
     def probe_unit(
         self, node: PlanNode, attrs: Sequence[str], state: str
@@ -238,7 +309,7 @@ class _CostWalker:
         on *attrs*, mirroring :func:`repro.algebra.delta_eval.fetch`."""
         attrs = tuple(attrs)
         if node.node_id in self._valid_caches(state):
-            fan = self._fan(node, attrs)
+            fan = self.probe_rows(node, attrs)
             return lookups(1) + reads(fan), fan
         if isinstance(node, Scan):
             fan = self._fan(node, attrs)
@@ -428,11 +499,11 @@ class _CostWalker:
         key = tuple(target.ids)
         if set(schema.id_attrs) >= set(key):
             return CostExpr.const(1.0)
-        label = ",".join(sorted(schema.id_attrs))
-        return self._sym(
-            f"loc[n{target.node_id}.{label}]",
-            self.stats.fanout(target, schema.id_attrs),
-        )
+        # Rows located per diff row — the same structural estimate the
+        # probe path derives for this subview, so the RETURNING
+        # expansion's cardinality does not depend on the target being
+        # materialized (see probe_rows).
+        return self.probe_rows(target, schema.id_attrs)
 
     def _apply_step(self, step: ApplyDiffStep) -> None:
         schema = self.diff_schemas.get(step.diff_name)
@@ -715,6 +786,41 @@ def _margin(baseline: float) -> float:
     return max(_MARGIN_ABS, _MARGIN_REL * baseline)
 
 
+def family_totals(
+    model: ScriptCostModel, families: Sequence[str]
+) -> dict[str, float]:
+    """Predicted accesses/round with one base diff family active at the
+    nominal cardinality and every other family empty."""
+    out: dict[str, float] = {}
+    for fam in families:
+        sizes = {f: (NOMINAL_DIFF_CARD if f == fam else 0.0) for f in families}
+        pred = model.predict_from_diff_sizes(sizes)
+        out[fam] = sum(p["total"] for p in pred.values())
+    return out
+
+
+def dominated_by(
+    current: ScriptCostModel,
+    alternative: ScriptCostModel,
+    families: Sequence[str],
+) -> bool:
+    """True when *alternative* is an unambiguous improvement: cheaper at
+    the uniform working point AND no costlier in any single diff family.
+
+    Summed totals weigh every family equally, but real workloads don't —
+    a variant that wins the sum by saving on families the workload never
+    produces, while losing on the one family it does, is not an
+    improvement.  Requiring per-family no-regression removes that
+    workload dependence from the comparison."""
+    cur_total = current.total()
+    alt_total = alternative.total()
+    if not cur_total > alt_total + _margin(alt_total):
+        return False
+    cur_f = family_totals(current, families)
+    alt_f = family_totals(alternative, families)
+    return all(alt_f[f] <= cur_f[f] + _margin(cur_f[f]) for f in families)
+
+
 @register_pass("cost")
 def cost_pass(ctx: AnalysisContext) -> None:
     """COST501/COST502: predicted-cost minimality of the emitted script.
@@ -731,20 +837,27 @@ def cost_pass(ctx: AnalysisContext) -> None:
         return
     current = model.total()
     view = getattr(ctx.generated, "view_name", "?")
+    families = [
+        schema_instance_name(s)
+        for s in ctx.generated.base_schemas  # type: ignore[attr-defined]
+    ]
     # COST501: the minimizer must never make the script costlier than
-    # the unminimized form it started from.
+    # the unminimized form it started from.  Fires only when the
+    # unminimized form dominates per diff family — a summed-total loss
+    # alone may just mean the workload weighting is undecidable at
+    # define time (see dominated_by).
     unopt = _alternative_model(ctx.generated, ctx.db, optimize=False, cache_policy="equi")
-    if unopt is not None:
-        alt_total = unopt.total()
-        if current > alt_total + _margin(alt_total):
-            ctx.report.add(
-                "COST501",
-                f"view:{view}",
-                f"emitted ∆-script predicts {current:.0f} accesses/round vs "
-                f"{alt_total:.0f} for the unminimized alternative",
-                hint="inspect minimize_ir: a rewrite is pessimizing this plan",
-            )
-    # COST502: intermediate caches must pay for their own maintenance.
+    if unopt is not None and dominated_by(model, unopt, families):
+        ctx.report.add(
+            "COST501",
+            f"view:{view}",
+            f"emitted ∆-script predicts {current:.0f} accesses/round vs "
+            f"{unopt.total():.0f} for the unminimized alternative, and the "
+            f"alternative is no costlier in any diff family",
+            hint="inspect minimize_ir: a rewrite is pessimizing this plan",
+        )
+    # COST502: intermediate caches must pay for their own maintenance —
+    # flagged when dropping every intermediate cache dominates.
     has_intermediate = any(
         s.kind == "intermediate"
         for s in getattr(ctx.generated, "cache_specs", [])
@@ -753,20 +866,20 @@ def cost_pass(ctx: AnalysisContext) -> None:
         nocache = _alternative_model(
             ctx.generated, ctx.db, optimize=True, cache_policy="never"
         )
-        if nocache is not None:
+        if nocache is not None and dominated_by(model, nocache, families):
             benefit = nocache.total() - current
-            if benefit < -_margin(current):
-                for spec in ctx.generated.cache_specs:  # type: ignore[attr-defined]
-                    if spec.kind != "intermediate":
-                        continue
-                    ctx.report.add(
-                        "COST502",
-                        f"cache:n{spec.node_id}",
-                        f"predicted amortized benefit of the intermediate "
-                        f"cache set is {benefit:.0f} accesses/round "
-                        f"(cache {current:.0f} vs no-cache {nocache.total():.0f})",
-                        hint="consider cache_policy='never' or 'fk' for this view",
-                    )
+            for spec in ctx.generated.cache_specs:  # type: ignore[attr-defined]
+                if spec.kind != "intermediate":
+                    continue
+                ctx.report.add(
+                    "COST502",
+                    f"cache:n{spec.node_id}",
+                    f"predicted amortized benefit of the intermediate "
+                    f"cache set is {benefit:.0f} accesses/round "
+                    f"(cache {current:.0f} vs no-cache {nocache.total():.0f}), "
+                    f"with no diff family favoring the cache",
+                    hint="consider cache_policy='never' or 'fk' for this view",
+                )
 
 
 # ----------------------------------------------------------------------

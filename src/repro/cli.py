@@ -511,7 +511,10 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
     reports = []
     for label, plan, db in lint_targets():
-        generator = ScriptGenerator(label, plan)
+        # cost_db: lint analyzes the scripts the engine would actually
+        # ship, i.e. after cost-based candidate selection (COST501/502
+        # findings on the default pipeline are fixed, not just reported).
+        generator = ScriptGenerator(label, plan, cost_db=db)
         generated = generator.generate(
             generate_base_schemas(generator.plan, db)
         )

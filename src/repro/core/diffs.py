@@ -50,7 +50,10 @@ def post_col(attr: str) -> str:
 class DiffSchema:
     """Schema of an i-diff: kind, target relation, ID / pre / post attrs."""
 
-    __slots__ = ("kind", "target", "id_attrs", "pre_attrs", "post_attrs", "_positions")
+    __slots__ = (
+        "kind", "target", "id_attrs", "pre_attrs", "post_attrs",
+        "_positions", "_columns",
+    )
 
     def __init__(
         self,
@@ -81,15 +84,16 @@ class DiffSchema:
         self.id_attrs = id_attrs
         self.pre_attrs = pre_attrs
         self.post_attrs = post_attrs
-        self._positions = {c: i for i, c in enumerate(self.columns)}
+        self._columns = (
+            id_attrs
+            + tuple(pre_col(a) for a in pre_attrs)
+            + tuple(post_col(a) for a in post_attrs)
+        )
+        self._positions = {c: i for i, c in enumerate(self._columns)}
 
     @property
     def columns(self) -> tuple[str, ...]:
-        return (
-            self.id_attrs
-            + tuple(pre_col(a) for a in self.pre_attrs)
-            + tuple(post_col(a) for a in self.post_attrs)
-        )
+        return self._columns
 
     @property
     def positions(self) -> dict[str, int]:
@@ -190,6 +194,112 @@ class Diff:
 
     def __repr__(self) -> str:  # pragma: no cover - display helper
         return f"Diff({self.schema!r}, {len(self.rows)} rows)"
+
+
+class ColumnarDiff(Diff):
+    """An i-diff instance stored columnar: one list per diff column.
+
+    This is the batch representation the compiled execution backend and
+    the :mod:`repro.core.wire` shard codec share — a wire document's
+    ``cols`` lists can become a diff (and vice versa) without
+    re-materializing row tuples.  Row tuples are produced lazily on
+    first access and cached, so a diff that a ∆-script never reads
+    costs nothing beyond its column lists; a diff built row-first
+    (``from_rows``) materializes columns only if it is wire-encoded.
+
+    Duck- and isinstance-compatible with :class:`Diff`: ``schema``,
+    ``rows``, the row accessors and ``as_relation`` behave identically.
+    """
+
+    __slots__ = ("_cols", "_row_cache", "_n")
+
+    def __init__(self, schema: DiffSchema, columns=None, rows=None):
+        # Deliberately does not chain to Diff.__init__: validation is the
+        # classmethods' job (from_rows validates, from_wire_columns
+        # trusts the encoder, which validated at construction time).
+        self.schema = schema
+        self._cols = columns
+        self._row_cache = rows
+        self._n = len(rows) if rows is not None else (len(columns[0]) if columns else 0)
+
+    @property
+    def rows(self) -> list[tuple]:
+        if self._row_cache is None:
+            cols = self._cols
+            self._row_cache = list(zip(*cols)) if self._n else []
+        return self._row_cache
+
+    def column_data(self) -> list[list]:
+        """Per-column value lists (the wire layout), materialized once."""
+        if self._cols is None:
+            n_cols = len(self.schema.columns)
+            cols: list[list] = [[] for _ in range(n_cols)]
+            for row in self._row_cache:
+                for i in range(n_cols):
+                    cols[i].append(row[i])
+            self._cols = cols
+        return self._cols
+
+    def __len__(self) -> int:
+        return self._n
+
+    def is_empty(self) -> bool:
+        return not self._n
+
+    @classmethod
+    def from_rows(cls, schema: DiffSchema, rows: Iterable[tuple]) -> "ColumnarDiff":
+        """Build from row tuples with :class:`Diff`'s exact validation
+        (arity check, duplicate merge, conflicting-ID rejection)."""
+        if not isinstance(rows, list):
+            rows = list(rows)
+        if not rows:
+            # The dominant case per maintenance round: most steps of a
+            # large script see no matching modifications.
+            return cls(schema, rows=rows)
+        deduped: dict[tuple, tuple] = {}
+        lookup = deduped.get
+        n_ids = len(schema.id_attrs)
+        n_cols = len(schema.columns)
+        for row in rows:
+            if len(row) != n_cols:
+                raise DiffError(
+                    f"diff row arity {len(row)} != schema arity {n_cols} for {schema!r}"
+                )
+            key = row[:n_ids]
+            existing = lookup(key)
+            if existing is None:
+                deduped[key] = row
+            elif existing != row:
+                raise DiffError(
+                    f"conflicting diff rows for ID {key} in {schema!r}: "
+                    f"{existing} vs {row}"
+                )
+        return cls(schema, rows=list(deduped.values()))
+
+    @classmethod
+    def from_diff(cls, diff: Diff) -> "ColumnarDiff":
+        """Re-wrap an already-validated :class:`Diff` (no copy of rows)."""
+        if isinstance(diff, ColumnarDiff):
+            return diff
+        return cls(diff.schema, rows=diff.rows)
+
+    @classmethod
+    def from_wire_columns(cls, schema: DiffSchema, columns: list[list]) -> "ColumnarDiff":
+        """Adopt decoded wire column lists directly (trusted: the encoder
+        side validated the diff when it was constructed)."""
+        return cls(schema, columns=columns)
+
+    def __reduce__(self):
+        # The ``rows`` property shadows Diff's slot, which breaks the
+        # default slot-state pickling; rebuild from materialized rows.
+        return (_rebuild_columnar, (self.schema, self.rows))
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return f"ColumnarDiff({self.schema!r}, {self._n} rows)"
+
+
+def _rebuild_columnar(schema: DiffSchema, rows: list[tuple]) -> "ColumnarDiff":
+    return ColumnarDiff(schema, rows=rows)
 
 
 # ----------------------------------------------------------------------

@@ -33,7 +33,12 @@ from .idinfer import node_by_id
 from .ir_exec import IrContext
 from .modlog import ModificationLog, populate_instances
 from .schema_gen import generate_base_schemas
-from .script import execute_script
+from .script import DeltaScript, execute_script
+
+#: Supported ∆-script execution backends: the per-node IR interpreter
+#: (the paper-faithful reference) and the closure compiler
+#: (:mod:`repro.core.compile` — same counted accesses, less dispatch).
+EXEC_BACKENDS = ("interp", "compiled")
 
 
 @dataclass
@@ -72,6 +77,7 @@ class MaterializedView:
         caches: dict[int, Table],
         operator_caches: dict[int, Table],
         cost_model=None,
+        compiled_script: Optional[DeltaScript] = None,
     ):
         self.generated = generated
         self.table = table
@@ -80,6 +86,11 @@ class MaterializedView:
         #: symbolic per-phase cost model (repro.analysis.cost), inferred
         #: at define time; None when inference did not apply.
         self.cost_model = cost_model
+        #: closure-compiled twin of ``generated.script``, built at define
+        #: time when the engine runs ``exec_backend="compiled"``; shares
+        #: the same caches and is invalidated with them (a redefine
+        #: rebuilds the MaterializedView wholesale).
+        self.compiled_script = compiled_script
 
     @property
     def name(self) -> str:
@@ -92,6 +103,13 @@ class MaterializedView:
     def describe_script(self) -> str:
         return self.generated.script.describe()
 
+    def script_for(self, backend: str) -> DeltaScript:
+        """The ∆-script to execute under *backend* (compiled when asked
+        for and available, the stored interpretable script otherwise)."""
+        if backend == "compiled" and self.compiled_script is not None:
+            return self.compiled_script
+        return self.generated.script
+
 
 class IdIvmEngine:
     """ID-based incremental view maintenance over a :class:`Database`."""
@@ -103,10 +121,25 @@ class IdIvmEngine:
         cache_policy: str = "equi",
         view_reuse: bool = False,
         strict: bool = False,
+        exec_backend: str = "interp",
+        cost_select: bool = True,
     ):
+        if exec_backend not in EXEC_BACKENDS:
+            raise ValueError(
+                f"unknown exec_backend {exec_backend!r}; expected one of "
+                f"{EXEC_BACKENDS}"
+            )
         self.db = db
         self.optimize = optimize
         self.cache_policy = cache_policy
+        #: how stored ∆-scripts execute: "interp" walks the IR per round,
+        #: "compiled" runs the specialized closures (identical counts).
+        self.exec_backend = exec_backend
+        #: let the generator compare candidate scripts under the symbolic
+        #: cost model and keep the cheapest (fixes COST501/COST502).
+        #: Disable to study the un-selected pipeline (ablations, drift
+        #: demos, the crosscheck "eager" strategy).
+        self.cost_select = cost_select
         #: refuse view definitions whose generated plans fail the static
         #: analyzer (repro.analysis) with error-severity diagnostics
         self.strict = strict
@@ -137,6 +170,7 @@ class IdIvmEngine:
             cache_policy=self.cache_policy,
             view_reuse=self.view_reuse,
             strict=self.strict,
+            cost_db=self.db if (self.cost_select and self.optimize) else None,
         )
         base_schemas = generate_base_schemas(generator.plan, self.db)
         generated = generator.generate(base_schemas)
@@ -153,11 +187,21 @@ class IdIvmEngine:
                 child_rows, self.db.counters
             )
         cost_model = _infer_cost_model(generated, self.db)
+        compiled_script = None
+        if self.exec_backend == "compiled":
+            from .compile import compile_script
+
+            compiled_script = compile_script(generated)
         # Definition-time evaluation reads (including the cost model's
         # statistics probes) are not maintenance cost.
         self.db.counters.reset()
         view = MaterializedView(
-            generated, view_table, caches, operator_caches, cost_model=cost_model
+            generated,
+            view_table,
+            caches,
+            operator_caches,
+            cost_model=cost_model,
+            compiled_script=compiled_script,
         )
         self.views[name] = view
         # A just-materialized view reflects the current database state.
@@ -215,7 +259,7 @@ class IdIvmEngine:
                     modified = {entry.table for entry in entries}
                     ctx.unchanged_tables = set(self.db.table_names()) - modified
                     before = counters.snapshot()
-                    execute_script(view.generated.script, ctx, counters)
+                    execute_script(view.script_for(self.exec_backend), ctx, counters)
                     after = counters.snapshot()
                     report = MaintenanceReport(view_name)
                     for phase, counts in after.items():

@@ -145,12 +145,20 @@ class ScriptGenerator:
         cache_policy: str = "equi",
         view_reuse: bool = False,
         strict: bool = False,
+        cost_db=None,
     ):
         self.view_name = view_name
         self.plan = annotate_plan(plan)
         self.optimize = optimize
         self.cache_policy = cache_policy
         self.view_reuse = view_reuse
+        #: when set (a Database), generate() prices the requested script
+        #: against un-minimized / cache-free candidate pipelines under the
+        #: symbolic cost model and keeps the cheapest — minimization and
+        #: cache placement are heuristics, and on some shapes (BSMA Q7's
+        #: minimized script, the negative-benefit intermediate caches on
+        #: Q7/Q10/Q11/Q18) they *raise* the predicted maintenance cost.
+        self.cost_db = cost_db
         #: run the static analyzer over the output and refuse to hand
         #: back a plan carrying error-severity diagnostics
         self.strict = strict
@@ -223,11 +231,61 @@ class ScriptGenerator:
             cache_specs=self.cache_specs,
             opcache_specs=self.opcache_specs,
         )
+        if self.cost_db is not None:
+            generated = self._select_cheapest(generated, base_schemas)
         if self.strict:
             # Deferred import: repro.analysis consumes this module.
             from ..analysis import check_generated
 
             check_generated(generated)
+        return generated
+
+    # ------------------------------------------------------------------
+    def _select_cheapest(
+        self, generated: GeneratedPlan, base_schemas: list[DiffSchema]
+    ) -> GeneratedPlan:
+        """Price the requested pipeline against its no-cache alternative
+        and keep the cheaper one (the COST502 decision, resolved at
+        define time instead of only being linted after the fact).
+
+        The candidate space deliberately varies cache placement ONLY.
+        The optimize dimension is excluded: un-minimizing a script is
+        never an unambiguous win — the minimizer's pass-through update
+        propagation is strictly cheaper on the update rounds it targets,
+        whatever the summed working point says about other families.
+
+        The swap happens only when the candidate *dominates*: cheaper at
+        the uniform working point and no costlier in any single diff
+        family (see :func:`repro.analysis.cost.dominated_by`).  A
+        summed-total win alone can hide a family regression — the sum
+        weighs every family equally, and a workload concentrated on the
+        losing family would pay for the swap every round.
+
+        Ties keep the requested variant; a candidate that fails to
+        generate or to cost is skipped (the requested script always
+        survives)."""
+        if self.cache_policy == "never":
+            return generated
+        # Deferred import: repro.analysis consumes this module.
+        try:
+            from ..analysis.cost import dominated_by, infer_script_cost
+            from .modlog import schema_instance_name
+
+            current = infer_script_cost(generated, self.cost_db)
+            alt = ScriptGenerator(
+                self.view_name,
+                self.plan,
+                optimize=self.optimize,
+                cache_policy="never",
+                view_reuse=self.view_reuse,
+            )
+            candidate = alt.generate(list(base_schemas))
+            candidate_model = infer_script_cost(candidate, self.cost_db)
+            families = [schema_instance_name(s) for s in base_schemas]
+            if dominated_by(current, candidate_model, families):
+                return candidate
+        except Exception:
+            return generated
         return generated
 
     # ------------------------------------------------------------------
@@ -305,7 +363,11 @@ class ScriptGenerator:
                 MarkCacheUpdatedStep(child.node_id, f"cache[n{child.node_id}]")
             )
         else:
-            inputs = [("diff", name) for name, _ in branches]
+            # Same − / u / + discipline as the cache-APPLY sequence: the
+            # collector's overlay replays sequential-apply semantics, so
+            # branch order must match what the cached path would do.
+            ordered = sorted(branches, key=lambda b: _KIND_ORDER[b[1].kind])
+            inputs = [("diff", name) for name, _ in ordered]
         is_root = gnode.node_id == self.plan.node_id
         phase = PHASE_VIEW_UPDATE if is_root else PHASE_CACHE_UPDATE
         prefix = self._fresh(f"agg_n{gnode.node_id}")

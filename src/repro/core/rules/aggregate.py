@@ -105,16 +105,70 @@ class _GroupDelta:
         return self.n == 0 and not any(self.sums) and not any(self.cnts)
 
 
+#: sentinel distinguishing "not touched this round" from "deleted".
+_UNTOUCHED = object()
+
+
 class _ChangeCollector:
-    """Turns incoming branches into (pre_row, post_row) child-row changes."""
+    """Turns incoming branches into (pre_row, post_row) child-row changes.
+
+    Branches arriving from different base tables may describe the *same*
+    child row — the join rules deliberately overestimate (∆+ ⋈ the other
+    side's POST state sees rows another branch also inserts; two updates
+    in one batch may touch two attributes of one row).  With an input
+    cache the sequential APPLY absorbs that overlap: each branch applies
+    against the state the previous branches left behind.  Without a
+    cache this collector replays the same discipline in memory: an
+    *overlay* of this round's changes (keyed by the child's own IDs)
+    shadows the ``Input_pre`` probes, so each branch's changes are
+    computed against the current state, not the round's start.  The
+    counted probe traffic is exactly the historical per-branch
+    ``Input_pre`` lookup — the overlay is pure bookkeeping.
+    """
 
     def __init__(self, gnode: GroupBy, ctx: IrContext):
         self.gnode = gnode
         self.child = gnode.child
         self.ctx = ctx
+        positions = {c: i for i, c in enumerate(self.child.columns)}
+        self._child_id_idx = tuple(positions[a] for a in self.child.ids)
+        #: child-ID -> current row (None = deleted) for rows changed by
+        #: branches already collected this round.
+        self._overlay: dict[tuple, Optional[tuple]] = {}
+
+    def _child_id(self, row: tuple) -> tuple:
+        return tuple(row[i] for i in self._child_id_idx)
 
     def from_expansion(self, applied: AppliedChanges) -> list[tuple]:
         return list(applied.changes)
+
+    def _probe_current(self, diff: Diff) -> dict[tuple, list[tuple]]:
+        """diff-ID -> current child rows: the counted ``Input_pre`` probe
+        with this round's overlay folded in (earlier branches win)."""
+        schema = diff.schema
+        ids = schema.id_attrs
+        bindings = Bindings(ids, [diff.id_of(r) for r in diff.rows])
+        pre = self.ctx.resolve_subview(self.child, "pre", bindings)
+        id_idx = [pre.position(a) for a in ids]
+        by_id: dict[tuple, list[tuple]] = {}
+        for row in pre.rows:
+            if self._child_id(row) in self._overlay:
+                continue  # superseded by an earlier branch this round
+            by_id.setdefault(tuple(row[i] for i in id_idx), []).append(row)
+        if self._overlay:
+            # Rows created or rewritten by earlier branches are absent
+            # from Input_pre; fold the live overlay rows matching the
+            # diff's IDs back in (uncounted: they are in memory already).
+            positions = {c: i for i, c in enumerate(self.child.columns)}
+            o_idx = [positions[a] for a in ids]
+            wanted = {diff.id_of(r) for r in diff.rows}
+            for current in self._overlay.values():
+                if current is None:
+                    continue
+                key = tuple(current[i] for i in o_idx)
+                if key in wanted:
+                    by_id.setdefault(key, []).append(current)
+        return by_id
 
     def from_diff(self, diff: Diff) -> list[tuple]:
         """Row-level changes via counted Input_pre probes (Table 9's
@@ -124,20 +178,15 @@ class _ChangeCollector:
             return []
         if schema.kind == INSERT:
             return self._inserts(diff)
-        ids = schema.id_attrs
-        bindings = Bindings(ids, [diff.id_of(r) for r in diff.rows])
-        pre = self.ctx.resolve_subview(self.child, "pre", bindings)
-        id_idx = [pre.position(a) for a in ids]
-        by_id: dict[tuple, list[tuple]] = {}
-        for row in pre.rows:
-            by_id.setdefault(tuple(row[i] for i in id_idx), []).append(row)
+        by_id = self._probe_current(diff)
         changes: list[tuple] = []
         if schema.kind == DELETE:
             for diff_row in diff.rows:
                 for row in by_id.get(diff.id_of(diff_row), ()):
                     changes.append((row, None))
+                    self._overlay[self._child_id(row)] = None
             return changes
-        # UPDATE: post rows are the pre rows with updated attrs replaced.
+        # UPDATE: post rows are the current rows with updated attrs replaced.
         positions = {c: i for i, c in enumerate(self.child.columns)}
         for diff_row in diff.rows:
             overrides = {
@@ -147,7 +196,9 @@ class _ChangeCollector:
                 new = list(row)
                 for i, v in overrides.items():
                     new[i] = v
-                changes.append((row, tuple(new)))
+                new = tuple(new)
+                changes.append((row, new))
+                self._overlay[self._child_id(row)] = new
         return changes
 
     def _inserts(self, diff: Diff) -> list[tuple]:
@@ -165,9 +216,16 @@ class _ChangeCollector:
         existing = {tuple(r[i] for i in id_positions) for r in pre.rows}
         changes: list[tuple] = []
         for diff_row in diff.rows:
-            if diff.id_of(diff_row) in existing:
-                continue
-            changes.append((None, tuple(diff_row[i] for i in order)))
+            row = tuple(diff_row[i] for i in order)
+            current = self._overlay.get(self._child_id(row), _UNTOUCHED)
+            if current is _UNTOUCHED:
+                if diff.id_of(diff_row) in existing:
+                    continue
+            elif current is not None:
+                continue  # inserted or rewritten by an earlier branch
+            # (current is None: deleted earlier this round — genuinely new)
+            changes.append((None, row))
+            self._overlay[self._child_id(row)] = row
         return changes
 
 

@@ -161,7 +161,11 @@ class ShardedEngine(IdIvmEngine):
         if self._pool is None or self._pool.closed:
             pool = ProcessShardPool(self.shards)
             try:
-                pool.boot(build_blueprint(self.db, self.views))
+                pool.boot(
+                    build_blueprint(
+                        self.db, self.views, exec_backend=self.exec_backend
+                    )
+                )
                 pool.begin_round(wire.encode_log_batch(entries), sync=False)
             except BaseException:
                 pool.close()
@@ -279,7 +283,7 @@ class ShardedEngine(IdIvmEngine):
         counters = self.db.counters
         ctx = self._fresh_context(view, instances, db_pre, entries)
         before = counters.snapshot()
-        execute_script(view.generated.script, ctx, counters)
+        execute_script(view.script_for(self.exec_backend), ctx, counters)
         after = counters.snapshot()
         report = ShardedMaintenanceReport(
             view_name, parallel=False, broadcast_reason=plan.reason,
@@ -425,7 +429,7 @@ class ShardedEngine(IdIvmEngine):
         """Split instance rows by anchor key; one worker per shard."""
         router = self._router
         n = self.shards
-        script = view.generated.script
+        script = view.script_for(self.exec_backend)
         shard_instances = split_instances(plan, instances, n)
         shard_counters = [CounterSet() for _ in range(n)]
         contexts = [

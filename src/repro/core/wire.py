@@ -36,7 +36,7 @@ from typing import Any, Mapping, Sequence
 
 from ..errors import WireError
 from ..storage.counters import AccessCounts, CounterSet
-from .diffs import Diff, DiffSchema
+from .diffs import ColumnarDiff, Diff, DiffSchema
 from .modlog import LoggedModification
 
 WIRE_VERSION = 1
@@ -107,12 +107,22 @@ def encode_instances(instances: Mapping[str, Diff]) -> dict:
         diff = instances[name]
         schema = diff.schema
         n_cols = len(schema.columns)
-        columns: list[list] = [[] for _ in range(n_cols)]
-        for row in diff.rows:
-            for i in range(n_cols):
-                columns[i].append(
-                    check_primitive(row[i], f"diff {name!r} column {schema.columns[i]!r}")
-                )
+        if isinstance(diff, ColumnarDiff):
+            # Already in the wire layout: validate column-wise, no row
+            # tuples materialized.
+            n_rows = len(diff)
+            columns = [
+                _check_values(col, f"diff {name!r} column {schema.columns[i]!r}")
+                for i, col in enumerate(diff.column_data())
+            ]
+        else:
+            n_rows = len(diff.rows)
+            columns = [[] for _ in range(n_cols)]
+            for row in diff.rows:
+                for i in range(n_cols):
+                    columns[i].append(
+                        check_primitive(row[i], f"diff {name!r} column {schema.columns[i]!r}")
+                    )
         diffs.append(
             {
                 "name": interner.intern(name),
@@ -121,7 +131,7 @@ def encode_instances(instances: Mapping[str, Diff]) -> dict:
                 "id": [interner.intern(a) for a in schema.id_attrs],
                 "pre": [interner.intern(a) for a in schema.pre_attrs],
                 "post": [interner.intern(a) for a in schema.post_attrs],
-                "rows": len(diff.rows),
+                "rows": n_rows,
                 "cols": columns,
             }
         )
@@ -133,8 +143,14 @@ def encode_instances(instances: Mapping[str, Diff]) -> dict:
     }
 
 
-def decode_instances(doc: Mapping) -> dict[str, Diff]:
-    """Rebuild named :class:`Diff` instances from :func:`encode_instances`."""
+def decode_instances(doc: Mapping, columnar: bool = False) -> dict[str, Diff]:
+    """Rebuild named :class:`Diff` instances from :func:`encode_instances`.
+
+    With ``columnar=True`` the wire column lists are adopted directly as
+    :class:`ColumnarDiff` batches — no row tuples are materialized and
+    the encoder-side validation is trusted (the shard workers' hot
+    path); the default re-validates through ``Diff``'s constructor.
+    """
     _expect_kind(doc, "idiff-batch")
     strings = doc["strings"]
     out: dict[str, Diff] = {}
@@ -148,8 +164,11 @@ def decode_instances(doc: Mapping) -> dict[str, Diff]:
         )
         n_rows = entry["rows"]
         columns = entry["cols"]
-        rows = [tuple(col[r] for col in columns) for r in range(n_rows)]
-        out[strings[entry["name"]]] = Diff(schema, rows)
+        if columnar:
+            out[strings[entry["name"]]] = ColumnarDiff.from_wire_columns(schema, columns)
+        else:
+            rows = [tuple(col[r] for col in columns) for r in range(n_rows)]
+            out[strings[entry["name"]]] = Diff(schema, rows)
     return out
 
 
@@ -321,13 +340,55 @@ def decode_writeset(doc: Mapping) -> dict[str, list[tuple]]:
 # ----------------------------------------------------------------------
 # canonical bytes (determinism pinning)
 # ----------------------------------------------------------------------
+#: Tags for the canonical form.  Floats serialize as ``["~f", repr(v)]``
+#: so that every distinct float value gets distinct bytes: plain JSON
+#: would emit non-standard tokens for NaN/Infinity, and an int and a
+#: float of equal value (``1`` vs ``1.0``) compare equal as dict keys,
+#: so any value-keyed canonicalization downstream must be able to rely
+#: on the byte form keeping them apart.  Genuine lists whose first
+#: element is a tag string are escaped with ``"~l"`` to keep the
+#: encoding injective.
+_FLOAT_TAG = "~f"
+_LIST_ESCAPE_TAG = "~l"
+
+
+def _canonical_transform(value: Any) -> Any:
+    if type(value) is float:
+        return [_FLOAT_TAG, repr(value)]
+    if isinstance(value, (list, tuple)):
+        items = [_canonical_transform(v) for v in value]
+        if items and (items[0] == _FLOAT_TAG or items[0] == _LIST_ESCAPE_TAG):
+            return [_LIST_ESCAPE_TAG, *items]
+        return items
+    if isinstance(value, Mapping):
+        out = {}
+        for key, item in value.items():
+            if type(key) is not str:
+                raise WireError(
+                    f"wire documents use str keys only, got {type(key).__name__} ({key!r})"
+                )
+            out[key] = _canonical_transform(item)
+        return out
+    return value
+
+
 def canonical_bytes(doc: Mapping) -> bytes:
     """Canonical serialized form of a wire document.
 
     Used by determinism tests (and available for content-addressing):
-    the same logical batch yields identical bytes in every process.
+    the same logical batch yields identical bytes in every process, and
+    distinct primitive values always yield distinct bytes.  Floats are
+    rendered via ``repr`` under a ``"~f"`` tag, which keeps ``1`` vs
+    ``1.0``, ``0.0`` vs ``-0.0``, and ``True`` vs ``1`` apart and gives
+    NaN/±Infinity a deterministic strict-JSON representation
+    (``allow_nan=False`` guards against untagged leaks).
     """
-    return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return json.dumps(
+        _canonical_transform(doc),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    ).encode("utf-8")
 
 
 def _expect_kind(doc: Mapping, kind: str) -> None:

@@ -253,6 +253,7 @@ class ScriptCostModel:
         self.estimates: dict[str, float] = {}
         self.reconcile_sums: dict[str, tuple[str, ...]] = {}
         self.notes: list[str] = []
+        self._predict_memo: dict[tuple, dict[str, dict[str, float]]] = {}
 
     # -- construction --------------------------------------------------
     def add(self, label: str, phase: str, vector: CostVector, note: str = "") -> None:
@@ -319,8 +320,23 @@ class ScriptCostModel:
     def predict_from_diff_sizes(
         self, diff_sizes: Mapping[str, int]
     ) -> dict[str, dict[str, float]]:
-        """Reconciliation prediction: bind every observed diff cardinality."""
-        return self.predict({f"card[{name}]": float(n) for name, n in diff_sizes.items()})
+        """Reconciliation prediction: bind every observed diff cardinality.
+
+        Memoized on the size vector — steady workloads produce the same
+        cardinalities round after round, and the polynomial evaluation is
+        pure.  Fresh inner dicts are returned so callers may mutate them.
+        """
+        key = tuple(sorted(diff_sizes.items()))
+        memo = self._predict_memo
+        cached = memo.get(key)
+        if cached is None:
+            if len(memo) > 256:
+                memo.clear()
+            cached = self.predict(
+                {f"card[{name}]": float(n) for name, n in diff_sizes.items()}
+            )
+            memo[key] = cached
+        return {phase: dict(counts) for phase, counts in cached.items()}
 
     def total(self, env: Optional[Mapping[str, float]] = None) -> float:
         return sum(p["total"] for p in self.predict(env).values())

@@ -376,7 +376,51 @@ class CaseGenerator:
                     del rows[key]
                     batch.append({"op": "delete", "table": name, "key": [key]})
             batches.append(batch)
+        self._ensure_update(batches, live, next_key)
         return batches
+
+    def _ensure_update(
+        self,
+        batches: list[list[dict]],
+        live: dict[str, dict[int, list]],
+        next_key: dict[str, int],
+    ) -> None:
+        """Guarantee every case contains at least one UPDATE.
+
+        UPDATE is the operation most corners of the delta pipeline hinge
+        on (fold chains, same-value no-ops, key-preserving rewrites), so
+        a case without one under-tests by construction.  The roll-based
+        stream usually produces several; when a seed happens not to, a
+        deterministic post-pass appends one to the last batch — against a
+        live row if any survive, otherwise against a freshly inserted one
+        — keeping the workload valid and the seed→case map stable.
+        """
+        if any(op["op"] == "update" for batch in batches for op in batch):
+            return
+        rng = self.rng
+        batch = batches[-1]
+        candidates = [name for name, rows in live.items() if rows]
+        if candidates:
+            name = rng.choice(candidates)
+        else:
+            name = rng.choice(list(live))
+            infos = self._tables[name]["columns"]
+            live_keys = {t: sorted(v) for t, v in live.items()}
+            key = next_key[name]
+            next_key[name] += 1
+            row = [key] + [self._value(info, live_keys) for info in infos.values()]
+            live[name][key] = row
+            batch.append({"op": "insert", "table": name, "row": list(row)})
+        rows = live[name]
+        infos = self._tables[name]["columns"]
+        live_keys = {t: sorted(v) for t, v in live.items()}
+        key = self._skewed_choice(sorted(rows))
+        cname = rng.choice(list(infos))
+        changes = {cname: self._value(infos[cname], live_keys)}
+        rows[key][list(infos).index(cname) + 1] = changes[cname]
+        batch.append(
+            {"op": "update", "table": name, "key": [key], "changes": changes}
+        )
 
     # ------------------------------------------------------------------
     def generate(self) -> dict:

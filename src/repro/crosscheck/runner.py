@@ -33,6 +33,7 @@ from .spec import apply_modification, build_database, build_plan
 STRATEGY_FACTORIES: dict[str, Callable] = {
     "eager": lambda db: IdIvmEngine(db, optimize=False),
     "minimized": lambda db: IdIvmEngine(db, optimize=True),
+    "compiled": lambda db: IdIvmEngine(db, exec_backend="compiled"),
     "tuple": TupleIvmEngine,
     "sharded1": lambda db: ShardedEngine(db, shards=1),
     "sharded2": lambda db: ShardedEngine(db, shards=2),

@@ -96,14 +96,20 @@ def _restore_table(payload: tuple, counters, auto_index: bool) -> Table:
     return table
 
 
-def build_blueprint(db: Database, views: Mapping[str, object]) -> dict:
+def build_blueprint(
+    db: Database, views: Mapping[str, object], exec_backend: str = "interp"
+) -> dict:
     """Snapshot the engine's state for worker bootstrap.
 
     Taken lazily at first parallel round, so it reflects the current
     post-state base tables and the views' current (stale-for-this-round)
     cache contents — exactly what the coordinator itself sees.
+
+    Compiled closures are not picklable, so only ``exec_backend`` ships;
+    each worker recompiles its views' scripts locally at boot.
     """
     return {
+        "exec_backend": exec_backend,
         "auto_index": db.auto_index,
         "tables": [_table_payload(t) for _, t in sorted(db.tables.items())],
         "foreign_keys": [
@@ -134,12 +140,21 @@ def build_blueprint(db: Database, views: Mapping[str, object]) -> dict:
 class _WorkerView:
     """A view replica: the generated plan plus its writable tables."""
 
-    __slots__ = ("generated", "caches", "operator_caches")
+    __slots__ = ("generated", "caches", "operator_caches", "script")
 
-    def __init__(self, generated, caches, operator_caches):
+    def __init__(self, generated, caches, operator_caches, exec_backend="interp"):
         self.generated = generated
         self.caches = caches
         self.operator_caches = operator_caches
+        #: the ∆-script this worker executes each round — compiled once
+        #: at boot under exec_backend="compiled" (closures cannot cross
+        #: the pipe), the stored interpretable script otherwise.
+        if exec_backend == "compiled":
+            from ..core.compile import compile_script
+
+            self.script = compile_script(generated)
+        else:
+            self.script = generated.script
 
     def table_by_tag(self, tag: str) -> Table:
         node_id = int(tag[1:])
@@ -160,6 +175,7 @@ class _WorkerState:
             db.add_foreign_key(child_table, child_columns, parent_table)
         self.router = ShardRoutingCounters.install(db)
         self.db = db
+        exec_backend = blueprint.get("exec_backend", "interp")
         self.views: dict[str, _WorkerView] = {}
         for entry in blueprint["views"]:
             caches = {
@@ -171,7 +187,7 @@ class _WorkerState:
                 for node_id, payload in entry["opcaches"]
             }
             self.views[entry["name"]] = _WorkerView(
-                entry["generated"], caches, opcaches
+                entry["generated"], caches, opcaches, exec_backend=exec_backend
             )
         self.db_pre: Optional[Database] = None
         self.modified_tables: set[str] = set()
@@ -199,7 +215,10 @@ class _WorkerState:
         from ..core.script import execute_script
 
         view = self.views[view_name]
-        instances = wire.decode_instances(instances_doc)
+        # Columnar adoption: the shipped per-attribute lists become
+        # ColumnarDiff batches directly — no dict/tuple re-materialization
+        # on the hot path (row views build lazily where a step needs them).
+        instances = wire.decode_instances(instances_doc, columnar=True)
         ctx = IrContext(self.db_pre, self.db, diffs=instances, caches=view.caches)
         ctx.operator_caches = view.operator_caches
         ctx.unchanged_tables = set(self.db.table_names()) - self.modified_tables
@@ -209,7 +228,7 @@ class _WorkerState:
         started = time.perf_counter()
         try:
             with self.router.activate(counters):
-                execute_script(view.generated.script, ctx, counters)
+                execute_script(view.script, ctx, counters)
         finally:
             for _, table in tables:
                 table.end_capture()

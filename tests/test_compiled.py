@@ -1,0 +1,261 @@
+"""Compiled ∆-script execution (:mod:`repro.core.compile`).
+
+The backend's whole contract is *exactness*: a compiled closure must
+produce the same rows AND the same per-phase access counts as the IR
+interpreter — anything the compiler cannot lower with identical counted
+behaviour falls back to the interpreter's own helpers.  These tests pin
+that contract on the paper's devices workload, on every BSMA view, and
+through both sharded execution backends, plus the :class:`ColumnarDiff`
+batch representation the compiled path runs on.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.algebra.evaluate import evaluate_plan
+from repro.core import IdIvmEngine, ShardedEngine
+from repro.core.compile import CompiledComputeDiffStep, compile_script
+from repro.core.diffs import INSERT, ColumnarDiff, Diff, DiffSchema
+from repro.core.engine import EXEC_BACKENDS
+from repro.core.script import ComputeDiffStep
+from repro.errors import DiffError
+from repro.workloads import (
+    BSMA_QUERIES,
+    BsmaConfig,
+    DevicesConfig,
+    apply_price_updates,
+    build_aggregate_view,
+    build_bsma_database,
+    build_devices_database,
+    build_flat_view,
+    log_user_updates,
+)
+from repro.workloads.devices import log_batch, mixed_modification_batch
+
+DEV_CONFIG = DevicesConfig(n_parts=80, n_devices=80, diff_size=24)
+BSMA_CONFIG = BsmaConfig(n_users=150)
+
+
+def _phase_totals(report):
+    """Zero-filtered per-phase counts (stale zero buckets dropped)."""
+    return {
+        name: counts.as_dict()
+        for name, counts in report.phase_counts.items()
+        if counts.total or counts.index_maintenance
+    }
+
+
+# ----------------------------------------------------------------------
+# ColumnarDiff: the batch representation
+# ----------------------------------------------------------------------
+def _schema():
+    return DiffSchema(INSERT, "t", ("k",), (), ("a", "b"))
+
+
+class TestColumnarDiff:
+    def test_from_rows_matches_diff_semantics(self):
+        rows = [(1, "x", 2), (2, "y", 3), (1, "x", 2)]  # dup merges
+        columnar = ColumnarDiff.from_rows(_schema(), rows)
+        plain = Diff(_schema(), rows)
+        assert columnar.rows == plain.rows
+        assert len(columnar) == len(plain) == 2
+        assert not columnar.is_empty()
+
+    def test_from_rows_rejects_conflicts_and_arity(self):
+        with pytest.raises(DiffError):
+            ColumnarDiff.from_rows(_schema(), [(1, "x", 2), (1, "x", 99)])
+        with pytest.raises(DiffError):
+            ColumnarDiff.from_rows(_schema(), [(1, "x")])
+
+    def test_column_data_is_wire_layout(self):
+        columnar = ColumnarDiff.from_rows(_schema(), [(1, "x", 2), (2, "y", 3)])
+        assert columnar.column_data() == [[1, 2], ["x", "y"], [2, 3]]
+
+    def test_wire_columns_round_trip_lazily(self):
+        cols = [[1, 2], ["x", "y"], [2, 3]]
+        columnar = ColumnarDiff.from_wire_columns(_schema(), cols)
+        assert len(columnar) == 2  # length without materializing rows
+        assert columnar.rows == [(1, "x", 2), (2, "y", 3)]
+        assert columnar.column_data() is cols  # adopted, not copied
+
+    def test_from_diff_rewraps_without_copy(self):
+        plain = Diff(_schema(), [(1, "x", 2)])
+        columnar = ColumnarDiff.from_diff(plain)
+        assert columnar.rows is plain.rows
+        assert ColumnarDiff.from_diff(columnar) is columnar
+
+    def test_row_accessors_inherited(self):
+        columnar = ColumnarDiff.from_rows(_schema(), [(1, "x", 2)])
+        row = columnar.rows[0]
+        assert columnar.id_of(row) == (1,)
+        assert columnar.post_value(row, "a") == "x"
+        assert columnar.as_relation().rows == [(1, "x", 2)]
+
+    def test_pickle_round_trip(self):
+        # The process shard backend pickles result diffs; the ``rows``
+        # property shadows Diff's slot, so this exercises __reduce__.
+        columnar = ColumnarDiff.from_wire_columns(
+            _schema(), [[1, 2], ["x", "y"], [2, 3]]
+        )
+        back = pickle.loads(pickle.dumps(columnar))
+        assert isinstance(back, ColumnarDiff)
+        assert back.schema.columns == columnar.schema.columns
+        assert back.rows == columnar.rows
+
+
+# ----------------------------------------------------------------------
+# backend selection + script caching
+# ----------------------------------------------------------------------
+class TestBackendSelection:
+    def test_unknown_backend_rejected(self):
+        db = build_devices_database(DEV_CONFIG)
+        with pytest.raises(ValueError):
+            IdIvmEngine(db, exec_backend="jit")
+        assert set(EXEC_BACKENDS) == {"interp", "compiled"}
+
+    def test_define_view_caches_compiled_script(self):
+        db = build_devices_database(DEV_CONFIG)
+        engine = IdIvmEngine(db, exec_backend="compiled")
+        view = engine.define_view("V", build_flat_view(db, DEV_CONFIG))
+        assert view.compiled_script is not None
+        assert view.script_for("compiled") is view.compiled_script
+        assert view.script_for("interp") is view.generated.script
+
+    def test_interp_engine_skips_compilation(self):
+        db = build_devices_database(DEV_CONFIG)
+        engine = IdIvmEngine(db)
+        view = engine.define_view("V", build_flat_view(db, DEV_CONFIG))
+        assert view.compiled_script is None
+        assert view.script_for("compiled") is view.generated.script
+
+    def test_compile_script_replaces_only_compute_steps(self):
+        db = build_devices_database(DEV_CONFIG)
+        engine = IdIvmEngine(db)
+        view = engine.define_view("V", build_aggregate_view(db, DEV_CONFIG))
+        compiled = compile_script(view.generated)
+        assert compiled.view_node_id == view.generated.script.view_node_id
+        pairs = list(zip(compiled.steps, view.generated.script.steps))
+        assert len(pairs) == len(view.generated.script.steps)
+        swapped = 0
+        for new, old in pairs:
+            if type(old) is ComputeDiffStep:
+                assert isinstance(new, CompiledComputeDiffStep)
+                assert new.name == old.name
+                assert new.schema is old.schema
+                swapped += 1
+            else:
+                assert new is old  # APPLY/aggregate steps are shared
+        assert swapped > 0
+
+
+# ----------------------------------------------------------------------
+# equivalence: devices
+# ----------------------------------------------------------------------
+def _run_devices(exec_backend, build_view, rounds=3, mixed=False):
+    db = build_devices_database(DEV_CONFIG)
+    engine = IdIvmEngine(db, exec_backend=exec_backend)
+    view = engine.define_view("V", build_view(db, DEV_CONFIG))
+    out = []
+    for r in range(rounds):
+        if mixed:
+            batch = mixed_modification_batch(
+                db, DEV_CONFIG, updates=8, inserts=5, deletes=3, round_seed=r
+            )
+            log_batch(engine, batch)
+        else:
+            apply_price_updates(engine, db, DEV_CONFIG, round_seed=r)
+        report = engine.maintain()["V"]
+        out.append((sorted(view.table.rows_uncounted()), report))
+    assert view.table.as_set() == evaluate_plan(view.plan, db).as_set()
+    return out
+
+
+@pytest.mark.parametrize("mixed", [False, True], ids=["updates", "mixed"])
+@pytest.mark.parametrize(
+    "build_view", [build_flat_view, build_aggregate_view], ids=["flat", "agg"]
+)
+def test_devices_counts_match_interpreter_exactly(build_view, mixed):
+    base = _run_devices("interp", build_view, mixed=mixed)
+    compiled = _run_devices("compiled", build_view, mixed=mixed)
+    for (rows_i, rep_i), (rows_c, rep_c) in zip(base, compiled):
+        assert rows_c == rows_i
+        assert _phase_totals(rep_c) == _phase_totals(rep_i)
+        assert rep_c.total_cost == rep_i.total_cost
+
+
+def test_compiled_report_reconciles_with_cost_model():
+    # COST503 leg: the symbolic model's predictions must hold for the
+    # compiled backend without any compiled-specific calibration.
+    from repro.analysis.cost import reconcile_report
+
+    for _rows, report in _run_devices("compiled", build_flat_view):
+        assert report.predicted_counts is not None
+        assert reconcile_report(report) == []
+
+
+# ----------------------------------------------------------------------
+# equivalence: every BSMA view
+# ----------------------------------------------------------------------
+def _run_bsma(engine_factory, rounds=3):
+    db = build_bsma_database(BSMA_CONFIG)
+    engine = engine_factory(db)
+    try:
+        views = {
+            name: engine.define_view(name, build(db, BSMA_CONFIG))
+            for name, build in BSMA_QUERIES.items()
+        }
+        out = []
+        for r in range(rounds):
+            log_user_updates(engine, db, BSMA_CONFIG, 20, round_seed=r)
+            reports = engine.maintain()
+            out.append(
+                {
+                    name: (
+                        sorted(view.table.rows_uncounted()),
+                        _phase_totals(reports[name]),
+                    )
+                    for name, view in views.items()
+                }
+            )
+        for view in views.values():
+            assert view.table.as_set() == evaluate_plan(view.plan, db).as_set()
+        return out
+    finally:
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
+
+
+def test_bsma_views_counts_match_interpreter_exactly():
+    base = _run_bsma(IdIvmEngine)
+    compiled = _run_bsma(lambda db: IdIvmEngine(db, exec_backend="compiled"))
+    assert set(base[0]) == set(BSMA_QUERIES)
+    for round_b, round_c in zip(base, compiled):
+        for name in round_b:
+            rows_b, counts_b = round_b[name]
+            rows_c, counts_c = round_c[name]
+            assert rows_c == rows_b, name
+            assert counts_c == counts_b, name
+
+
+# ----------------------------------------------------------------------
+# equivalence: through both shard backends
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("shard_backend", ["thread", "process"])
+def test_sharded_compiled_matches_interpreter(shard_backend):
+    base = _run_bsma(IdIvmEngine, rounds=2)
+    sharded = _run_bsma(
+        lambda db: ShardedEngine(
+            db, shards=2, backend=shard_backend, exec_backend="compiled"
+        ),
+        rounds=2,
+    )
+    for round_b, round_s in zip(base, sharded):
+        for name in round_b:
+            rows_b, counts_b = round_b[name]
+            rows_s, counts_s = round_s[name]
+            assert rows_s == rows_b, name
+            assert counts_s == counts_b, name

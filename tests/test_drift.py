@@ -89,8 +89,11 @@ _ROUNDS, _UPDATES = 4, 30
 
 
 def _run_seeded_engine() -> IdIvmEngine:
+    # cost_select=False: these tests pin the *dynamic* drift signature
+    # of the shipped scripts themselves, independent of whatever the
+    # define-time candidate selection would decide.
     db = build_bsma_database(_CONFIG)
-    engine = IdIvmEngine(db)
+    engine = IdIvmEngine(db, cost_select=False)
     for name, build in BSMA_QUERIES.items():
         engine.define_view(name, build(db, _CONFIG))
     for round_seed in range(_ROUNDS):
@@ -100,18 +103,23 @@ def _run_seeded_engine() -> IdIvmEngine:
 
 
 class TestEngineDrift:
-    def test_negative_benefit_caches_surface_as_drift_alerts(self):
-        """The COST502 set (Q7/Q10/Q11/Q18 carry caches whose predicted
-        amortized benefit is negative) shows up dynamically: their cost
-        models sustainedly over-predict, while the calibrated Q*1 stays
-        within thresholds."""
+    def test_over_predicting_views_surface_as_drift_alerts(self):
+        """Views whose models still over-predict under the user-update
+        workload (phantom diff families maintaining their caches) show
+        up dynamically, while the calibrated Q*1 and Q10 stay within
+        thresholds — Q10's model tracks its measured writes since the
+        cache-independent cardinality fix (its ratio used to sit far
+        below the low-water mark)."""
         engine = _run_seeded_engine()
         alerting = engine.drift.alerting_views()
-        assert {"Q7", "Q10", "Q11", "Q18"} <= alerting
+        assert {"Q7", "Q11", "Q18"} <= alerting
         assert "Q*1" not in alerting
-        for view in ("Q7", "Q10", "Q11", "Q18"):
+        assert "Q10" not in alerting
+        for view in ("Q7", "Q11", "Q18"):
             ratio = engine.drift.ratio(view, "tuple_writes")
             assert ratio is not None and ratio < engine.drift.low
+        q10 = engine.drift.ratio("Q10", "tuple_writes")
+        assert q10 is not None and q10 >= engine.drift.low
 
     def test_drift_diagnostics_emit_cost504(self):
         engine = _run_seeded_engine()
@@ -122,7 +130,7 @@ class TestEngineDrift:
         assert cost504
         assert all(d.severity == "info" for d in cost504)
         locations = {d.location for d in cost504}
-        for view in ("Q7", "Q10", "Q11", "Q18"):
+        for view in ("Q7", "Q11", "Q18"):
             assert f"view:{view}" in locations
         # informational: never counts as an error or warning
         assert not analysis.has_errors()

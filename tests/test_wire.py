@@ -154,6 +154,68 @@ def test_decoders_reject_wrong_kind():
 
 
 # ----------------------------------------------------------------------
+# canonical bytes: float edge cases and injectivity
+# ----------------------------------------------------------------------
+class TestCanonicalFloats:
+    def _bytes(self, value):
+        return wire.canonical_bytes({"v": value})
+
+    def test_int_and_float_of_equal_value_differ(self):
+        # 1 == 1.0 as dict keys/values, but content addressing must keep
+        # them apart: decode reproduces the exact type.
+        assert self._bytes(1) != self._bytes(1.0)
+
+    def test_signed_zero_is_preserved(self):
+        assert self._bytes(0.0) != self._bytes(-0.0)
+
+    def test_bool_and_int_differ(self):
+        assert self._bytes(True) != self._bytes(1)
+        assert self._bytes(False) != self._bytes(0)
+
+    def test_nan_and_infinities_are_deterministic(self):
+        # Plain json.dumps would emit non-standard NaN/Infinity tokens
+        # (or raise under allow_nan=False); the "~f" tag renders them via
+        # repr, so they get a stable strict-JSON byte form.
+        for value in (float("nan"), float("inf"), float("-inf")):
+            assert self._bytes(value) == self._bytes(value)
+        assert self._bytes(float("inf")) != self._bytes(float("-inf"))
+        assert self._bytes(float("nan")) != self._bytes(float("inf"))
+
+    def test_tagged_list_escape_keeps_encoding_injective(self):
+        # A genuine list that *looks like* a float tag must not collide
+        # with an actual float's canonical form.
+        assert self._bytes(["~f", "1.0"]) != self._bytes(1.0)
+        # ... and the escape itself is escaped.
+        assert self._bytes(["~l", "~f", "1.0"]) != self._bytes(["~f", "1.0"])
+
+    def test_float_repr_round_trips_the_value(self):
+        for value in (0.1, 1e300, 5e-324, -0.0, 3.5):
+            doc = wire.canonical_bytes({"v": value})
+            tagged = json.loads(doc)["v"]
+            assert tagged[0] == "~f"
+            back = float(tagged[1])
+            assert (back == value and str(back) == str(value)) or (
+                back != back and value != value
+            )
+
+    def test_non_str_dict_key_rejected(self):
+        with pytest.raises(WireError):
+            wire.canonical_bytes({"d": {1: "x"}})
+
+
+def test_instances_round_trip_float_edge_cases():
+    schema = DiffSchema(INSERT, "t", ("k",), (), ("a",))
+    rows = [(1, 1.0), (2, -0.0), (3, float("nan")), (4, 1)]
+    doc = wire.encode_instances({"d": Diff(schema, rows)})
+    for columnar in (False, True):
+        back = wire.decode_instances(doc, columnar=columnar)["d"].rows
+        assert back[0] == (1, 1.0) and type(back[0][1]) is float
+        assert str(back[1][1]) == "-0.0"
+        assert back[2][1] != back[2][1]  # NaN survives
+        assert type(back[3][1]) is int
+
+
+# ----------------------------------------------------------------------
 # shard_of determinism (in process)
 # ----------------------------------------------------------------------
 def test_shard_of_hashes_canonical_key_bytes():
