@@ -8,10 +8,14 @@ test:
 
 # Equivalence tests at an explicit shard count and backend set (the CI
 # matrix legs): REPRO_SHARDS=1,4 REPRO_BACKEND=process make test-sharded
+# REPRO_RACE_CHECK=strict arms the dynamic write-set race detector on
+# every engine the suite builds (overlaps raise ShardRaceError).
 REPRO_SHARDS ?= 1,2,4,8
 REPRO_BACKEND ?= thread,process
+REPRO_RACE_CHECK ?=
 test-sharded:
 	REPRO_SHARDS=$(REPRO_SHARDS) REPRO_BACKEND=$(REPRO_BACKEND) \
+	    REPRO_RACE_CHECK=$(REPRO_RACE_CHECK) \
 	    $(PYTHON) -m pytest tests/test_sharded.py -x -q
 
 smoke:

@@ -1,12 +1,13 @@
 """Static verifier + lint framework for plans, expressions and ∆-scripts.
 
-Four passes over a shared diagnostic model (see docs/ANALYSIS.md):
+Six passes over a shared diagnostic model (see docs/ANALYSIS.md):
 
-* ``typecheck`` — 3VL-aware type & nullability inference (TC1xx)
-* ``keys``      — key/FD audit of the ID inference claims (KEY2xx)
-* ``script``    — ∆-script IR read/write-set checker (SC3xx)
-* ``shard``     — shard routability classification (SH4xx)
-* ``cost``      — symbolic cost inference & minimality lints (COST5xx)
+* ``typecheck``    — 3VL-aware type & nullability inference (TC1xx)
+* ``keys``         — key/FD audit of the ID inference claims (KEY2xx)
+* ``script``       — ∆-script IR read/write-set checker (SC3xx)
+* ``shard``        — shard routability classification (SH4xx)
+* ``cost``         — symbolic cost inference & minimality lints (COST5xx)
+* ``interference`` — shard write/read footprint disjointness (RACE6xx)
 
 Entry points: :func:`analyze_plan` for a bare algebra plan,
 :func:`analyze_generated` for compiler output, :func:`check_generated`
@@ -38,6 +39,7 @@ from . import keys as _keys  # noqa: F401
 from . import script_check as _script_check  # noqa: F401
 from . import shard_check as _shard_check  # noqa: F401
 from . import cost as _cost  # noqa: F401
+from . import interference as _interference  # noqa: F401
 
 
 def analyze_plan(plan, names=None) -> AnalysisReport:
@@ -49,16 +51,20 @@ def analyze_plan(plan, names=None) -> AnalysisReport:
 
 
 def analyze_generated(
-    generated, db=None, n_shards: int = 2, names=None
+    generated, db=None, n_shards: int = 2, names=None, script=None
 ) -> AnalysisReport:
     """Run every applicable pass over a :class:`GeneratedPlan`.
 
-    Without *db* the shard pass skips itself (routability needs the
-    foreign-key graph); everything else runs.
+    Without *db* the shard and interference passes skip themselves
+    (routability needs the foreign-key graph); everything else runs.
+    *script* substitutes an alternative ∆-script for the generated one —
+    the lint surface uses it to analyze the compiled execution backend
+    (``CompiledComputeDiffStep`` subclasses ``ComputeDiffStep``, so the
+    step-level passes apply unchanged).
     """
     ctx = AnalysisContext(
         plan=generated.plan,
-        script=generated.script,
+        script=script if script is not None else generated.script,
         base_schemas=list(generated.base_schemas),
         generated=generated,
         db=db,

@@ -37,7 +37,7 @@ class Rule:
 
 #: The rule catalog.  Ids are grouped by pass: TC1xx type/nullability,
 #: KEY2xx key inference, SC3xx ∆-script IR, SH4xx shard safety,
-#: COST5xx symbolic cost inference.
+#: COST5xx symbolic cost inference, RACE6xx shard interference.
 RULES: dict[str, Rule] = {
     r.rule_id: r
     for r in (
@@ -60,6 +60,10 @@ RULES: dict[str, Rule] = {
         Rule("COST502", WARNING, "cache whose predicted amortized benefit is negative"),
         Rule("COST503", WARNING, "measured access counts exceed the symbolic prediction"),
         Rule("COST504", INFO, "sustained drift between predicted and observed cost"),
+        Rule("RACE601", ERROR, "overlapping per-shard write footprints"),
+        Rule("RACE602", ERROR, "cross-shard read of state mutated in the same round"),
+        Rule("RACE603", WARNING, "broadcast-window write under a routed reader"),
+        Rule("RACE604", ERROR, "counted writer escapes write-set capture"),
     )
 }
 
@@ -126,12 +130,31 @@ class AnalysisReport:
         return {d.rule_id for d in self.diagnostics}
 
     # ------------------------------------------------------------------
+    def sorted_diagnostics(self) -> list[Diagnostic]:
+        """Diagnostics in a canonical order: rule id, severity, location.
+
+        Every rendered or serialized view of the report goes through this
+        sort, so ``repro lint --json`` output is byte-stable regardless
+        of pass-internal iteration order (and of ``PYTHONHASHSEED``).
+        """
+        severity_rank = {ERROR: 0, WARNING: 1, INFO: 2}
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (
+                d.rule_id,
+                severity_rank[d.severity],
+                d.location,
+                d.message,
+                d.hint,
+            ),
+        )
+
     def render(self) -> str:
         if not self.diagnostics:
             return "no diagnostics"
         order = {ERROR: 0, WARNING: 1, INFO: 2}
         ranked = sorted(
-            self.diagnostics, key=lambda d: (order[d.severity], d.rule_id)
+            self.sorted_diagnostics(), key=lambda d: order[d.severity]
         )
         lines = [d.render() for d in ranked]
         lines.append(
@@ -141,4 +164,4 @@ class AnalysisReport:
         return "\n".join(lines)
 
     def to_json(self) -> list[dict]:
-        return [d.to_json() for d in self.diagnostics]
+        return [d.to_json() for d in self.sorted_diagnostics()]

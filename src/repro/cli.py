@@ -493,6 +493,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
     import json
 
     from .analysis import RULES, analyze_generated
+    from .core.compile import compile_script
     from .core.generator import ScriptGenerator
     from .core.schema_gen import generate_base_schemas
 
@@ -520,6 +521,21 @@ def cmd_lint(args: argparse.Namespace) -> int:
         )
         report = analyze_generated(generated, db=db)
         reports.append((label, _filter_report(report, rules, args.min_severity)))
+        # The compiled execution backend runs a different ∆-script object
+        # (CompiledComputeDiffStep subclasses ComputeDiffStep), so the
+        # step-level passes re-run over it: the script read/write-set
+        # checker and the shard interference analysis must hold on BOTH
+        # scripts the engine can execute.
+        compiled = compile_script(generated)
+        compiled_report = analyze_generated(
+            generated, db=db, script=compiled, names=("script", "interference")
+        )
+        reports.append(
+            (
+                f"{label} [compiled]",
+                _filter_report(compiled_report, rules, args.min_severity),
+            )
+        )
 
     n_errors = sum(len(r.errors) for _, r in reports)
     n_warnings = sum(len(r.warnings) for _, r in reports)

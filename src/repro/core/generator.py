@@ -90,6 +90,11 @@ class GeneratedPlan:
     base_schemas: list[DiffSchema]
     cache_specs: list[CacheSpec] = field(default_factory=list)
     opcache_specs: list[OpCacheSpec] = field(default_factory=list)
+    #: Force maintenance rounds onto this anchor table even when the
+    #: router's proof fails (``repro.shard.router.force_route``).  Exists
+    #: for ablation studies and race-detector fixtures; the interference
+    #: analysis pass verifies forced routes instead of the router's.
+    route_override: Optional[str] = None
 
 
 #: Cache-placement policies (paper Section 4, footnote 6).  The paper
@@ -237,7 +242,7 @@ class ScriptGenerator:
             # Deferred import: repro.analysis consumes this module.
             from ..analysis import check_generated
 
-            check_generated(generated)
+            check_generated(generated, db=self.cost_db)
         return generated
 
     # ------------------------------------------------------------------

@@ -145,6 +145,14 @@ class DeltaScript:
             self._exec_plan = plan
         return plan
 
+    def __getstate__(self) -> dict:
+        # The exec plan caches bound methods and local closures — process
+        # local and unpicklable.  A worker process that receives this
+        # script (shard bootstrap blueprint) rebuilds it lazily.
+        state = self.__dict__.copy()
+        state["_exec_plan"] = None
+        return state
+
     def describe(self) -> str:
         """Human-readable rendering (the Figure 7 shape)."""
         lines = []

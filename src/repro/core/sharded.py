@@ -17,6 +17,22 @@ access counts — routed into per-shard :class:`CounterSet`\\ s by
 :class:`~repro.shard.ShardRoutingCounters` — sum *exactly* to the
 single-shard counts.
 
+That disjointness claim is *checked*, twice, rather than trusted: the
+static interference pass (``repro.analysis.interference``, rules
+RACE6xx) re-proves the per-round write-footprint disjointness at lint /
+define time, and the **dynamic race detector** — ``race_check=True`` on
+this engine — verifies it at run time by collecting every worker's
+captured write-set per parallel round and asserting pairwise
+key-disjointness before the round's effects are merged.  Under
+``race_check="strict"`` an overlap raises
+:class:`~repro.errors.ShardRaceError` (naming the table, key and
+shards); under plain ``True`` it records a ``shard.race_overlaps``
+metric and the overlap list on the round report.  Both worker backends
+honor it, at different points of the same contract: the thread backend
+routes each shared table's capture stream to the writing worker via a
+context variable, the process backend checks the per-worker write-sets
+it already receives before replaying them onto the coordinator.
+
 Two worker backends share that contract:
 
 * ``backend="thread"`` (default) — workers on a thread pool over the
@@ -46,12 +62,18 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..errors import SchemaError, UnknownTableError
+from ..errors import SchemaError, ShardRaceError, UnknownTableError
 from ..obs import metrics
 from ..obs import spans as obs
 from ..obs.hist import LogHistogram
 from ..shard.counters import ShardRoutingCounters
-from ..shard.router import RoutePlan, describe_plan, plan_route, split_instances
+from ..shard.router import (
+    RoutePlan,
+    describe_plan,
+    force_route,
+    plan_route,
+    split_instances,
+)
 from ..shard.workers import ProcessShardPool, build_blueprint, tagged_tables
 from ..storage import CounterSet, Database
 from . import wire
@@ -61,6 +83,62 @@ from .modlog import populate_instances
 from .script import execute_script
 
 BACKENDS = ("thread", "process")
+
+#: Shard index of the currently-executing thread-backend worker; the
+#: routed capture sinks read it to attribute a shared table's write
+#: stream to the worker that produced it.
+_CURRENT_SHARD: contextvars.ContextVar[Optional[int]] = contextvars.ContextVar(
+    "repro_current_shard", default=None
+)
+
+
+class _RoutedSink:
+    """Capture sink for shared tables under the thread backend.
+
+    ``Table.begin_capture`` appends every counted write to one sink; with
+    N workers on the *same* table object that stream interleaves.  This
+    sink de-interleaves it at the source: each append lands in the
+    per-shard list of the worker doing the write (read from
+    :data:`_CURRENT_SHARD`), so each list has a single writer thread and
+    needs no locking.  Coordinator writes outside any worker are dropped
+    — between arming and disarming the coordinator performs none.
+    """
+
+    __slots__ = ("per_shard",)
+
+    def __init__(self, n_shards: int):
+        self.per_shard: list[list[tuple]] = [[] for _ in range(n_shards)]
+
+    def append(self, op: tuple) -> None:
+        shard = _CURRENT_SHARD.get()
+        if shard is not None:
+            self.per_shard[shard].append(op)
+
+
+def _writeset_overlaps(
+    per_shard: list[dict[str, list[tuple]]],
+) -> list[tuple[str, tuple, tuple[int, ...]]]:
+    """Pairwise key-disjointness check over per-shard write-sets.
+
+    *per_shard* maps, per shard index, capture tag -> replayable ops.
+    Returns every (tag, key, shard indices) written by more than one
+    shard.  Index builds (``"x"`` ops) are idempotent DDL, not row
+    writes, and are excluded.
+    """
+    owners: dict[tuple[str, tuple], set[int]] = {}
+    for shard, writes in enumerate(per_shard):
+        for tag, ops in writes.items():
+            for op in ops:
+                if op[0] == "x":
+                    continue
+                owners.setdefault((tag, op[1]), set()).add(shard)
+    overlaps = [
+        (tag, key, tuple(sorted(shards)))
+        for (tag, key), shards in owners.items()
+        if len(shards) > 1
+    ]
+    overlaps.sort(key=lambda item: (item[0], repr(item[1])))
+    return overlaps
 
 
 @dataclass
@@ -86,6 +164,13 @@ class ShardedMaintenanceReport(MaintenanceReport):
     #: each worker (``perf_counter`` deltas), so they are comparable
     #: across processes — raw monotonic readings never cross the wire.
     shard_wall_hist: Optional[LogHistogram] = None
+    #: (table tag, key, shard indices) triples the dynamic race detector
+    #: found (``race_check`` rounds only; empty means the round's
+    #: write-sets were pairwise disjoint, as the router's proof claims).
+    race_overlaps: list = field(default_factory=list)
+    #: tables whose counted writes escaped capture during a checked
+    #: round (the dynamic face of RACE604); empty on healthy rounds.
+    uncaptured_tables: list = field(default_factory=list)
 
     def critical_path(self) -> int:
         """The busiest shard's cost — the parallel wall-clock proxy.
@@ -107,6 +192,7 @@ class ShardedEngine(IdIvmEngine):
         shards: int = 2,
         max_workers: Optional[int] = None,
         backend: str = "thread",
+        race_check: "bool | str" = False,
         **kwargs,
     ):
         if shards < 1:
@@ -115,9 +201,17 @@ class ShardedEngine(IdIvmEngine):
             raise SchemaError(
                 f"unknown shard backend {backend!r}; expected one of {BACKENDS}"
             )
+        if race_check not in (False, True, "strict"):
+            raise SchemaError(
+                f"race_check must be False, True or 'strict', got {race_check!r}"
+            )
         self.shards = shards
         self.max_workers = max_workers
         self.backend = backend
+        #: dynamic race detector: False (off), True (record overlaps as
+        #: the ``shard.race_overlaps`` metric + on the round report) or
+        #: "strict" (raise :class:`ShardRaceError` before merging).
+        self.race_check = race_check
         #: lazily spawned process pool (``backend="process"`` only): the
         #: first provably-parallel round pays the spawn + bootstrap cost,
         #: broadcast-only workloads never do.
@@ -214,6 +308,20 @@ class ShardedEngine(IdIvmEngine):
                     plan = plan_route(
                         view.generated.script, instances, self.db, self.shards
                     )
+                    override = getattr(view.generated, "route_override", None)
+                    if (
+                        not plan.parallel
+                        and override is not None
+                        and self.shards > 1
+                        and any(diff.rows for diff in instances.values())
+                    ):
+                        # Ablation / race-fixture knob: run the round
+                        # parallel on the forced anchor WITHOUT the
+                        # router's proof.  The race detector exists to
+                        # catch exactly what this can cause.
+                        plan = force_route(
+                            view.generated.script, instances, self.db, override
+                        )
                     if plan.parallel and self.backend == "process":
                         metrics.counter("shard.rounds_parallel").inc()
                         report = self._maintain_parallel_process(
@@ -369,6 +477,7 @@ class ShardedEngine(IdIvmEngine):
         report.shard_wall_hist = LogHistogram("shard.round_seconds", unit="seconds")
         merged_sizes: dict[str, int] = {}
         merged_writes: dict[str, list[tuple]] = {}
+        decoded_writes: list[dict[str, list[tuple]]] = []
         for i, result in enumerate(results):
             sc = wire.decode_counters(result["counters"])
             seconds = result["seconds"]
@@ -395,11 +504,21 @@ class ShardedEngine(IdIvmEngine):
                     bucket.add(counts)
             for k, v in shard_report.diff_sizes.items():
                 merged_sizes[k] = merged_sizes.get(k, 0) + v
-            for tag, ops in wire.decode_writeset(result["writes"]).items():
-                merged_writes.setdefault(tag, []).extend(ops)
+            decoded_writes.append(wire.decode_writeset(result["writes"]))
             # Keep the database-wide totals truthful, exactly like the
             # thread backend.
             ShardRoutingCounters.fold(router.base, sc)
+        if self.race_check:
+            # Check pairwise disjointness of the per-worker write-sets
+            # BEFORE any of them reaches the coordinator's tables: under
+            # "strict" a racy round leaves the authoritative state
+            # untouched.
+            self._handle_race(
+                view_name, report, _writeset_overlaps(decoded_writes), ()
+            )
+        for writes in decoded_writes:
+            for tag, ops in writes.items():
+                merged_writes.setdefault(tag, []).extend(ops)
         # The counted writes happened on the worker replicas; replay them
         # (uncounted — the cost is already in the folded counters) onto
         # the coordinator's authoritative tables, then onto every worker
@@ -445,6 +564,9 @@ class ShardedEngine(IdIvmEngine):
         shard_seconds = [0.0] * n
 
         def run_shard(i: int) -> None:
+            # Attribute this worker's capture stream (race_check rounds)
+            # to its shard; the set is local to the copied context.
+            _CURRENT_SHARD.set(i)
             sc = shard_counters[i]
             started = time.perf_counter()
             with router.activate(sc):
@@ -457,16 +579,39 @@ class ShardedEngine(IdIvmEngine):
             apply_seconds.observe(shard_seconds[i])
             shard_cost.observe(sc.total.total)
 
-        workers = min(self.max_workers or n, n)
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            # copy_context() per submission: each worker's spans parent
-            # under the current view span.
-            futures = [
-                pool.submit(contextvars.copy_context().run, run_shard, i)
-                for i in range(n)
-            ]
-            for future in futures:
-                future.result()
+        # Dynamic race detector: arm a shard-routed capture on every
+        # shared cache/view table, and the coverage audit on every base
+        # table (counted writes landing outside the tagged set would
+        # escape a process-backend write-set merge — dynamic RACE604).
+        race_tables: list = []
+        routed_sinks: dict[str, _RoutedSink] = {}
+        audit_hits: set[str] = set()
+        if self.race_check:
+            race_tables = list(tagged_tables(view.caches, view.operator_caches))
+            for tag, table in race_tables:
+                sink = _RoutedSink(n)
+                routed_sinks[tag] = sink
+                table.begin_capture(sink)  # type: ignore[arg-type]
+            for tname in self.db.table_names():
+                self.db.table(tname).audit_uncaptured(audit_hits.add)
+
+        try:
+            workers = min(self.max_workers or n, n)
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                # copy_context() per submission: each worker's spans parent
+                # under the current view span.
+                futures = [
+                    pool.submit(contextvars.copy_context().run, run_shard, i)
+                    for i in range(n)
+                ]
+                for future in futures:
+                    future.result()
+        finally:
+            for _, table in race_tables:
+                table.end_capture()
+            if self.race_check:
+                for tname in self.db.table_names():
+                    self.db.table(tname).audit_uncaptured(None)
 
         report = ShardedMaintenanceReport(
             view_name, parallel=True, anchor=plan.anchor, backend="thread"
@@ -496,6 +641,15 @@ class ShardedEngine(IdIvmEngine):
             # counts into the base counter set.
             ShardRoutingCounters.fold(router.base, sc)
         report.diff_sizes = merged_sizes
+        if self.race_check:
+            per_shard = [
+                {tag: sink.per_shard[i] for tag, sink in routed_sinks.items()}
+                for i in range(n)
+            ]
+            self._handle_race(
+                view_name, report, _writeset_overlaps(per_shard),
+                sorted(audit_hits),
+            )
         # Shard counts sum exactly to the single-shard counts, so the
         # merged diff sizes reconcile against the same global prediction.
         if view.cost_model is not None:
@@ -503,3 +657,32 @@ class ShardedEngine(IdIvmEngine):
                 report.diff_sizes
             )
         return report
+
+    # ------------------------------------------------------------------
+    def _handle_race(
+        self,
+        view_name: str,
+        report: ShardedMaintenanceReport,
+        overlaps: list[tuple[str, tuple, tuple[int, ...]]],
+        uncaptured,
+    ) -> None:
+        """Surface what the dynamic detector found for one checked round."""
+        if uncaptured:
+            metrics.counter("shard.uncaptured_writes").inc(len(uncaptured))
+            report.uncaptured_tables = list(uncaptured)
+        if not overlaps:
+            return
+        metrics.counter("shard.race_overlaps").inc(len(overlaps))
+        report.race_overlaps = overlaps
+        if self.race_check == "strict":
+            shown = "; ".join(
+                f"{tag} key {key!r} written by shards {list(shards)}"
+                for tag, key, shards in overlaps[:5]
+            )
+            more = f" (+{len(overlaps) - 5} more)" if len(overlaps) > 5 else ""
+            raise ShardRaceError(
+                f"parallel round for view {view_name!r} produced "
+                f"overlapping per-shard write-sets — the shard-disjointness "
+                f"claim is violated: {shown}{more}",
+                overlaps=overlaps,
+            )

@@ -35,9 +35,12 @@ STRATEGY_FACTORIES: dict[str, Callable] = {
     "minimized": lambda db: IdIvmEngine(db, optimize=True),
     "compiled": lambda db: IdIvmEngine(db, exec_backend="compiled"),
     "tuple": TupleIvmEngine,
-    "sharded1": lambda db: ShardedEngine(db, shards=1),
-    "sharded2": lambda db: ShardedEngine(db, shards=2),
-    "sharded4": lambda db: ShardedEngine(db, shards=4),
+    # Sharded strategies run with the dynamic race detector on: any
+    # overlapping per-shard write-sets become a "race" divergence (see
+    # run_strategy) — one more claim the fuzzer differentially checks.
+    "sharded1": lambda db: ShardedEngine(db, shards=1, race_check=True),
+    "sharded2": lambda db: ShardedEngine(db, shards=2, race_check=True),
+    "sharded4": lambda db: ShardedEngine(db, shards=4, race_check=True),
 }
 
 ALL_STRATEGIES = tuple(STRATEGY_FACTORIES)
@@ -50,7 +53,7 @@ class Divergence:
     strategy: str
     batch: int  # -1: view definition / initial state
     kind: str  # "view_mismatch" | "invariant" | "exception" |
-    #          # "oracle_error" | "analysis" | "cost" | "drift"
+    #          # "oracle_error" | "analysis" | "cost" | "drift" | "race"
     detail: str
 
     def __str__(self) -> str:  # pragma: no cover - display helper
@@ -147,6 +150,18 @@ def run_strategy(
             return Divergence(strategy, bi, "exception", _tail(exc))
         if problems:
             return Divergence(strategy, bi, "invariant", "; ".join(problems[:3]))
+        overlaps = getattr(report, "race_overlaps", None)
+        if overlaps:
+            shown = "; ".join(
+                f"{tag} key {key!r} by shards {list(shards)}"
+                for tag, key, shards in overlaps[:3]
+            )
+            return Divergence(
+                strategy,
+                bi,
+                "race",
+                f"{len(overlaps)} overlapping per-shard write(s): {shown}",
+            )
         cost_divergence = _reconcile_cost(report, strategy, bi, diag_sink)
         if cost_divergence is not None:
             return cost_divergence

@@ -15,16 +15,24 @@ See ``docs/SHARDING.md`` for the locality argument.
 """
 
 from .counters import ShardRoutingCounters
-from .router import RoutePlan, plan_route, split_instances
+from .router import (
+    ProvenanceTracker,
+    RoutePlan,
+    force_route,
+    plan_route,
+    split_instances,
+)
 from .workers import ProcessShardPool, WorkerError, build_blueprint
 from ..storage.partition import shard_of
 
 __all__ = [
     "ProcessShardPool",
+    "ProvenanceTracker",
     "RoutePlan",
     "ShardRoutingCounters",
     "WorkerError",
     "build_blueprint",
+    "force_route",
     "plan_route",
     "shard_of",
     "split_instances",

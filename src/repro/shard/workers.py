@@ -49,7 +49,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 import traceback
-from typing import Iterator, Mapping, Optional, Sequence
+from typing import Any, Iterator, Mapping, Optional, Sequence
 
 from ..core import wire
 from ..storage import CounterSet, Database, Table
@@ -97,7 +97,7 @@ def _restore_table(payload: tuple, counters, auto_index: bool) -> Table:
 
 
 def build_blueprint(
-    db: Database, views: Mapping[str, object], exec_backend: str = "interp"
+    db: Database, views: Mapping[str, Any], exec_backend: str = "interp"
 ) -> dict:
     """Snapshot the engine's state for worker bootstrap.
 
@@ -263,12 +263,17 @@ def worker_main(conn) -> None:
                 if kind == "boot":
                     state = _WorkerState(msg[1])
                     conn.send(("ok", None))
+                elif kind in ("round", "exec", "apply") and state is None:
+                    conn.send(("err", f"{kind!r} before boot"))
                 elif kind == "round":
+                    assert state is not None
                     state.begin_round(msg[1], msg[2])
                     conn.send(("ok", None))
                 elif kind == "exec":
+                    assert state is not None
                     conn.send(("ok", state.execute(msg[1], msg[2])))
                 elif kind == "apply":
+                    assert state is not None
                     state.apply_writes(msg[1], msg[2])
                     conn.send(("ok", None))
                 elif kind == "close":

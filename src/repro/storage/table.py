@@ -30,7 +30,7 @@ from __future__ import annotations
 import threading
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
-from ..errors import IntegrityError, SchemaError
+from ..errors import IntegrityError, SchemaError, ScriptError
 from .counters import CounterSet
 from .schema import TableSchema
 
@@ -92,6 +92,9 @@ class Table:
         # Optional write-set sink (see begin_capture): counted writes and
         # index builds append replayable ops here while active.
         self._capture: list[tuple] | None = None
+        # Optional coverage audit (see audit_uncaptured): called with the
+        # table name on every counted write that no capture records.
+        self._uncaptured_audit: Callable[[str], None] | None = None
 
     # ------------------------------------------------------------------
     # introspection
@@ -239,6 +242,8 @@ class Table:
             self.counters.count_index_maintenance(len(self._indexes))
             if self._capture is not None:
                 self._capture.append(("s", key, row))
+            elif self._uncaptured_audit is not None:
+                self._uncaptured_audit(self.schema.name)
         self.counters.count_tuple_write()
 
     def delete_key(self, key: tuple) -> tuple | None:
@@ -254,6 +259,8 @@ class Table:
             self.counters.count_index_maintenance(len(self._indexes))
             if self._capture is not None:
                 self._capture.append(("d", key))
+            elif self._uncaptured_audit is not None:
+                self._uncaptured_audit(self.schema.name)
         self.counters.count_tuple_write()
         return row
 
@@ -285,6 +292,8 @@ class Table:
             self._rows[key] = new_row
             if self._capture is not None:
                 self._capture.append(("s", key, new_row))
+            elif self._uncaptured_audit is not None:
+                self._uncaptured_audit(self.schema.name)
         self.counters.count_tuple_write()
         return old
 
@@ -306,6 +315,8 @@ class Table:
             self._rows[key] = new_row
             if self._capture is not None:
                 self._capture.append(("s", key, new_row))
+            elif self._uncaptured_audit is not None:
+                self._uncaptured_audit(self.schema.name)
         self.counters.count_tuple_write()
         return old
 
@@ -364,6 +375,8 @@ class Table:
             self._rows[key] = new_row
             if self._capture is not None:
                 self._capture.append(("s", key, new_row))
+            elif self._uncaptured_audit is not None:
+                self._uncaptured_audit(self.schema.name)
         self.counters.count_tuple_write()
         return old
 
@@ -377,6 +390,8 @@ class Table:
             self.counters.count_index_maintenance(len(self._indexes))
             if self._capture is not None:
                 self._capture.append(("d", key))
+            elif self._uncaptured_audit is not None:
+                self._uncaptured_audit(self.schema.name)
         self.counters.count_tuple_write()
         return row
 
@@ -407,6 +422,8 @@ class Table:
             self.counters.count_index_maintenance(len(self._indexes))
             if self._capture is not None:
                 self._capture.append(("s", key, row))
+            elif self._uncaptured_audit is not None:
+                self._uncaptured_audit(self.schema.name)
         self.counters.count_tuple_write()
         return True
 
@@ -421,8 +438,17 @@ class Table:
         ``("d", key)``; index builds record ``("x", columns)`` so a
         replica's index set (and hence its ``index_maintenance`` counts)
         tracks the original's.  Returns the sink list.
+
+        Captures do not nest: arming a second capture while one is
+        active raises :class:`~repro.errors.ScriptError` — the inner
+        caller would silently steal the outer caller's write-set.
         """
         with self._lock:
+            if self._capture is not None:
+                raise ScriptError(
+                    f"nested begin_capture on table {self.schema.name!r}: "
+                    f"a capture is already active"
+                )
             sink = sink if sink is not None else []
             self._capture = sink
             return sink
@@ -432,6 +458,18 @@ class Table:
         with self._lock:
             sink, self._capture = self._capture, None
             return sink if sink is not None else []
+
+    def audit_uncaptured(self, hook: Callable[[str], None] | None) -> None:
+        """Install (or clear, with None) the capture-coverage audit.
+
+        While set and no capture is armed, every counted write calls
+        ``hook(table_name)``.  The dynamic race detector arms this on
+        tables *outside* the view's tagged cache set during a checked
+        round: any hit is a writer whose effects would escape the
+        process backend's write-set merge (the dynamic face of RACE604).
+        """
+        with self._lock:
+            self._uncaptured_audit = hook
 
     def replay_writes(self, ops: Sequence[tuple]) -> None:
         """Apply a captured write-set, uncounted and idempotently.

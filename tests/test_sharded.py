@@ -10,6 +10,10 @@ counts exercised by the equivalence tests, and ``REPRO_BACKEND=thread``
 (or ``process``) to restrict the execution backends.  The process
 backend spawns real worker processes, so its equivalence coverage runs
 at bounded shard counts (≤ 4) to keep the suite quick.
+``REPRO_RACE_CHECK=true`` (or ``strict``, as the CI matrix sets) runs
+every sharded engine built here with the dynamic write-set race
+detector armed — the equivalence suite then doubles as a
+disjointness-proof checker on real workloads.
 """
 
 from __future__ import annotations
@@ -58,6 +62,12 @@ BACKENDS = tuple(
 DEV_CONFIG = DevicesConfig(n_parts=80, n_devices=80, diff_size=24)
 BSMA_CONFIG = BsmaConfig(n_users=150)
 
+_RACE_ENV = os.environ.get("REPRO_RACE_CHECK", "").strip().lower()
+#: False | True | "strict" — threaded through every engine built here.
+RACE_CHECK = (
+    "strict" if _RACE_ENV == "strict" else _RACE_ENV in ("1", "true", "yes")
+)
+
 
 def _backend_shard_params(process_counts=(2, 4)):
     """(backend, n_shards) matrix: thread everywhere, process bounded."""
@@ -71,7 +81,9 @@ def _backend_shard_params(process_counts=(2, 4)):
 
 
 def _sharded_factory(n_shards, backend):
-    return lambda db: ShardedEngine(db, shards=n_shards, backend=backend)
+    return lambda db: ShardedEngine(
+        db, shards=n_shards, backend=backend, race_check=RACE_CHECK
+    )
 
 
 def _phase_totals(report):

@@ -316,3 +316,100 @@ class TestIndexMaintenanceAccounting:
         assert AccessCounts.from_dict(counts.as_dict()) == counts
         delta = counts - AccessCounts(0, 0, 0, 9)
         assert delta.index_maintenance == 90
+
+
+class TestWriteSetCapture:
+    """begin_capture / end_capture / replay_writes edge cases.
+
+    These primitives carry the process-backend write-set merge AND the
+    dynamic shard race detector; their edge semantics (no nesting, replay
+    is uncounted, op order is the mutation order) are load-bearing.
+    """
+
+    def _fresh(self):
+        table = Table(TableSchema("parts", ("pid", "price"), ("pid",)))
+        table.load([("P1", 10), ("P2", 20)])
+        return table
+
+    def test_nested_capture_is_an_error(self):
+        from repro.errors import ScriptError
+
+        table = self._fresh()
+        table.begin_capture()
+        with pytest.raises(ScriptError):
+            table.begin_capture()
+        # The original capture stays armed and intact.
+        table.insert(("P3", 30))
+        ops = table.end_capture()
+        assert ops == [("s", ("P3",), ("P3", 30))]
+
+    def test_end_capture_without_begin_is_empty(self):
+        table = self._fresh()
+        assert table.end_capture() == []
+
+    def test_capture_stops_recording_after_end(self):
+        table = self._fresh()
+        table.begin_capture()
+        table.insert(("P3", 30))
+        ops = table.end_capture()
+        table.insert(("P4", 40))
+        assert ops == [("s", ("P3",), ("P3", 30))]
+
+    def test_replay_is_count_neutral(self):
+        source = self._fresh()
+        source.begin_capture()
+        source.insert(("P3", 30))
+        source.update_key(("P1",), {"price": 11})
+        source.delete_key(("P2",))
+        ops = source.end_capture()
+
+        replica = self._fresh()
+        counters = replica.counters
+        before = counters.total.total + counters.total.index_maintenance
+        replica.replay_writes(ops)
+        after = counters.total.total + counters.total.index_maintenance
+        assert after == before, "replay must not count work twice"
+        assert replica.as_set() == source.as_set()
+
+    def test_replay_preserves_op_order(self):
+        """delete + reinsert of the same key must land in capture order,
+        or the replica converges to the wrong row."""
+        source = self._fresh()
+        source.begin_capture()
+        source.delete_key(("P1",))
+        source.insert(("P1", 99))
+        source.update_key(("P1",), {"price": 100})
+        ops = source.end_capture()
+        assert [op[0] for op in ops] == ["d", "s", "s"]
+
+        replica = self._fresh()
+        replica.replay_writes(ops)
+        assert replica.get(("P1",)) == ("P1", 100)
+        assert replica.as_set() == source.as_set()
+
+    def test_replay_is_idempotent(self):
+        source = self._fresh()
+        source.begin_capture()
+        source.insert(("P3", 30))
+        source.delete_key(("P2",))
+        ops = source.end_capture()
+        replica = self._fresh()
+        replica.replay_writes(ops)
+        replica.replay_writes(ops)  # upserts overwrite, deletes no-op
+        assert replica.as_set() == source.as_set()
+
+    def test_uncaptured_audit_fires_only_without_capture(self):
+        table = self._fresh()
+        hits: list[str] = []
+        table.audit_uncaptured(hits.append)
+        table.insert(("P3", 30))
+        assert hits == ["parts"]
+        # An armed capture silences the audit (the write is recorded).
+        table.begin_capture()
+        table.insert(("P4", 40))
+        table.end_capture()
+        assert hits == ["parts"]
+        # Clearing the hook stops the audit.
+        table.audit_uncaptured(None)
+        table.insert(("P5", 50))
+        assert hits == ["parts"]
