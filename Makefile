@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-sharded smoke smoke-obs bench perf-gate fuzz lint lint-static
+.PHONY: test test-sharded smoke smoke-obs bench perf-gate fuzz lint \
+	lint-catalog lint-static
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -48,7 +49,8 @@ PERF_GATE_BENCHES = \
     benchmarks/bench_eager_vs_deferred.py \
     benchmarks/bench_minimization.py \
     benchmarks/bench_parallel_shards.py \
-    benchmarks/bench_compiled.py
+    benchmarks/bench_compiled.py \
+    benchmarks/bench_catalog_lint.py
 perf-gate:
 	REPRO_PERF_GATE=1 $(PYTHON) -m pytest $(PERF_GATE_BENCHES) --benchmark-disable -q
 
@@ -57,11 +59,17 @@ perf-gate:
 lint:
 	$(PYTHON) -m repro lint
 
+# Catalog-scale lint: the deterministic thousand-view catalog through
+# the incremental analysis cache (.repro-cache/) and the catalog-scope
+# sharing pass.  A second run is warm — CI uploads the cache artifact.
+lint-catalog:
+	$(PYTHON) -m repro lint --catalog
+
 # Conventional static checks (ruff + mypy, configured in pyproject).
 # Both are optional in the dev container; absent tools are skipped so
 # the target stays green locally and strict in CI (which installs them).
 lint-static:
-	@if command -v ruff >/dev/null 2>&1; then ruff check src tests; \
+	@if command -v ruff >/dev/null 2>&1; then ruff check src tests benchmarks; \
 	else echo "ruff not installed; skipping"; fi
 	@if command -v mypy >/dev/null 2>&1; then mypy; \
 	else echo "mypy not installed; skipping"; fi

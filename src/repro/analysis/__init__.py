@@ -1,6 +1,7 @@
 """Static verifier + lint framework for plans, expressions and ∆-scripts.
 
-Six passes over a shared diagnostic model (see docs/ANALYSIS.md):
+Six per-view passes over a shared diagnostic model (see
+docs/ANALYSIS.md):
 
 * ``typecheck``    — 3VL-aware type & nullability inference (TC1xx)
 * ``keys``         — key/FD audit of the ID inference claims (KEY2xx)
@@ -9,10 +10,16 @@ Six passes over a shared diagnostic model (see docs/ANALYSIS.md):
 * ``cost``         — symbolic cost inference & minimality lints (COST5xx)
 * ``interference`` — shard write/read footprint disjointness (RACE6xx)
 
+plus one catalog-scoped pass that sees every defined view at once:
+
+* ``sharing``      — cross-view sub-plan sharing detection (SHARE7xx)
+
 Entry points: :func:`analyze_plan` for a bare algebra plan,
 :func:`analyze_generated` for compiler output, :func:`check_generated`
 as the strict post-generation assertion (raises on error-severity
-diagnostics).
+diagnostics; consults the incremental analysis cache when
+``REPRO_ANALYSIS_CACHE`` is set), and :func:`analyze_catalog` for the
+catalog scope.
 """
 
 from __future__ import annotations
@@ -30,7 +37,17 @@ from .diagnostics import (
     Diagnostic,
     Rule,
 )
-from .registry import AnalysisContext, pass_names, register_pass, run_passes
+from .registry import (
+    AnalysisContext,
+    CatalogContext,
+    catalog_pass_names,
+    pass_names,
+    pass_versions,
+    register_catalog_pass,
+    register_pass,
+    run_catalog_passes,
+    run_passes,
+)
 
 # Importing the pass modules registers them (registration order = run
 # order: cheap local checks first, router probing last).
@@ -40,6 +57,25 @@ from . import script_check as _script_check  # noqa: F401
 from . import shard_check as _shard_check  # noqa: F401
 from . import cost as _cost  # noqa: F401
 from . import interference as _interference  # noqa: F401
+from . import sharing as _sharing  # noqa: F401
+
+from .fingerprint import (  # noqa: E402  (re-export)
+    FINGERPRINT_VERSION,
+    FingerprintError,
+    generated_fingerprint,
+    plan_fingerprint,
+    plan_fingerprints,
+    script_fingerprint,
+)
+from .cache import (  # noqa: E402  (re-export)
+    AnalysisCache,
+    entry_from_report,
+    gate_cache,
+    generated_cache_key,
+    plan_cache_key,
+    report_from_entry,
+)
+from .sharing import CatalogViewFacts, view_facts  # noqa: E402
 
 
 def analyze_plan(plan, names=None) -> AnalysisReport:
@@ -74,8 +110,25 @@ def analyze_generated(
 
 
 def check_generated(generated, db=None) -> AnalysisReport:
-    """Strict gate: analyze and raise on error-severity diagnostics."""
-    report = analyze_generated(generated, db=db)
+    """Strict gate: analyze and raise on error-severity diagnostics.
+
+    When ``REPRO_ANALYSIS_CACHE`` names a directory, a previously seen
+    (plan, script, statistics) triple replays its frozen diagnostics
+    instead of re-running the passes.
+    """
+    cache = gate_cache()
+    report: Optional[AnalysisReport] = None
+    key = ""
+    if cache is not None:
+        key = generated_cache_key(generated, db)
+        entry = cache.get(key)
+        if entry is not None:
+            report = report_from_entry(entry)
+    if report is None:
+        report = analyze_generated(generated, db=db)
+        if cache is not None:
+            cache.put(key, entry_from_report(report))
+            cache.flush()
     if report.has_errors():
         lines = [d.render() for d in report.errors]
         raise StaticAnalysisError(
@@ -83,6 +136,17 @@ def check_generated(generated, db=None) -> AnalysisReport:
             f"{generated.view_name!r}:\n" + "\n".join(lines)
         )
     return report
+
+
+def analyze_catalog(views, names=None) -> AnalysisReport:
+    """Run the catalog-scoped passes over per-view facts.
+
+    *views* is an iterable of :class:`~repro.analysis.sharing.
+    CatalogViewFacts` (build them with :func:`view_facts`, or replay
+    them from the analysis cache).
+    """
+    ctx = CatalogContext(views=list(views))
+    return run_catalog_passes(ctx, names)
 
 
 __all__ = [
@@ -94,10 +158,30 @@ __all__ = [
     "Diagnostic",
     "AnalysisReport",
     "AnalysisContext",
+    "CatalogContext",
+    "CatalogViewFacts",
     "register_pass",
+    "register_catalog_pass",
     "pass_names",
+    "catalog_pass_names",
+    "pass_versions",
     "run_passes",
+    "run_catalog_passes",
     "analyze_plan",
     "analyze_generated",
+    "analyze_catalog",
     "check_generated",
+    "view_facts",
+    "plan_fingerprint",
+    "plan_fingerprints",
+    "script_fingerprint",
+    "generated_fingerprint",
+    "FingerprintError",
+    "FINGERPRINT_VERSION",
+    "AnalysisCache",
+    "gate_cache",
+    "plan_cache_key",
+    "generated_cache_key",
+    "entry_from_report",
+    "report_from_entry",
 ]

@@ -64,6 +64,9 @@ RULES: dict[str, Rule] = {
         Rule("RACE602", ERROR, "cross-shard read of state mutated in the same round"),
         Rule("RACE603", WARNING, "broadcast-window write under a routed reader"),
         Rule("RACE604", ERROR, "counted writer escapes write-set capture"),
+        Rule("SHARE701", INFO, "identical sub-plan cached by multiple views"),
+        Rule("SHARE702", INFO, "view semantically equivalent to an existing view"),
+        Rule("SHARE703", INFO, "view subsumed by σ/π over another view's cache"),
     )
 }
 

@@ -1,0 +1,331 @@
+"""Pass 7 — cross-view sharing detection (catalog scope, SHARE7xx).
+
+The first catalog-scoped pass: where passes 1–6 verify one view at a
+time, this pass sees the *facts* of every defined view at once and
+flags statically detectable overlap between them — the precondition for
+actually sharing intermediate caches across views.
+
+* **SHARE701** — an identical sub-plan (by alpha fingerprint) is
+  materialized as an intermediate cache in two or more views.  Each
+  extra copy repeats the cache's whole maintenance pipeline every
+  round; the diagnostic prices that duplicated work with the PR 5
+  symbolic cost model (the transitive compute/aggregate/apply steps
+  feeding the cache, evaluated at nominal diff cardinalities).
+* **SHARE702** — a view is semantically equivalent (same root alpha
+  fingerprint) to an already-defined view.
+* **SHARE703** — a view is a selection/projection over a sub-plan that
+  another view materializes: its σ/π root chain bottoms out in a
+  fingerprint another view caches.
+
+All three are informational: they report sharing *opportunities*, not
+defects.
+
+Facts (:class:`CatalogViewFacts`) are deliberately tiny and
+JSON-serializable so the incremental analysis cache can persist them —
+a warm ``repro lint --catalog`` runs this pass from cached facts
+without regenerating a single ∆-script.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..algebra.plan import PlanNode, Project, Select
+from ..core.ir import AppliedSource, DiffSource, IrNode
+from ..core.rules.aggregate import AssociativeAggregateStep, GeneralAggregateStep
+from ..core.script import ApplyDiffStep, ComputeDiffStep
+from ..costmodel.symbolic import CostVector, UnresolvedSymbolError
+from ..storage.database import Database
+from .fingerprint import plan_fingerprint, plan_fingerprints
+from .registry import CatalogContext, register_catalog_pass
+
+SHARING_PASS_VERSION = 1
+
+#: how many view names a SHARE7xx message spells out before eliding
+_MAX_NAMED_VIEWS = 5
+
+
+@dataclass(frozen=True)
+class CachedSubplan:
+    """One materialized sub-plan of a view, priced for maintenance."""
+
+    node_id: int
+    kind: str  # "intermediate" | "output"
+    label: str  # operator label, e.g. "Join"
+    fingerprint: str  # alpha fingerprint of the cached sub-plan
+    #: metric -> predicted accesses/round to keep this cache fresh
+    #: (None when the cost model could not be derived)
+    price: Optional[dict[str, float]]
+
+
+@dataclass(frozen=True)
+class CatalogViewFacts:
+    """Everything the sharing pass needs to know about one view."""
+
+    label: str
+    root_fingerprint: str
+    caches: tuple[CachedSubplan, ...]
+    #: fingerprints reachable from the root through σ/π operators only,
+    #: root included — the "selection/projection over X" witnesses
+    chain: tuple[str, ...]
+
+
+def _ir_dependencies(ir: IrNode) -> tuple[set[str], set[str]]:
+    """Diff names and expansion (RETURNING) names an IR tree reads."""
+    diffs: set[str] = set()
+    expansions: set[str] = set()
+    for node in ir.walk():
+        if isinstance(node, DiffSource):
+            diffs.add(node.name)
+        elif isinstance(node, AppliedSource):
+            expansions.add(node.apply_name)
+    return diffs, expansions
+
+
+def _cache_step_labels(generated: object, node_id: int) -> set[str]:
+    """Cost-model step labels of the maintenance pipeline of one cache.
+
+    Starts from the diffs applied to *node_id* and chases producers
+    transitively (compute steps through their IR sources, aggregate
+    steps through their inputs, RETURNING expansions through the apply
+    that emits them).  Applies targeting *other* caches are charged to
+    those caches, not this one.
+    """
+    steps = generated.script.steps  # type: ignore[attr-defined]
+    labels: set[str] = set()
+    pending: list[tuple[str, str]] = []  # (kind, name): "diff" | "expansion"
+    seen: set[tuple[str, str]] = set()
+
+    for step in steps:
+        if isinstance(step, ApplyDiffStep) and step.target_node_id == node_id:
+            labels.add(f"APPLY {step.diff_name} -> {step.target_label}")
+            pending.append(("diff", step.diff_name))
+
+    producers: dict[tuple[str, str], object] = {}
+    for step in steps:
+        if isinstance(step, ComputeDiffStep):
+            producers[("diff", step.name)] = step
+        elif isinstance(step, (AssociativeAggregateStep, GeneralAggregateStep)):
+            for name in step.emitted.values():
+                producers[("diff", name)] = step
+        if isinstance(step, ApplyDiffStep) and step.returning_name is not None:
+            producers[("expansion", step.returning_name)] = step
+
+    while pending:
+        key = pending.pop()
+        if key in seen:
+            continue
+        seen.add(key)
+        step = producers.get(key)
+        if step is None:
+            continue  # base-table i-diff: arrives from the modlog for free
+        if isinstance(step, ComputeDiffStep):
+            labels.add(f"COMPUTE {step.name}")
+            diffs, expansions = _ir_dependencies(step.ir)
+            pending.extend(("diff", n) for n in diffs)
+            pending.extend(("expansion", n) for n in expansions)
+        elif isinstance(step, AssociativeAggregateStep):
+            labels.add(f"γ-delta n{step.gnode.node_id}")
+            pending.extend(pair for pair in step.inputs)
+        elif isinstance(step, GeneralAggregateStep):
+            labels.add(f"γ-recompute n{step.gnode.node_id}")
+            pending.extend(pair for pair in step.inputs)
+        elif isinstance(step, ApplyDiffStep):
+            # reached through a RETURNING expansion: charge the upstream
+            # compute, not the apply (it maintains a different cache)
+            pending.append(("diff", step.diff_name))
+    return labels
+
+
+def _price_cache(
+    generated: object, db: Optional[Database], node_id: int
+) -> Optional[dict[str, float]]:
+    if db is None:
+        return None
+    try:
+        from .cost import infer_script_cost
+
+        model = infer_script_cost(generated, db)
+    except Exception:
+        return None
+    labels = _cache_step_labels(generated, node_id)
+    vector = CostVector()
+    for step_cost in model.steps:
+        if step_cost.label in labels:
+            vector = vector + step_cost.vector
+    try:
+        price = model.evaluate_vector(vector)
+    except UnresolvedSymbolError:
+        return None
+    price["total"] = sum(price.values())
+    return price
+
+
+def _root_chain(plan: PlanNode, fps: dict[int, str]) -> tuple[str, ...]:
+    chain: list[str] = []
+    node: PlanNode = plan
+    while True:
+        fp = fps.get(node.node_id)
+        if fp is not None:
+            chain.append(fp)
+        if isinstance(node, Select):
+            node = node.child
+        elif isinstance(node, Project):
+            node = node.child
+        else:
+            return tuple(chain)
+
+
+def view_facts(
+    label: str, generated: object, db: Optional[Database] = None
+) -> CatalogViewFacts:
+    """Distill one generated view into the sharing pass's input facts."""
+    plan = generated.plan  # type: ignore[attr-defined]
+    fps = plan_fingerprints(plan, db)
+    nodes = {n.node_id: n for n in plan.walk()}
+    caches: list[CachedSubplan] = []
+    for spec in generated.cache_specs:  # type: ignore[attr-defined]
+        node = nodes.get(spec.node_id)
+        fp = fps.get(spec.node_id)
+        if node is None or fp is None:
+            continue
+        price = (
+            _price_cache(generated, db, spec.node_id)
+            if spec.kind == "intermediate"
+            else None
+        )
+        caches.append(
+            CachedSubplan(spec.node_id, spec.kind, node.label(), fp, price)
+        )
+    return CatalogViewFacts(
+        label=label,
+        root_fingerprint=plan_fingerprint(plan, db),
+        caches=tuple(caches),
+        chain=_root_chain(plan, fps),
+    )
+
+
+def facts_to_json(facts: CatalogViewFacts) -> dict:
+    return {
+        "label": facts.label,
+        "root": facts.root_fingerprint,
+        "caches": [
+            {
+                "node_id": c.node_id,
+                "kind": c.kind,
+                "label": c.label,
+                "fp": c.fingerprint,
+                "price": c.price,
+            }
+            for c in facts.caches
+        ],
+        "chain": list(facts.chain),
+    }
+
+
+def facts_from_json(payload: dict) -> CatalogViewFacts:
+    return CatalogViewFacts(
+        label=payload["label"],
+        root_fingerprint=payload["root"],
+        caches=tuple(
+            CachedSubplan(
+                node_id=c["node_id"],
+                kind=c["kind"],
+                label=c["label"],
+                fingerprint=c["fp"],
+                price=c["price"],
+            )
+            for c in payload["caches"]
+        ),
+        chain=tuple(payload["chain"]),
+    )
+
+
+def _name_views(labels: list[str]) -> str:
+    shown = labels[:_MAX_NAMED_VIEWS]
+    extra = len(labels) - len(shown)
+    joined = ", ".join(shown)
+    return f"{joined} and {extra} more" if extra > 0 else joined
+
+
+@register_catalog_pass("sharing", version=SHARING_PASS_VERSION)
+def sharing_pass(ctx: CatalogContext) -> None:
+    views: list[CatalogViewFacts] = list(ctx.views)
+
+    # SHARE701: identical intermediate caches across views.
+    by_fp: dict[str, list[tuple[str, CachedSubplan]]] = {}
+    for facts in views:
+        for cache in facts.caches:
+            if cache.kind == "intermediate":
+                by_fp.setdefault(cache.fingerprint, []).append(
+                    (facts.label, cache)
+                )
+    for fp in sorted(by_fp):
+        members = sorted(by_fp[fp], key=lambda m: m[0])
+        labels = sorted({label for label, _ in members})
+        if len(labels) < 2:
+            continue
+        priced = next((c.price for _, c in members if c.price), None)
+        if priced is not None:
+            cost_note = (
+                f"; each extra copy repeats ≈{priced['total']:g} "
+                f"accesses/round ({priced['index_lookups']:g} lookups, "
+                f"{priced['tuple_reads']:g} reads, "
+                f"{priced['tuple_writes']:g} writes)"
+            )
+        else:
+            cost_note = ""
+        op = members[0][1].label
+        ctx.report.add(
+            "SHARE701",
+            f"shared:{fp[:12]}",
+            f"{op} sub-plan cached independently by {len(labels)} views "
+            f"({_name_views(labels)}){cost_note}",
+            "maintain the sub-plan once and share the cache across views",
+        )
+
+    # SHARE702: whole-view semantic duplicates.
+    by_root: dict[str, list[str]] = {}
+    for facts in views:
+        by_root.setdefault(facts.root_fingerprint, []).append(facts.label)
+    duplicate_roots: set[str] = set()
+    for fp in sorted(by_root):
+        labels = sorted(set(by_root[fp]))
+        if len(labels) < 2:
+            continue
+        duplicate_roots.add(fp)
+        first, rest = labels[0], labels[1:]
+        ctx.report.add(
+            "SHARE702",
+            first,
+            f"{_name_views(rest)} {'is' if len(rest) == 1 else 'are'} "
+            f"semantically equivalent to {first} (same alpha fingerprint)",
+            "define the view once and alias the duplicates",
+        )
+
+    # SHARE703: a view's σ/π chain bottoms out in another view's cache.
+    cache_owners: dict[str, set[str]] = {}
+    for facts in views:
+        for cache in facts.caches:
+            cache_owners.setdefault(cache.fingerprint, set()).add(facts.label)
+    for facts in sorted(views, key=lambda f: f.label):
+        if facts.root_fingerprint in duplicate_roots:
+            continue  # already reported as SHARE702
+        hosts: set[str] = set()
+        for fp in facts.chain:
+            hosts |= {
+                owner
+                for owner in cache_owners.get(fp, ())
+                if owner != facts.label
+            }
+        if hosts:
+            named = _name_views(sorted(hosts))
+            ctx.report.add(
+                "SHARE703",
+                facts.label,
+                f"view is a selection/projection over a sub-plan already "
+                f"cached by {named}",
+                "answer the view from the host cache instead of maintaining "
+                "a private copy",
+            )

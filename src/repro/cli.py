@@ -488,14 +488,175 @@ def _cmd_lint_cost(args: argparse.Namespace, rules, json_out: dict) -> int:
     return 1 if n_gating else 0
 
 
+#: generator knobs folded into lint cache keys — anything that changes
+#: which ∆-script a plan compiles to must appear here.
+_LINT_KNOBS = ("policy=equi", "optimize", "cost-select")
+
+
+def _script_level_subset(report):
+    """The diagnostics a script+interference re-run would reproduce."""
+    from .analysis import AnalysisReport
+
+    subset = AnalysisReport()
+    subset.diagnostics.extend(
+        d
+        for d in report.diagnostics
+        if d.rule_id.startswith(("SC3", "RACE6"))
+    )
+    return subset
+
+
+def _lint_view_entry(label, plan, db, cache, with_compiled):
+    """Analyze one lint target through the incremental analysis cache.
+
+    Returns ``(report, compiled_report, facts)`` — *compiled_report* is
+    None unless *with_compiled*.  On a cache hit the frozen diagnostics
+    and sharing facts replay without generating or analyzing anything.
+    """
+    from .analysis import (
+        analyze_generated,
+        entry_from_report,
+        plan_cache_key,
+        report_from_entry,
+        script_fingerprint,
+        view_facts,
+    )
+    from .analysis.sharing import facts_from_json, facts_to_json
+    from .core.compile import compile_script
+    from .core.generator import ScriptGenerator
+    from .core.schema_gen import generate_base_schemas
+
+    knobs = _LINT_KNOBS + (label,) + (("compiled",) if with_compiled else ())
+    key = ""
+    if cache is not None:
+        key = plan_cache_key(plan, db, knobs=knobs)
+        entry = cache.get(key)
+        if entry is not None:
+            report = report_from_entry(entry)
+            facts = facts_from_json(entry["facts"])
+            compiled_report = (
+                report_from_entry(
+                    {"diagnostics": entry["compiled_diagnostics"]}
+                )
+                if with_compiled
+                else None
+            )
+            return report, compiled_report, facts
+
+    # cost_db: lint analyzes the scripts the engine would actually
+    # ship, i.e. after cost-based candidate selection (COST501/502
+    # findings on the default pipeline are fixed, not just reported).
+    generator = ScriptGenerator(label, plan, cost_db=db)
+    generated = generator.generate(generate_base_schemas(generator.plan, db))
+    report = analyze_generated(generated, db=db)
+    facts = view_facts(label, generated, db)
+    compiled_report = None
+    if with_compiled:
+        # The compiled execution backend runs a different ∆-script
+        # object (CompiledComputeDiffStep subclasses ComputeDiffStep),
+        # so the step-level passes apply to it as well.  Compilation
+        # shares every name, schema and IR tree, which an exact script
+        # fingerprint match certifies — in that case the interpreted
+        # run's script/interference diagnostics are reused instead of
+        # re-running both passes over an identical script.
+        compiled = compile_script(generated)
+        interpreted_fp = script_fingerprint(
+            generated.script, generated.plan, db, alpha=False
+        )
+        compiled_fp = script_fingerprint(
+            compiled, generated.plan, db, alpha=False
+        )
+        if compiled_fp == interpreted_fp:
+            compiled_report = _script_level_subset(report)
+        else:
+            compiled_report = analyze_generated(
+                generated, db=db, script=compiled,
+                names=("script", "interference"),
+            )
+    if cache is not None:
+        extra = {"facts": facts_to_json(facts)}
+        if compiled_report is not None:
+            extra["compiled_diagnostics"] = entry_from_report(
+                compiled_report
+            )["diagnostics"]
+        cache.put(key, entry_from_report(report, extra))
+    return report, compiled_report, facts
+
+
+def _cmd_lint_catalog(args: argparse.Namespace, rules, cache) -> int:
+    """``repro lint --catalog``: the generated thousand-view catalog.
+
+    Per-view passes run (or replay from the cache) for every catalog
+    view; the catalog-scope sharing pass then runs over the collected
+    facts.  JSON output is byte-identical between cold and warm runs —
+    cache statistics are printed only in human mode.
+    """
+    import json
+
+    from .analysis import analyze_catalog
+    from .catalog import CatalogConfig, build_catalog_database, catalog_views
+
+    config = CatalogConfig(n_views=args.catalog_views)
+    db = build_catalog_database(config)
+    reports = []
+    facts_list = []
+    for label, plan in catalog_views(db, config):
+        report, _, facts = _lint_view_entry(
+            label, plan, db, cache, with_compiled=False
+        )
+        facts_list.append(facts)
+        reports.append((label, _filter_report(report, rules, args.min_severity)))
+    if cache is not None:
+        cache.flush()
+    sharing = _filter_report(
+        analyze_catalog(facts_list), rules, args.min_severity
+    )
+
+    n_errors = sum(len(r.errors) for _, r in reports) + len(sharing.errors)
+    n_warnings = sum(len(r.warnings) for _, r in reports) + len(
+        sharing.warnings
+    )
+    if args.json:
+        findings = [
+            {"view": label, "diagnostics": report.to_json()}
+            for label, report in reports
+            if report.errors or report.warnings or (rules and report.diagnostics)
+        ]
+        payload = {
+            "catalog": {
+                "views": len(reports),
+                "errors": n_errors,
+                "warnings": n_warnings,
+                "findings": findings,
+                "sharing": sharing.to_json(),
+            }
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for label, report in reports:
+            interesting = report.errors + report.warnings
+            if interesting:
+                print(f"== {label}: {len(report.errors)} error(s), "
+                      f"{len(report.warnings)} warning(s)")
+                for diag in interesting:
+                    print(diag.render())
+        if sharing.diagnostics:
+            print(sharing.render())
+        print(
+            f"lint --catalog: {len(reports)} views, {n_errors} error(s), "
+            f"{n_warnings} warning(s), "
+            f"{len(sharing.diagnostics)} sharing finding(s)"
+        )
+        if cache is not None:
+            print(f"cache: {cache.hits} hit(s), {cache.misses} miss(es)")
+    return 1 if n_errors else 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """``repro lint``: static analysis over every shipped view."""
     import json
 
-    from .analysis import RULES, analyze_generated
-    from .core.compile import compile_script
-    from .core.generator import ScriptGenerator
-    from .core.schema_gen import generate_base_schemas
+    from .analysis import RULES, AnalysisCache, analyze_catalog
 
     rules: set[str] = set()
     if args.rule:
@@ -505,46 +666,47 @@ def cmd_lint(args: argparse.Namespace) -> int:
             print(f"lint: unknown rule id(s): {', '.join(sorted(unknown))}")
             return 2
 
+    cache = None if args.no_cache else AnalysisCache(args.cache_dir)
+    if args.catalog:
+        return _cmd_lint_catalog(args, rules, cache)
+
     json_out: dict = {}
     cost_status = 0
     if args.cost:
         cost_status = _cmd_lint_cost(args, rules, json_out)
 
     reports = []
+    facts_list = []
     for label, plan, db in lint_targets():
-        # cost_db: lint analyzes the scripts the engine would actually
-        # ship, i.e. after cost-based candidate selection (COST501/502
-        # findings on the default pipeline are fixed, not just reported).
-        generator = ScriptGenerator(label, plan, cost_db=db)
-        generated = generator.generate(
-            generate_base_schemas(generator.plan, db)
+        report, compiled_report, facts = _lint_view_entry(
+            label, plan, db, cache, with_compiled=True
         )
-        report = analyze_generated(generated, db=db)
+        facts_list.append(facts)
         reports.append((label, _filter_report(report, rules, args.min_severity)))
-        # The compiled execution backend runs a different ∆-script object
-        # (CompiledComputeDiffStep subclasses ComputeDiffStep), so the
-        # step-level passes re-run over it: the script read/write-set
-        # checker and the shard interference analysis must hold on BOTH
-        # scripts the engine can execute.
-        compiled = compile_script(generated)
-        compiled_report = analyze_generated(
-            generated, db=db, script=compiled, names=("script", "interference")
-        )
         reports.append(
             (
                 f"{label} [compiled]",
                 _filter_report(compiled_report, rules, args.min_severity),
             )
         )
+    if cache is not None:
+        cache.flush()
+    # Catalog-scope pass 7 over the shipped views (cross-view sharing).
+    sharing = _filter_report(
+        analyze_catalog(facts_list), rules, args.min_severity
+    )
 
-    n_errors = sum(len(r.errors) for _, r in reports)
-    n_warnings = sum(len(r.warnings) for _, r in reports)
+    n_errors = sum(len(r.errors) for _, r in reports) + len(sharing.errors)
+    n_warnings = sum(len(r.warnings) for _, r in reports) + len(
+        sharing.warnings
+    )
     if args.json:
         payload = {
             "views": [
                 {"view": label, "diagnostics": report.to_json()}
                 for label, report in reports
             ],
+            "sharing": sharing.to_json(),
             "errors": n_errors,
             "warnings": n_warnings,
         }
@@ -563,6 +725,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
             else:
                 for diag in interesting:
                     print(diag.render())
+        if sharing.diagnostics and (args.verbose or sharing.errors or sharing.warnings):
+            print(sharing.render())
         print(
             f"lint: {len(reports)} views, {n_errors} error(s), "
             f"{n_warnings} warning(s)"
@@ -668,6 +832,31 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run a live demo round per view and reconcile measured "
         "access counts against the symbolic cost prediction (COST503)",
+    )
+    lint.add_argument(
+        "--catalog",
+        action="store_true",
+        help="lint the generated thousand-view catalog (repro.catalog) "
+        "instead of the shipped workload views, including the "
+        "catalog-scope sharing pass (SHARE7xx)",
+    )
+    lint.add_argument(
+        "--catalog-views",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="catalog size for --catalog (default: 1000)",
+    )
+    lint.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the incremental analysis cache (full re-analysis)",
+    )
+    lint.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        metavar="DIR",
+        help="incremental analysis cache location (default: .repro-cache)",
     )
     lint.set_defaults(handler=cmd_lint)
 

@@ -341,6 +341,19 @@ class ScriptCostModel:
     def total(self, env: Optional[Mapping[str, float]] = None) -> float:
         return sum(p["total"] for p in self.predict(env).values())
 
+    def evaluate_vector(
+        self, vector: CostVector, env: Optional[Mapping[str, float]] = None
+    ) -> dict[str, float]:
+        """Evaluate an arbitrary :class:`CostVector` under this model's
+        cardinality definitions and estimates (the sharing pass prices
+        step subsets — e.g. one cached sub-plan's maintenance — without
+        re-deriving the model)."""
+        full = self._augment_env(env)
+        return {
+            metric: self._eval(getattr(vector, metric), full)
+            for metric in CostVector.METRICS
+        }
+
     def symbols(self) -> set[str]:
         out: set[str] = set()
         for vector in self.phases.values():

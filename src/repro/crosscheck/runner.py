@@ -53,7 +53,8 @@ class Divergence:
     strategy: str
     batch: int  # -1: view definition / initial state
     kind: str  # "view_mismatch" | "invariant" | "exception" |
-    #          # "oracle_error" | "analysis" | "cost" | "drift" | "race"
+    #          # "oracle_error" | "analysis" | "cost" | "drift" |
+    #          # "race" | "fingerprint"
     detail: str
 
     def __str__(self) -> str:  # pragma: no cover - display helper
@@ -265,6 +266,34 @@ def analyze_case(case: Mapping):
     return analyze_generated(generated, db=db)
 
 
+def fingerprint_check(case: Mapping) -> Optional[str]:
+    """Twin-generation fingerprint determinism check.
+
+    Builds the case's database and generates its ∆-script twice, fully
+    independently, and compares the exact (syntactic) fingerprints of
+    the two generated plans.  The generator is supposed to be a pure
+    function of (plan, statistics); a mismatch means some ambient state
+    (hash ordering, caching, RNG) leaked into plan or script structure —
+    exactly the bug class the incremental analysis cache cannot survive.
+    Returns a detail string on mismatch, None when the twins agree.
+    """
+    from ..analysis import generated_fingerprint
+    from ..core.generator import ScriptGenerator
+    from ..core.schema_gen import generate_base_schemas
+
+    prints = []
+    for _ in range(2):
+        db = build_database(case)
+        generator = ScriptGenerator("V", build_plan(case["plan"], db))
+        generated = generator.generate(
+            generate_base_schemas(generator.plan, db)
+        )
+        prints.append(generated_fingerprint(generated, db, alpha=False))
+    if prints[0] != prints[1]:
+        return f"twin generations fingerprint {prints[0]} != {prints[1]}"
+    return None
+
+
 def run_case(
     case: Mapping, strategies: Sequence[str] = ALL_STRATEGIES
 ) -> CaseResult:
@@ -274,7 +303,9 @@ def run_case(
     an ``exception`` divergence, an error-severity diagnostic on a plan
     the generator was happy to emit is an ``analysis`` divergence —
     either the generator produced a hazard or the analyzer cried wolf,
-    and both are findings.
+    and both are findings.  Twin generations that disagree on their
+    exact fingerprint are a ``fingerprint`` divergence: nondeterminism
+    in the generator that would silently poison the analysis cache.
     """
     result = CaseResult()
     try:
@@ -291,6 +322,17 @@ def run_case(
                     "analyzer", -1, "analysis", diag.render().splitlines()[0]
                 )
             )
+        try:
+            mismatch = fingerprint_check(case)
+        except Exception as exc:  # noqa: BLE001
+            result.divergences.append(
+                Divergence("analyzer", -1, "exception", _tail(exc))
+            )
+        else:
+            if mismatch is not None:
+                result.divergences.append(
+                    Divergence("analyzer", -1, "fingerprint", mismatch)
+                )
     try:
         expected = oracle_states(case)
     except Exception as exc:  # noqa: BLE001
